@@ -1,0 +1,68 @@
+//! Shared helpers for the baseline schedulers.
+
+use decima_core::{ClassId, StageId};
+use decima_sim::{JobObs, Observation};
+
+/// Schedulable stages of one job, as `(stage, node-obs ref)` pairs.
+pub fn schedulable_stages<'a>(
+    obs: &'a Observation,
+    job_idx: usize,
+) -> impl Iterator<Item = StageId> + 'a {
+    obs.schedulable
+        .iter()
+        .filter(move |(j, _)| *j == job_idx)
+        .map(|&(_, s)| s)
+}
+
+/// True if the job has at least one schedulable stage.
+pub fn has_schedulable(obs: &Observation, job_idx: usize) -> bool {
+    schedulable_stages(obs, job_idx).next().is_some()
+}
+
+/// Picks the schedulable stage of `job_idx` lying on the job's critical
+/// path: the one with the maximum critical-path value (total downstream
+/// work including itself). Used by SJF-CP (§7.1) and the exhaustive-search
+/// order scheduler (Appendix H).
+pub fn critical_path_stage(obs: &Observation, job_idx: usize) -> Option<StageId> {
+    let job = &obs.jobs[job_idx];
+    let cp = job.spec.critical_path();
+    schedulable_stages(obs, job_idx).max_by(|a, b| cp[a.index()].total_cmp(&cp[b.index()]))
+}
+
+/// Picks the schedulable stage with the most waiting tasks (a reasonable
+/// round-robin "drain the branches" choice for fair schedulers).
+pub fn widest_stage(obs: &Observation, job_idx: usize) -> Option<StageId> {
+    let job = &obs.jobs[job_idx];
+    schedulable_stages(obs, job_idx).max_by_key(|s| job.nodes[s.index()].waiting)
+}
+
+/// Remaining work of a job (unfinished tasks × durations).
+pub fn remaining_work(job: &JobObs) -> f64 {
+    job.remaining_work()
+}
+
+/// The tightest-fitting executor class with a free slot for `demand`, if
+/// any (the "exhaust the best-fitting category first" rule of App. F).
+pub fn best_fit_free_class(obs: &Observation, demand: f64) -> Option<ClassId> {
+    (0..obs.num_classes)
+        .filter(|&c| obs.free_by_class[c] > 0 && obs.class_memory[c] >= demand)
+        .min_by(|&a, &b| obs.class_memory[a].total_cmp(&obs.class_memory[b]))
+        .map(|c| ClassId(c as u16))
+}
+
+/// Attaches the best-fitting free class to an action when the cluster is
+/// heterogeneous; single-class clusters need no annotation.
+pub fn with_best_fit(
+    obs: &Observation,
+    job_idx: usize,
+    stage: StageId,
+    mut action: decima_sim::Action,
+) -> decima_sim::Action {
+    if obs.num_classes > 1 {
+        let demand = obs.jobs[job_idx].nodes[stage.index()].mem_demand;
+        if let Some(c) = best_fit_free_class(obs, demand) {
+            action = action.with_class(c);
+        }
+    }
+    action
+}

@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks:
+//!
+//! * `policy_decide` — one scheduling decision end to end (GNN forward +
+//!   action heads), the quantity behind Figure 15b's <15 ms claim.
+//! * `gnn_forward` / `gnn_backward` — encoder passes over a realistic
+//!   multi-job state.
+//! * `sim_episode` — simulator throughput: one full batched episode under
+//!   a heuristic scheduler.
+//! * `autodiff_matmul_chain` — the tape's core op path.
+//! * `baseline_decide` — the heuristics' decision cost for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decima_baselines::{SjfCpScheduler, WeightedFairScheduler};
+use decima_core::ClusterSpec;
+use decima_gnn::{FeatureConfig, GnnConfig, GnnEncoder};
+use decima_nn::{ParamStore, Tape, Tensor};
+use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
+use decima_rl::{EnvFactory, TpchEnv};
+use decima_sim::{Observation, Scheduler, SimConfig, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Captures a mid-episode observation with plenty of jobs in flight.
+fn capture_observation(jobs_n: usize, execs: usize) -> Observation {
+    struct Capture {
+        want_jobs: usize,
+        best: Option<Observation>,
+    }
+    impl Scheduler for Capture {
+        fn decide(&mut self, obs: &Observation) -> Option<decima_sim::Action> {
+            if obs.num_jobs() >= self.want_jobs
+                && self
+                    .best
+                    .as_ref()
+                    .is_none_or(|b| obs.num_jobs() > b.num_jobs())
+            {
+                self.best = Some(obs.clone());
+            }
+            // Schedule fairly so the episode progresses.
+            let &(j, s) = obs.schedulable.first()?;
+            Some(decima_sim::Action::new(obs.jobs[j].id, s, 2))
+        }
+    }
+    let env = TpchEnv::batch(jobs_n, execs);
+    let (cluster, jobs, cfg) = env.build(7);
+    let mut cap = Capture {
+        want_jobs: jobs_n / 2,
+        best: None,
+    };
+    let _ = Simulator::new(cluster, jobs, cfg).run(&mut cap);
+    cap.best.expect("captured a busy observation")
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let obs = capture_observation(10, 15);
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let policy = DecimaPolicy::new(PolicyConfig::small(15), &mut store, &mut rng);
+    let mut agent = DecimaAgent::sampler(policy.clone(), store.clone(), 1);
+    c.bench_function("policy_decide", |b| {
+        b.iter(|| black_box(agent.decide(black_box(&obs))))
+    });
+
+    // Paper-sized network for comparison (32/16 hidden, 16-dim embeddings).
+    let mut store_p = ParamStore::new();
+    let policy_p = DecimaPolicy::new(PolicyConfig::paper(15), &mut store_p, &mut rng);
+    let mut agent_p = DecimaAgent::sampler(policy_p, store_p, 1);
+    c.bench_function("policy_decide_paper_size", |b| {
+        b.iter(|| black_box(agent_p.decide(black_box(&obs))))
+    });
+}
+
+fn bench_gnn(c: &mut Criterion) {
+    let obs = capture_observation(10, 15);
+    let fc = FeatureConfig::default();
+    let graph = fc.graph_input(&obs);
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let enc = GnnEncoder::new(GnnConfig::small(decima_gnn::FEAT_DIM), &mut store, &mut rng);
+
+    c.bench_function("gnn_forward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            black_box(enc.forward(&mut tape, &store, black_box(&graph)))
+        })
+    });
+    c.bench_function("gnn_forward_backward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let e = enc.forward(&mut tape, &store, &graph);
+            let cat = tape.concat_rows(&[e.nodes, e.jobs, e.global]);
+            let loss = tape.sum_all(cat);
+            let mut s = store.clone();
+            tape.backward(loss, 1.0, &mut s);
+            black_box(s.grad_norm())
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let env = TpchEnv::batch(10, 15);
+    c.bench_function("sim_episode_sjf_10jobs", |b| {
+        b.iter(|| {
+            let (cluster, jobs, cfg) = env.build(7);
+            black_box(Simulator::new(cluster, jobs, cfg).run(SjfCpScheduler))
+        })
+    });
+}
+
+fn bench_autodiff(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let w1 = store.add("w1", Tensor::he_init(16, 32, &mut rng));
+    let w2 = store.add("w2", Tensor::he_init(32, 16, &mut rng));
+    let x = Tensor::he_init(64, 16, &mut rng);
+    c.bench_function("autodiff_matmul_chain", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xi = tape.input(x.clone());
+            let a = tape.param(&store, w1);
+            let bb = tape.param(&store, w2);
+            let h = tape.matmul(xi, a);
+            let h = tape.leaky_relu(h, 0.2);
+            let h = tape.matmul(h, bb);
+            let loss = tape.sum_all(h);
+            let mut s = store.clone();
+            tape.backward(loss, 1.0, &mut s);
+            black_box(s.grad_norm())
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let obs = capture_observation(10, 15);
+    let mut wf = WeightedFairScheduler::new(-1.0);
+    c.bench_function("baseline_decide_weighted_fair", |b| {
+        b.iter(|| black_box(wf.decide(black_box(&obs))))
+    });
+    let mut sjf = SjfCpScheduler;
+    c.bench_function("baseline_decide_sjf_cp", |b| {
+        b.iter(|| black_box(sjf.decide(black_box(&obs))))
+    });
+    let _ = ClusterSpec::homogeneous(1);
+    let _ = SimConfig::default();
+}
+
+criterion_group!(
+    benches,
+    bench_policy,
+    bench_gnn,
+    bench_sim,
+    bench_autodiff,
+    bench_baselines
+);
+criterion_main!(benches);

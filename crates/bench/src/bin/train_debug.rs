@@ -1,0 +1,52 @@
+//! Scratch harness: watch the learning trend on a tiny workload.
+
+use decima_nn::ParamStore;
+use decima_policy::{DecimaPolicy, PolicyConfig};
+use decima_rl::{TpchEnv, TrainConfig, Trainer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let jobs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let execs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let lr: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
+
+    let env = TpchEnv::batch(jobs, execs);
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let policy = DecimaPolicy::new(PolicyConfig::small(execs), &mut store, &mut rng);
+    let mut t = Trainer::new(
+        policy,
+        store,
+        TrainConfig {
+            num_rollouts: 8,
+            lr,
+            entropy_start: 0.2,
+            entropy_end: 0.0,
+            entropy_decay_iters: iters / 2,
+            seed: 3,
+            ..TrainConfig::default()
+        },
+    );
+    let eval_seeds = [100, 101, 102, 103];
+    let eval = |t: &Trainer| -> f64 {
+        let rs = t.evaluate(&env, &eval_seeds);
+        rs.iter().map(|r| r.avg_jct().unwrap()).sum::<f64>() / rs.len() as f64
+    };
+    println!("iter 0 eval_jct {:.1}", eval(&t));
+    for i in 1..=iters {
+        let s = t.train_iteration(&env);
+        if i % 5 == 0 {
+            println!(
+                "iter {i} eval_jct {:.1} train_jct {:.1} reward {:.3} entropy {:.2} gnorm {:.2}",
+                eval(&t),
+                s.mean_avg_jct,
+                s.mean_reward,
+                s.mean_entropy,
+                s.grad_norm
+            );
+        }
+    }
+}

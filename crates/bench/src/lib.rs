@@ -1,0 +1,209 @@
+//! # decima-bench
+//!
+//! Shared harness for the figure/table reproduction binaries: scheduler
+//! comparisons, CSV/terminal reporting, a standard scaled-down training
+//! recipe, and a tiny argument parser. One binary per paper artifact
+//! lives in `src/bin/` (see `DESIGN.md`'s experiment index); Criterion
+//! micro-benchmarks live in `benches/`.
+
+use decima_core::{ClusterSpec, JobSpec, Summary};
+use decima_nn::ParamStore;
+use decima_policy::{DecimaPolicy, PolicyConfig};
+use decima_rl::{EnvFactory, TrainConfig, Trainer};
+use decima_sim::{EpisodeResult, Scheduler, SimConfig, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Runs one scheduler over one episode.
+pub fn run_episode(
+    cluster: &ClusterSpec,
+    jobs: &[JobSpec],
+    cfg: &SimConfig,
+    sched: impl Scheduler,
+) -> EpisodeResult {
+    Simulator::new(cluster.clone(), jobs.to_vec(), cfg.clone()).run(sched)
+}
+
+/// A labelled series of average JCTs (one per run/seed).
+#[derive(Clone, Debug)]
+pub struct SchedulerSeries {
+    /// Display name.
+    pub name: String,
+    /// Average JCT per run.
+    pub avg_jcts: Vec<f64>,
+}
+
+impl SchedulerSeries {
+    /// Summary statistics over the runs.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.avg_jcts)
+    }
+}
+
+/// Prints a comparison table (name, mean, p50, p95) and the headline
+/// ratios against the first row.
+pub fn print_comparison(title: &str, series: &[SchedulerSeries]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "scheduler", "mean", "p50", "p95", "runs"
+    );
+    for s in series {
+        let sum = s.summary();
+        println!(
+            "{:<26} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+            s.name, sum.mean, sum.p50, sum.p95, sum.n
+        );
+    }
+    if let Some(first) = series.first() {
+        let base = first.summary().mean;
+        for s in &series[1..] {
+            let m = s.summary().mean;
+            println!(
+                "   {} vs {}: {:+.1}% ({}x)",
+                s.name,
+                first.name,
+                100.0 * (m - base) / base,
+                format_ratio(base / m)
+            );
+        }
+    }
+}
+
+fn format_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Writes `rows` of CSV under `out/<name>.csv` (creating `out/`).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let dir = PathBuf::from("out");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    let _ = writeln!(body, "{header}");
+    for r in rows {
+        let _ = writeln!(body, "{r}");
+    }
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[csv] {}", path.display());
+    }
+    path
+}
+
+/// The standard scaled-down training recipe used by the experiment
+/// binaries (documented in EXPERIMENTS.md): uniform-initialized small
+/// policy, entropy-annealed REINFORCE.
+pub fn standard_trainer(executors: usize, policy_cfg: Option<PolicyConfig>, seed: u64) -> Trainer {
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cfg = policy_cfg.unwrap_or_else(|| PolicyConfig::small(executors));
+    let policy = DecimaPolicy::new(cfg, &mut store, &mut rng);
+    Trainer::new(
+        policy,
+        store,
+        TrainConfig {
+            num_rollouts: 8,
+            lr: 2e-3,
+            entropy_start: 0.08,
+            entropy_end: 1e-3,
+            entropy_decay_iters: 50,
+            seed,
+            ..TrainConfig::default()
+        },
+    )
+}
+
+/// Trains for `iters` iterations with a progress line every 10.
+pub fn train_with_progress(trainer: &mut Trainer, env: &dyn EnvFactory, iters: usize) {
+    trainer.train(env, iters, |s| {
+        if (s.iter + 1) % 10 == 0 || s.iter == 0 {
+            println!(
+                "  [train] iter {:>4}  reward {:>9.3}  jct {:>8.1}  entropy {:.2}",
+                s.iter + 1,
+                s.mean_reward,
+                s.mean_avg_jct,
+                s.mean_entropy
+            );
+        }
+    });
+}
+
+/// Mean greedy-evaluation average JCT over the given sequence seeds.
+pub fn eval_mean_jct(trainer: &Trainer, env: &dyn EnvFactory, seeds: &[u64]) -> f64 {
+    let rs = trainer.evaluate(env, seeds);
+    let jcts: Vec<f64> = rs.iter().filter_map(EpisodeResult::avg_jct).collect();
+    if jcts.is_empty() {
+        f64::NAN
+    } else {
+        jcts.iter().sum::<f64>() / jcts.len() as f64
+    }
+}
+
+/// Minimal `--flag value` argument parser: `Args::new().get("iters", 100)`.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn new() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// The value after `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let key = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// True when `--name` is present (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        let key = format!("--{name}");
+        self.raw.iter().any(|a| a == &key)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decima_baselines::FifoScheduler;
+    use decima_workload::tpch_batch;
+
+    #[test]
+    fn run_episode_and_series() {
+        let jobs: Vec<JobSpec> = tpch_batch(3, 1)
+            .into_iter()
+            .map(|mut j| {
+                for s in &mut j.stages {
+                    s.num_tasks = (s.num_tasks / 8).max(1);
+                }
+                j
+            })
+            .collect();
+        let cluster = ClusterSpec::homogeneous(5).with_move_delay(1.0);
+        let r = run_episode(&cluster, &jobs, &SimConfig::default(), FifoScheduler);
+        assert_eq!(r.completed(), 3);
+        let s = SchedulerSeries {
+            name: "fifo".into(),
+            avg_jcts: vec![r.avg_jct().unwrap()],
+        };
+        assert!(s.summary().mean > 0.0);
+    }
+}

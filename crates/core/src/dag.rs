@@ -1,0 +1,371 @@
+//! DAG topology: the dependency structure of a job's stages.
+//!
+//! A [`DagTopology`] is an immutable, validated directed acyclic graph over
+//! dense node indices `0..n`. Edges point from *parent* (upstream producer)
+//! to *child* (downstream consumer); a stage becomes runnable once all its
+//! parents completed (§3 of the paper).
+//!
+//! Besides adjacency, the topology pre-computes a topological order and the
+//! leaf-depth levels used by the graph neural network's bottom-up message
+//! passing sweep (§5.1), and offers critical-path computation
+//! (`cp(v) = work(v) + max_{u∈children(v)} cp(u)`, Appendix A footnote 5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when constructing an invalid DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint was `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        index: u32,
+        /// Number of nodes in the DAG.
+        num_nodes: usize,
+    },
+    /// An edge `(v, v)` was supplied.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: u32,
+    },
+    /// The same edge was supplied twice.
+    DuplicateEdge {
+        /// Edge source.
+        parent: u32,
+        /// Edge target.
+        child: u32,
+    },
+    /// The edge set contains a cycle.
+    Cycle,
+    /// A DAG must have at least one node.
+    Empty,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { index, num_nodes } => {
+                write!(f, "edge endpoint {index} out of range (n={num_nodes})")
+            }
+            DagError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            DagError::DuplicateEdge { parent, child } => {
+                write!(f, "duplicate edge {parent}->{child}")
+            }
+            DagError::Cycle => write!(f, "edge set contains a cycle"),
+            DagError::Empty => write!(f, "DAG must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Immutable, validated DAG over nodes `0..num_nodes`.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct DagTopology {
+    num_nodes: usize,
+    /// `parents[v]` = upstream stages `v` depends on.
+    parents: Vec<Vec<u32>>,
+    /// `children[v]` = downstream stages depending on `v`.
+    children: Vec<Vec<u32>>,
+    /// A topological order (parents before children).
+    topo: Vec<u32>,
+    /// `level[v]` = longest path (in hops) from `v` down to any leaf;
+    /// leaves have level 0. Used by bottom-up message passing.
+    level: Vec<u32>,
+}
+
+impl DagTopology {
+    /// Builds and validates a topology from an edge list.
+    pub fn new(num_nodes: usize, edges: &[(u32, u32)]) -> Result<Self, DagError> {
+        if num_nodes == 0 {
+            return Err(DagError::Empty);
+        }
+        let mut parents = vec![Vec::new(); num_nodes];
+        let mut children = vec![Vec::new(); num_nodes];
+        for &(p, c) in edges {
+            for &e in &[p, c] {
+                if e as usize >= num_nodes {
+                    return Err(DagError::NodeOutOfRange {
+                        index: e,
+                        num_nodes,
+                    });
+                }
+            }
+            if p == c {
+                return Err(DagError::SelfLoop { node: p });
+            }
+            if children[p as usize].contains(&c) {
+                return Err(DagError::DuplicateEdge {
+                    parent: p,
+                    child: c,
+                });
+            }
+            children[p as usize].push(c);
+            parents[c as usize].push(p);
+        }
+
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indeg: Vec<usize> = parents.iter().map(Vec::len).collect();
+        let mut stack: Vec<u32> = (0..num_nodes as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(num_nodes);
+        while let Some(v) = stack.pop() {
+            topo.push(v);
+            for &c in &children[v as usize] {
+                indeg[c as usize] -= 1;
+                if indeg[c as usize] == 0 {
+                    stack.push(c);
+                }
+            }
+        }
+        if topo.len() != num_nodes {
+            return Err(DagError::Cycle);
+        }
+
+        // Leaf depth, computed in reverse topological order.
+        let mut level = vec![0u32; num_nodes];
+        for &v in topo.iter().rev() {
+            let l = children[v as usize]
+                .iter()
+                .map(|&c| level[c as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            level[v as usize] = l;
+        }
+
+        Ok(DagTopology {
+            num_nodes,
+            parents,
+            children,
+            topo,
+            level,
+        })
+    }
+
+    /// A single-node DAG (one stage, no dependencies).
+    pub fn single() -> Self {
+        DagTopology::new(1, &[]).expect("single-node DAG is valid")
+    }
+
+    /// A linear chain `0 -> 1 -> ... -> n-1`.
+    pub fn chain(n: usize) -> Result<Self, DagError> {
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1))
+            .map(|i| (i as u32, i as u32 + 1))
+            .collect();
+        DagTopology::new(n, &edges)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// True when the DAG has exactly zero nodes (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes == 0
+    }
+
+    /// Upstream dependencies of `v`.
+    #[inline]
+    pub fn parents(&self, v: usize) -> &[u32] {
+        &self.parents[v]
+    }
+
+    /// Downstream consumers of `v`.
+    #[inline]
+    pub fn children(&self, v: usize) -> &[u32] {
+        &self.children[v]
+    }
+
+    /// A topological order (each parent precedes its children).
+    #[inline]
+    pub fn topo_order(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Longest hop-distance from `v` down to a leaf (leaves = 0).
+    #[inline]
+    pub fn level(&self, v: usize) -> u32 {
+        self.level[v]
+    }
+
+    /// Maximum level in the DAG (its depth).
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Nodes without parents (initially runnable).
+    pub fn roots(&self) -> Vec<u32> {
+        (0..self.num_nodes as u32)
+            .filter(|&v| self.parents[v as usize].is_empty())
+            .collect()
+    }
+
+    /// Nodes without children (the GNN message-passing frontier).
+    pub fn leaves(&self) -> Vec<u32> {
+        (0..self.num_nodes as u32)
+            .filter(|&v| self.children[v as usize].is_empty())
+            .collect()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Critical-path value from each node: `cp(v) = work[v] + max cp(child)`.
+    ///
+    /// `work.len()` must equal `len()`. This is the quantity the paper's
+    /// graph neural network must be able to express (Appendix E).
+    pub fn critical_path(&self, work: &[f64]) -> Vec<f64> {
+        assert_eq!(work.len(), self.num_nodes, "work vector length mismatch");
+        let mut cp = vec![0.0; self.num_nodes];
+        for &v in self.topo.iter().rev() {
+            let down = self.children[v as usize]
+                .iter()
+                .map(|&c| cp[c as usize])
+                .fold(0.0_f64, f64::max);
+            cp[v as usize] = work[v as usize] + down;
+        }
+        cp
+    }
+
+    /// Length of the overall critical path (max over nodes).
+    pub fn critical_path_len(&self, work: &[f64]) -> f64 {
+        self.critical_path(work)
+            .into_iter()
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// All nodes reachable (strictly) downstream of `v`.
+    pub fn descendants(&self, v: usize) -> Vec<u32> {
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack: Vec<u32> = self.children[v].to_vec();
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                out.push(u);
+                stack.extend_from_slice(&self.children[u as usize]);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Edge list (parent, child), in parent-major order.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (p, cs) in self.children.iter().enumerate() {
+            for &c in cs {
+                out.push((p as u32, c));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for DagTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DagTopology(n={}, e={}, depth={})",
+            self.num_nodes,
+            self.num_edges(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DagTopology {
+        // 0 -> {1, 2} -> 3
+        DagTopology::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let d = diamond();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.roots(), vec![0]);
+        assert_eq!(d.leaves(), vec![3]);
+        assert_eq!(d.parents(3), &[1, 2]);
+        assert_eq!(d.depth(), 2);
+        assert_eq!(d.level(3), 0);
+        assert_eq!(d.level(0), 2);
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let d = diamond();
+        let topo = d.topo_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in topo.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for (p, c) in d.edges() {
+            assert!(pos[p as usize] < pos[c as usize]);
+        }
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        assert_eq!(
+            DagTopology::new(2, &[(0, 1), (1, 0)]).unwrap_err(),
+            DagError::Cycle
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_dup_and_range() {
+        assert_eq!(
+            DagTopology::new(2, &[(0, 0)]).unwrap_err(),
+            DagError::SelfLoop { node: 0 }
+        );
+        assert_eq!(
+            DagTopology::new(2, &[(0, 1), (0, 1)]).unwrap_err(),
+            DagError::DuplicateEdge {
+                parent: 0,
+                child: 1
+            }
+        );
+        assert!(matches!(
+            DagTopology::new(2, &[(0, 5)]).unwrap_err(),
+            DagError::NodeOutOfRange { .. }
+        ));
+        assert_eq!(DagTopology::new(0, &[]).unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let d = diamond();
+        // work: 1, 10, 2, 5
+        let cp = d.critical_path(&[1.0, 10.0, 2.0, 5.0]);
+        assert_eq!(cp[3], 5.0);
+        assert_eq!(cp[1], 15.0);
+        assert_eq!(cp[2], 7.0);
+        assert_eq!(cp[0], 16.0);
+        assert_eq!(d.critical_path_len(&[1.0, 10.0, 2.0, 5.0]), 16.0);
+    }
+
+    #[test]
+    fn descendants_and_chain() {
+        let c = DagTopology::chain(4).unwrap();
+        assert_eq!(c.descendants(0), vec![1, 2, 3]);
+        assert_eq!(c.descendants(3), Vec::<u32>::new());
+        assert_eq!(c.depth(), 3);
+        let s = DagTopology::single();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.roots(), vec![0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # decima-core
+//!
+//! Core data model for the Rust reproduction of *Learning Scheduling
+//! Algorithms for Data Processing Clusters* (Mao et al., SIGCOMM 2019):
+//! strongly-typed identifiers, simulation time, validated DAG topologies,
+//! job/stage specifications, cluster (executor-class) specifications,
+//! Gantt-chart recording, and summary statistics.
+//!
+//! This crate is dependency-light and deterministic; all stochastic
+//! behaviour lives in `decima-workload` (generation) and `decima-sim`
+//! (execution noise).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dag;
+pub mod gantt;
+pub mod ids;
+pub mod job;
+pub mod metrics;
+pub mod time;
+
+pub use cluster::{ClusterSpec, ExecutorClass};
+pub use dag::{DagError, DagTopology};
+pub use gantt::{Gantt, Segment};
+pub use ids::{ClassId, ExecutorId, JobId, NodeRef, StageId};
+pub use job::{InflationCurve, JobBuilder, JobMeta, JobSpec, JobSpecError, StageSpec};
+pub use metrics::{percentile, percentile_sorted, Cdf, Summary};
+pub use time::SimTime;

@@ -1,0 +1,177 @@
+//! Summary statistics and CDF helpers used by the evaluation harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-style summary of a sample.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (linear interpolation).
+    pub p50: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns the default for empty input.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} std={:.2} p50={:.2} p95={:.2} max={:.2}",
+            self.n, self.mean, self.std, self.p50, self.p95, self.max
+        )
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice; `q` in [0,1].
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Percentile of an unsorted slice.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_sorted(&sorted, q)
+}
+
+/// An empirical CDF: ascending `(value, fraction ≤ value)` points.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    /// `(x, F(x))` points with `F` ascending from `1/n` to `1.0`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds the empirical CDF of a sample.
+    pub fn of(values: &[f64]) -> Cdf {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len() as f64;
+        Cdf {
+            points: sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (i + 1) as f64 / n))
+                .collect(),
+        }
+    }
+
+    /// F(x): fraction of the sample ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|(v, _)| v.total_cmp(&x))
+        {
+            Ok(mut i) => {
+                // Step to the last equal value.
+                while i + 1 < self.points.len() && self.points[i + 1].0 == x {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Renders as CSV lines `value,fraction`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("value,cdf\n");
+        for (v, f) in &self.points {
+            out.push_str(&format!("{v:.6},{f:.6}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 50.0);
+        assert_eq!(percentile(&v, 0.5), 30.0);
+        assert_eq!(percentile(&v, 0.25), 20.0);
+        assert_eq!(percentile(&v, 0.125), 15.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_query() {
+        let c = Cdf::of(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.points.len(), 4);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(10.0), 1.0);
+        for w in c.points.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(c.to_csv().starts_with("value,cdf\n"));
+    }
+}

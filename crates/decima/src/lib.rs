@@ -1,0 +1,9 @@
+//! decima: facade crate re-exporting the full reproduction.
+pub use decima_baselines as baselines;
+pub use decima_core as core;
+pub use decima_gnn as gnn;
+pub use decima_nn as nn;
+pub use decima_policy as policy;
+pub use decima_rl as rl;
+pub use decima_sim as sim;
+pub use decima_workload as workload;

@@ -1,0 +1,137 @@
+//! Graph-input plumbing: a batched, level-grouped view of every active
+//! job's DAG, ready for bottom-up message passing.
+
+use decima_core::DagTopology;
+use decima_nn::Tensor;
+
+/// One job's topology inside a [`GraphInput`] batch.
+#[derive(Clone, Debug)]
+pub struct JobGraph {
+    /// Index of the job's first node in the global node numbering.
+    pub node_offset: usize,
+    /// Number of nodes in this job.
+    pub num_nodes: usize,
+    /// `children[v]` in *global* node indices.
+    pub children: Vec<Vec<usize>>,
+    /// `level[v]`: hop distance to the farthest leaf (leaves = 0).
+    pub level: Vec<u32>,
+}
+
+/// A batch of job DAGs plus per-node feature rows.
+#[derive(Clone, Debug)]
+pub struct GraphInput {
+    /// `[total_nodes, feat_dim]` feature matrix, nodes grouped by job.
+    pub features: Tensor,
+    /// Per-job topology views.
+    pub jobs: Vec<JobGraph>,
+    /// Global node indices grouped by level, ascending (level 0 first).
+    pub levels: Vec<Vec<usize>>,
+}
+
+impl GraphInput {
+    /// Builds a batch from per-job `(topology, feature rows)` pairs.
+    ///
+    /// `feats[j]` must be a `[jobs[j].len(), feat_dim]` tensor.
+    pub fn new(dags: &[&DagTopology], feats: &[Tensor]) -> Self {
+        assert_eq!(dags.len(), feats.len(), "one feature block per job");
+        let feat_dim = feats.first().map_or(0, Tensor::cols);
+        let total: usize = dags.iter().map(|d| d.len()).sum();
+        let mut features = Tensor::zeros(total, feat_dim);
+        let mut jobs = Vec::with_capacity(dags.len());
+        let mut max_level = 0u32;
+        let mut offset = 0usize;
+        for (dag, f) in dags.iter().zip(feats) {
+            assert_eq!(f.rows(), dag.len(), "feature rows mismatch");
+            assert_eq!(f.cols(), feat_dim, "feature dim mismatch");
+            for v in 0..dag.len() {
+                for c in 0..feat_dim {
+                    features.set(offset + v, c, f.get(v, c));
+                }
+            }
+            let children = (0..dag.len())
+                .map(|v| {
+                    dag.children(v)
+                        .iter()
+                        .map(|&c| offset + c as usize)
+                        .collect()
+                })
+                .collect();
+            let level: Vec<u32> = (0..dag.len()).map(|v| dag.level(v)).collect();
+            max_level = max_level.max(level.iter().copied().max().unwrap_or(0));
+            jobs.push(JobGraph {
+                node_offset: offset,
+                num_nodes: dag.len(),
+                children,
+                level,
+            });
+            offset += dag.len();
+        }
+
+        let mut levels = vec![Vec::new(); max_level as usize + 1];
+        for j in &jobs {
+            for v in 0..j.num_nodes {
+                levels[j.level[v] as usize].push(j.node_offset + v);
+            }
+        }
+        GraphInput {
+            features,
+            jobs,
+            levels,
+        }
+    }
+
+    /// Total node count across jobs.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Number of jobs in the batch.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Children (global indices) of a global node index.
+    pub fn children_of(&self, global: usize) -> &[usize] {
+        for j in &self.jobs {
+            if global >= j.node_offset && global < j.node_offset + j.num_nodes {
+                return &j.children[global - j.node_offset];
+            }
+        }
+        panic!("node index {global} out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_two_jobs() {
+        let d1 = DagTopology::new(3, &[(0, 1), (1, 2)]).unwrap(); // chain
+        let d2 = DagTopology::new(2, &[(0, 1)]).unwrap();
+        let f1 = Tensor::from_vec(3, 2, vec![1.0; 6]);
+        let f2 = Tensor::from_vec(2, 2, vec![2.0; 4]);
+        let g = GraphInput::new(&[&d1, &d2], &[f1, f2]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_jobs(), 2);
+        assert_eq!(g.jobs[1].node_offset, 3);
+        // d1: levels are 2,1,0; d2: 1,0.
+        assert_eq!(g.levels[0], vec![2, 4]); // leaves
+        assert_eq!(g.levels[1], vec![1, 3]);
+        assert_eq!(g.levels[2], vec![0]);
+        // Children in global indices.
+        assert_eq!(g.children_of(0), &[1]);
+        assert_eq!(g.children_of(3), &[4]);
+        assert!(g.children_of(4).is_empty());
+        // Features copied.
+        assert_eq!(g.features.get(3, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_features_panic() {
+        let d = DagTopology::new(2, &[(0, 1)]).unwrap();
+        let f = Tensor::zeros(3, 2);
+        let _ = GraphInput::new(&[&d], &[f]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Adam optimizer (Kingma & Ba, 2015) — the paper's optimizer (App. C).
+
+use crate::store::ParamStore;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Adam state and hyperparameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate (paper: 1e-3).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    /// Optional global gradient-norm clip applied before each step.
+    pub clip_norm: Option<f64>,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates optimizer state shaped like `store` with the paper's
+    /// defaults (lr = 1e-3).
+    pub fn new(store: &ParamStore, lr: f64) -> Self {
+        let m = (0..store.len())
+            .map(|i| {
+                let (r, c) = store.value(i).shape();
+                Tensor::zeros(r, c)
+            })
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: Some(10.0),
+            m,
+            v,
+            t: 0,
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update from the store's accumulated gradients (gradient
+    /// *descent*: parameters move against the gradient), then zeroes them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if let Some(c) = self.clip_norm {
+            store.clip_grad_norm(c);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..store.len() {
+            // Clone the gradient to release the borrow on `store`.
+            let g = store.grad(i).clone();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let p = store.value_mut(i);
+            for k in 0..g.len() {
+                let gk = g.data()[k];
+                m.data_mut()[k] = self.beta1 * m.data()[k] + (1.0 - self.beta1) * gk;
+                v.data_mut()[k] = self.beta2 * v.data()[k] + (1.0 - self.beta2) * gk * gk;
+                let mhat = m.data()[k] / bc1;
+                let vhat = v.data()[k] / bc2;
+                p.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizing (w - 3)^2 should converge to w = 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::filled(1, 1, 0.0));
+        let mut opt = Adam::new(&store, 0.1);
+        for _ in 0..500 {
+            let mut tape = Tape::new();
+            let p = tape.param(&store, w);
+            let t = tape.add_scalar(p, -3.0);
+            let sq = tape.mul(t, t);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss, 1.0, &mut store);
+            opt.step(&mut store);
+        }
+        let final_w = store.value(w).scalar();
+        assert!((final_w - 3.0).abs() < 1e-3, "w = {final_w}");
+        assert_eq!(opt.steps(), 500);
+    }
+
+    /// A 2-D least-squares problem: fit y = X·w with w* = (1, -2).
+    #[test]
+    fn fits_linear_regression() {
+        let x = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]);
+        let y = Tensor::col(vec![1.0, -2.0, -1.0, 4.0]);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(2, 1));
+        let mut opt = Adam::new(&store, 0.05);
+        for _ in 0..2000 {
+            let mut tape = Tape::new();
+            let xi = tape.input(x.clone());
+            let yi = tape.input(y.clone());
+            let wp = tape.param(&store, w);
+            let pred = tape.matmul(xi, wp);
+            let err = tape.sub(pred, yi);
+            let sq = tape.mul(err, err);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss, 1.0, &mut store);
+            opt.step(&mut store);
+        }
+        let wv = store.value(w);
+        assert!((wv.get(0, 0) - 1.0).abs() < 1e-2);
+        assert!((wv.get(1, 0) + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn clip_limits_update_magnitude() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::filled(1, 1, 0.0));
+        store.accumulate_grad(w, &Tensor::filled(1, 1, 1e9), 1.0);
+        let mut opt = Adam::new(&store, 0.001);
+        opt.clip_norm = Some(1.0);
+        opt.step(&mut store);
+        // One Adam step moves by at most ~lr regardless of raw magnitude.
+        assert!(store.value(w).scalar().abs() <= 0.002);
+    }
+}

@@ -1,0 +1,238 @@
+//! Parameter storage: named tensors with accumulated gradients.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A named collection of trainable tensors and their gradient buffers.
+///
+/// The tape copies parameter values in at `Tape::param` and accumulates
+/// `d(loss)/d(param)` back out at `Tape::backward`; the optimizer then
+/// consumes `grads` and calls [`ParamStore::zero_grads`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ParamStore {
+            names: Vec::new(),
+            values: Vec::new(),
+            grads: Vec::new(),
+        }
+    }
+
+    /// Registers a parameter, returning its dense index.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> usize {
+        let (r, c) = value.shape();
+        self.names.push(name.into());
+        self.values.push(value);
+        self.grads.push(Tensor::zeros(r, c));
+        self.values.len() - 1
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters (the paper quotes ~12,736).
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Parameter value by index.
+    pub fn value(&self, idx: usize) -> &Tensor {
+        &self.values[idx]
+    }
+
+    /// Mutable parameter value (optimizer use).
+    pub fn value_mut(&mut self, idx: usize) -> &mut Tensor {
+        &mut self.values[idx]
+    }
+
+    /// Gradient accumulator by index.
+    pub fn grad(&self, idx: usize) -> &Tensor {
+        &self.grads[idx]
+    }
+
+    /// Accumulates into a gradient buffer.
+    pub fn accumulate_grad(&mut self, idx: usize, g: &Tensor, scale: f64) {
+        self.grads[idx].add_scaled(g, scale);
+    }
+
+    /// Parameter name by index.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+    /// Clears all gradient buffers.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            for v in g.data_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f64 {
+        self.grads.iter().map(Tensor::norm_sq).sum::<f64>().sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                for v in g.data_mut() {
+                    *v *= s;
+                }
+            }
+        }
+    }
+
+    /// Adds every gradient of `other` into this store (parameter-wise).
+    /// Used to merge per-worker gradient accumulations.
+    pub fn merge_grads(&mut self, other: &ParamStore) {
+        assert_eq!(self.len(), other.len(), "stores must match");
+        for i in 0..self.grads.len() {
+            self.grads[i].add_scaled(&other.grads[i], 1.0);
+        }
+    }
+
+    /// Multiplies every gradient by `s` (e.g. `1/N` after merging `N`
+    /// worker contributions).
+    pub fn scale_grads(&mut self, s: f64) {
+        for g in &mut self.grads {
+            for v in g.data_mut() {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Serializes all parameter values into a simple self-describing text
+    /// format (`name rows cols v0 v1 …` per line).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (i, v) in self.values.iter().enumerate() {
+            out.push_str(&format!("{} {} {}", self.names[i], v.rows(), v.cols()));
+            for x in v.data() {
+                out.push_str(&format!(" {x:.17e}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Restores parameter values from [`ParamStore::to_text`] output.
+    /// Parameters are matched by name; shape mismatches are errors.
+    pub fn load_text(&mut self, text: &str) -> Result<(), String> {
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            let name = it.next().ok_or("missing name")?;
+            let rows: usize = it
+                .next()
+                .ok_or("missing rows")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            let cols: usize = it
+                .next()
+                .ok_or("missing cols")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            let data: Result<Vec<f64>, _> = it.map(str::parse).collect();
+            let data = data.map_err(|e| format!("{e}"))?;
+            if data.len() != rows * cols {
+                return Err(format!("{name}: expected {} values", rows * cols));
+            }
+            let idx = self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| format!("unknown parameter {name}"))?;
+            if self.values[idx].shape() != (rows, cols) {
+                return Err(format!("{name}: shape mismatch"));
+            }
+            self.values[idx] = Tensor::from_vec(rows, cols, data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Tensor::zeros(2, 3));
+        let b = s.add("b", Tensor::zeros(1, 3));
+        assert_eq!((w, b), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 9);
+        assert_eq!(s.name(0), "w");
+    }
+
+    #[test]
+    fn grad_accumulation_and_clip() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Tensor::zeros(1, 2));
+        s.accumulate_grad(w, &Tensor::row(vec![3.0, 4.0]), 1.0);
+        assert_eq!(s.grad_norm(), 5.0);
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-12);
+        s.zero_grads();
+        assert_eq!(s.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn merge_grads_sums() {
+        let mut a = ParamStore::new();
+        let w = a.add("w", Tensor::zeros(1, 1));
+        let mut b = a.clone();
+        a.accumulate_grad(w, &Tensor::filled(1, 1, 1.0), 1.0);
+        b.accumulate_grad(w, &Tensor::filled(1, 1, 2.0), 1.0);
+        a.merge_grads(&b);
+        assert_eq!(a.grad(w).scalar(), 3.0);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::from_vec(1, 2, vec![1.25, -3.5]));
+        s.add("b", Tensor::from_vec(1, 1, vec![0.125]));
+        let text = s.to_text();
+        let mut s2 = ParamStore::new();
+        s2.add("w", Tensor::zeros(1, 2));
+        s2.add("b", Tensor::zeros(1, 1));
+        s2.load_text(&text).unwrap();
+        assert_eq!(s2.value(0).data(), &[1.25, -3.5]);
+        assert_eq!(s2.value(1).data(), &[0.125]);
+    }
+
+    #[test]
+    fn load_rejects_bad_input() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::zeros(1, 2));
+        assert!(s.load_text("w 1 3 1 2 3").is_err()); // wrong shape
+        assert!(s.load_text("x 1 2 1 2").is_err()); // unknown name
+        assert!(s.load_text("w 1 2 1").is_err()); // missing values
+    }
+}

@@ -1,0 +1,648 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! Usage pattern: build a fresh [`Tape`] per forward pass, pull parameters
+//! in with [`Tape::param`], compose operations, then call
+//! [`Tape::backward`] on a `[1,1]` loss node — gradients are accumulated
+//! into the [`ParamStore`]'s grad buffers. Tapes are cheap to create and
+//! are discarded after each step, which matches the REINFORCE replay pass
+//! (one tape per agent action) and bounds memory.
+//!
+//! The op set is exactly what the Decima networks need (Eq. 1 message
+//! passing, hierarchical summaries, masked log-softmax action heads):
+//! matmul, broadcast add, elementwise nonlinearities, row reductions,
+//! gather/concat for graph plumbing, and a numerically-stable
+//! log-softmax over a column of scores.
+
+use crate::store::ParamStore;
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TensorId(usize);
+
+#[derive(Debug)]
+enum Op {
+    Input,
+    Param { store_idx: usize },
+    MatMul(TensorId, TensorId),
+    Add(TensorId, TensorId),
+    /// `[m,n] + [1,n]` with the right operand broadcast across rows.
+    AddRow(TensorId, TensorId),
+    Sub(TensorId, TensorId),
+    Mul(TensorId, TensorId),
+    Scale(TensorId, f64),
+    AddScalar(TensorId),
+    LeakyRelu(TensorId, f64),
+    Tanh(TensorId),
+    Sigmoid(TensorId),
+    Exp(TensorId),
+    Ln(TensorId),
+    SumRows(TensorId),
+    SumAll(TensorId),
+    ConcatRows(Vec<TensorId>),
+    ConcatCols(Vec<TensorId>),
+    GatherRows(TensorId, Vec<usize>),
+    LogSoftmaxCol(TensorId),
+    Pick(TensorId, usize, usize),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A gradient tape: forward values plus enough structure to backprop.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> TensorId {
+        debug_assert!(
+            value.data().iter().all(|v| v.is_finite()),
+            "non-finite value produced by {op:?}"
+        );
+        self.nodes.push(Node { value, op });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: TensorId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Registers a constant input (no gradient tracked past it).
+    pub fn input(&mut self, t: Tensor) -> TensorId {
+        self.push(t, Op::Input)
+    }
+
+    /// Pulls parameter `idx` from the store onto the tape.
+    pub fn param(&mut self, store: &ParamStore, idx: usize) -> TensorId {
+        self.push(store.value(idx).clone(), Op::Param { store_idx: idx })
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise addition (same shapes).
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
+        let mut v = ta.clone();
+        v.add_scaled(tb, 1.0);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `a[m,n] + b[1,n]`, broadcasting `b` across rows (bias add).
+    pub fn add_row(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(tb.rows(), 1, "add_row rhs must be a row vector");
+        assert_eq!(ta.cols(), tb.cols(), "add_row width mismatch");
+        let mut v = ta.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let x = v.get(r, c) + tb.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        self.push(v, Op::AddRow(a, b))
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape(), tb.shape(), "sub shape mismatch");
+        let mut v = ta.clone();
+        v.add_scaled(tb, -1.0);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(&x, &y)| x * y)
+            .collect();
+        let v = Tensor::from_vec(ta.rows(), ta.cols(), data);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiply.
+    pub fn scale(&mut self, a: TensorId, k: f64) -> TensorId {
+        let v = self.value(a).map(|x| x * k);
+        self.push(v, Op::Scale(a, k))
+    }
+
+    /// Scalar add.
+    pub fn add_scalar(&mut self, a: TensorId, k: f64) -> TensorId {
+        let v = self.value(a).map(|x| x + k);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Leaky ReLU with the given negative-side slope.
+    pub fn leaky_relu(&mut self, a: TensorId, slope: f64) -> TensorId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a, slope))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise natural log (inputs must be positive).
+    pub fn ln(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::ln);
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Column-wise sum over rows: `[m,n] -> [1,n]`.
+    pub fn sum_rows(&mut self, a: TensorId) -> TensorId {
+        let t = self.value(a);
+        let mut v = Tensor::zeros(1, t.cols());
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                let x = v.get(0, c) + t.get(r, c);
+                v.set(0, c, x);
+            }
+        }
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Sum of all elements: `[m,n] -> [1,1]`.
+    pub fn sum_all(&mut self, a: TensorId) -> TensorId {
+        let v = Tensor::filled(1, 1, self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Vertical stack of same-width tensors.
+    pub fn concat_rows(&mut self, ids: &[TensorId]) -> TensorId {
+        assert!(!ids.is_empty(), "concat_rows needs at least one input");
+        let cols = self.value(ids[0]).cols();
+        let rows: usize = ids.iter().map(|&i| self.value(i).rows()).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for &i in ids {
+            let t = self.value(i);
+            assert_eq!(t.cols(), cols, "concat_rows width mismatch");
+            data.extend_from_slice(t.data());
+        }
+        self.push(
+            Tensor::from_vec(rows, cols, data),
+            Op::ConcatRows(ids.to_vec()),
+        )
+    }
+
+    /// Horizontal stack of same-height tensors.
+    pub fn concat_cols(&mut self, ids: &[TensorId]) -> TensorId {
+        assert!(!ids.is_empty(), "concat_cols needs at least one input");
+        let rows = self.value(ids[0]).rows();
+        let cols: usize = ids.iter().map(|&i| self.value(i).cols()).sum();
+        let mut v = Tensor::zeros(rows, cols);
+        let mut off = 0;
+        for &i in ids {
+            let t = self.value(i);
+            assert_eq!(t.rows(), rows, "concat_cols height mismatch");
+            for r in 0..rows {
+                for c in 0..t.cols() {
+                    v.set(r, off + c, t.get(r, c));
+                }
+            }
+            off += t.cols();
+        }
+        self.push(v, Op::ConcatCols(ids.to_vec()))
+    }
+
+    /// Row gather: output row `i` is input row `idx[i]` (rows may repeat,
+    /// which doubles as row broadcast).
+    pub fn gather_rows(&mut self, a: TensorId, idx: Vec<usize>) -> TensorId {
+        let t = self.value(a);
+        let mut v = Tensor::zeros(idx.len(), t.cols());
+        for (r, &src) in idx.iter().enumerate() {
+            assert!(src < t.rows(), "gather_rows index out of range");
+            for c in 0..t.cols() {
+                v.set(r, c, t.get(src, c));
+            }
+        }
+        self.push(v, Op::GatherRows(a, idx))
+    }
+
+    /// Numerically-stable log-softmax over a `[m,1]` column of scores.
+    pub fn log_softmax_col(&mut self, a: TensorId) -> TensorId {
+        let t = self.value(a);
+        assert_eq!(t.cols(), 1, "log_softmax_col needs a column vector");
+        let max = t.data().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lse = max
+            + t.data()
+                .iter()
+                .map(|&x| (x - max).exp())
+                .sum::<f64>()
+                .ln();
+        let v = t.map(|x| x - lse);
+        self.push(v, Op::LogSoftmaxCol(a))
+    }
+
+    /// Extracts element `(r, c)` as a `[1,1]` tensor.
+    pub fn pick(&mut self, a: TensorId, r: usize, c: usize) -> TensorId {
+        let v = Tensor::filled(1, 1, self.value(a).get(r, c));
+        self.push(v, Op::Pick(a, r, c))
+    }
+
+    /// Backpropagates from the `[1,1]` node `loss` (seeded with
+    /// `d loss/d loss = seed`) and accumulates parameter gradients into
+    /// `store.grads`.
+    pub fn backward(&self, loss: TensorId, seed: f64, store: &mut ParamStore) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::filled(1, 1, seed));
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param { store_idx } => store.accumulate_grad(*store_idx, &g, 1.0),
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul(&self.nodes[b.0].value.transpose());
+                    let gb = self.nodes[a.0].value.transpose().matmul(&g);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddRow(a, b) => {
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            let x = gb.get(0, c) + g.get(r, c);
+                            gb.set(0, c, x);
+                        }
+                    }
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let ga = hadamard(&g, &self.nodes[b.0].value);
+                    let gb = hadamard(&g, &self.nodes[a.0].value);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Scale(a, k) => accumulate(&mut grads, *a, g.map(|x| x * k)),
+                Op::AddScalar(a) => accumulate(&mut grads, *a, g),
+                Op::LeakyRelu(a, slope) => {
+                    let x = &self.nodes[a.0].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(x.data())
+                        .map(|(&gv, &xv)| if xv > 0.0 { gv } else { gv * slope })
+                        .collect();
+                    accumulate(&mut grads, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(y.data())
+                        .map(|(&gv, &yv)| gv * (1.0 - yv * yv))
+                        .collect();
+                    accumulate(&mut grads, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(y.data())
+                        .map(|(&gv, &yv)| gv * yv * (1.0 - yv))
+                        .collect();
+                    accumulate(&mut grads, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                }
+                Op::Exp(a) => {
+                    let y = &self.nodes[i].value;
+                    accumulate(&mut grads, *a, hadamard(&g, y));
+                }
+                Op::Ln(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(x.data())
+                        .map(|(&gv, &xv)| gv / xv)
+                        .collect();
+                    accumulate(&mut grads, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                }
+                Op::SumRows(a) => {
+                    let rows = self.nodes[a.0].value.rows();
+                    let mut ga = Tensor::zeros(rows, g.cols());
+                    for r in 0..rows {
+                        for c in 0..g.cols() {
+                            ga.set(r, c, g.get(0, c));
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SumAll(a) => {
+                    let t = &self.nodes[a.0].value;
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::filled(t.rows(), t.cols(), g.scalar()),
+                    );
+                }
+                Op::ConcatRows(ids) => {
+                    let mut off = 0;
+                    for &cid in ids {
+                        let rows = self.nodes[cid.0].value.rows();
+                        let mut part = Tensor::zeros(rows, g.cols());
+                        for r in 0..rows {
+                            for c in 0..g.cols() {
+                                part.set(r, c, g.get(off + r, c));
+                            }
+                        }
+                        off += rows;
+                        accumulate(&mut grads, cid, part);
+                    }
+                }
+                Op::ConcatCols(ids) => {
+                    let mut off = 0;
+                    for &cid in ids {
+                        let cols = self.nodes[cid.0].value.cols();
+                        let mut part = Tensor::zeros(g.rows(), cols);
+                        for r in 0..g.rows() {
+                            for c in 0..cols {
+                                part.set(r, c, g.get(r, off + c));
+                            }
+                        }
+                        off += cols;
+                        accumulate(&mut grads, cid, part);
+                    }
+                }
+                Op::GatherRows(a, idx) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.rows(), src.cols());
+                    for (r, &srow) in idx.iter().enumerate() {
+                        for c in 0..g.cols() {
+                            let x = ga.get(srow, c) + g.get(r, c);
+                            ga.set(srow, c, x);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::LogSoftmaxCol(a) => {
+                    // y = x - lse(x); dx = dy - softmax(x) * sum(dy)
+                    let y = &self.nodes[i].value;
+                    let gsum: f64 = g.data().iter().sum();
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(y.data())
+                        .map(|(&gv, &yv)| gv - yv.exp() * gsum)
+                        .collect();
+                    accumulate(&mut grads, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                }
+                Op::Pick(a, r, c) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.rows(), src.cols());
+                    ga.set(*r, *c, g.scalar());
+                    accumulate(&mut grads, *a, ga);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: TensorId, g: Tensor) {
+    match &mut grads[id.0] {
+        Some(existing) => existing.add_scaled(&g, 1.0),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn hadamard(a: &Tensor, b: &Tensor) -> Tensor {
+    debug_assert_eq!(a.shape(), b.shape());
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| x * y)
+        .collect();
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check against every element of every
+    /// parameter in the store. `f` must rebuild the computation from
+    /// scratch each call (fresh tape).
+    fn grad_check(store: &mut ParamStore, f: impl Fn(&mut Tape, &ParamStore) -> TensorId) {
+        // Analytic gradients.
+        store.zero_grads();
+        let mut tape = Tape::new();
+        let loss = f(&mut tape, store);
+        tape.backward(loss, 1.0, store);
+
+        let eps = 1e-5;
+        for p in 0..store.len() {
+            let (rows, cols) = store.value(p).shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = store.value(p).get(r, c);
+
+                    store.value_mut(p).set(r, c, orig + eps);
+                    let mut t1 = Tape::new();
+                    let l1 = f(&mut t1, store);
+                    let y1 = t1.value(l1).scalar();
+
+                    store.value_mut(p).set(r, c, orig - eps);
+                    let mut t2 = Tape::new();
+                    let l2 = f(&mut t2, store);
+                    let y2 = t2.value(l2).scalar();
+
+                    store.value_mut(p).set(r, c, orig);
+                    let numeric = (y1 - y2) / (2.0 * eps);
+                    let analytic = store.grad(p).get(r, c);
+                    let denom = numeric.abs().max(analytic.abs()).max(1e-8);
+                    assert!(
+                        (numeric - analytic).abs() / denom < 1e-4,
+                        "param {p} ({},{}) numeric={numeric} analytic={analytic}",
+                        r,
+                        c
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_check_matmul_bias_relu() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(3, 2, vec![0.5, -0.3, 0.2, 0.8, -0.6, 0.1]));
+        store.add("b", Tensor::from_vec(1, 2, vec![0.1, -0.2]));
+        grad_check(&mut store, |tape, store| {
+            let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]));
+            let w = tape.param(store, 0);
+            let b = tape.param(store, 1);
+            let h = tape.matmul(x, w);
+            let h = tape.add_row(h, b);
+            let h = tape.leaky_relu(h, 0.2);
+            tape.sum_all(h)
+        });
+    }
+
+    #[test]
+    fn grad_check_tanh_sigmoid_exp_ln() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(1, 3, vec![0.3, 0.7, 1.2]));
+        grad_check(&mut store, |tape, store| {
+            let w = tape.param(store, 0);
+            let t = tape.tanh(w);
+            let s = tape.sigmoid(w);
+            let e = tape.exp(w);
+            // ln of strictly positive exp output.
+            let l = tape.ln(e);
+            let a = tape.add(t, s);
+            let a = tape.mul(a, l);
+            let a = tape.scale(a, 0.5);
+            let a = tape.add_scalar(a, 1.0);
+            tape.sum_all(a)
+        });
+    }
+
+    #[test]
+    fn grad_check_concat_gather_sum() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]));
+        store.add("b", Tensor::from_vec(1, 2, vec![-0.5, 0.6]));
+        grad_check(&mut store, |tape, store| {
+            let a = tape.param(store, 0);
+            let b = tape.param(store, 1);
+            let cat = tape.concat_rows(&[a, b]); // [3,2]
+            let g = tape.gather_rows(cat, vec![0, 2, 2, 1]); // repeats!
+            let sr = tape.sum_rows(g); // [1,2]
+            let cc = tape.concat_cols(&[sr, b]); // [1,4]
+            tape.sum_all(cc)
+        });
+    }
+
+    #[test]
+    fn grad_check_log_softmax_pick() {
+        let mut store = ParamStore::new();
+        store.add("s", Tensor::col(vec![1.0, -0.5, 2.0, 0.3]));
+        grad_check(&mut store, |tape, store| {
+            let s = tape.param(store, 0);
+            let lp = tape.log_softmax_col(s);
+            tape.pick(lp, 2, 0)
+        });
+    }
+
+    #[test]
+    fn grad_check_entropy_expression() {
+        // H = -Σ p log p computed from log-softmax output.
+        let mut store = ParamStore::new();
+        store.add("s", Tensor::col(vec![0.2, 1.5, -0.7]));
+        grad_check(&mut store, |tape, store| {
+            let s = tape.param(store, 0);
+            let lp = tape.log_softmax_col(s);
+            let p = tape.exp(lp);
+            let pl = tape.mul(p, lp);
+            let h = tape.sum_all(pl);
+            tape.scale(h, -1.0)
+        });
+    }
+
+    #[test]
+    fn grad_check_sub_mul_chain() {
+        let mut store = ParamStore::new();
+        store.add("x", Tensor::from_vec(2, 2, vec![0.5, 1.0, -0.8, 0.2]));
+        store.add("y", Tensor::from_vec(2, 2, vec![1.5, -0.4, 0.9, 0.7]));
+        grad_check(&mut store, |tape, store| {
+            let x = tape.param(store, 0);
+            let y = tape.param(store, 1);
+            let d = tape.sub(x, y);
+            let sq = tape.mul(d, d); // (x-y)^2, MSE-style
+            tape.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn log_softmax_is_normalized() {
+        let mut tape = Tape::new();
+        let s = tape.input(Tensor::col(vec![100.0, 100.5, 99.0])); // large values: stability
+        let lp = tape.log_softmax_col(s);
+        let total: f64 = tape.value(lp).data().iter().map(|&l| l.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_seed_scales_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::filled(1, 1, 2.0));
+        let mut tape = Tape::new();
+        let p = tape.param(&store, w);
+        let l = tape.mul(p, p); // w^2, d/dw = 2w = 4
+        let l = tape.sum_all(l);
+        tape.backward(l, 3.0, &mut store);
+        assert!((store.grad(w).scalar() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::filled(1, 1, 1.0));
+        for _ in 0..3 {
+            let mut tape = Tape::new();
+            let p = tape.param(&store, w);
+            let l = tape.sum_all(p);
+            tape.backward(l, 1.0, &mut store);
+        }
+        assert_eq!(store.grad(w).scalar(), 3.0);
+    }
+}

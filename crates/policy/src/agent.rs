@@ -1,0 +1,461 @@
+//! The scheduling agent: a [`DecimaPolicy`] driving the simulator.
+//!
+//! Three modes cover the RL life cycle:
+//!
+//! * **Sample** — rollout: actions are sampled from the policy and the
+//!   chosen indices are recorded.
+//! * **Greedy** — evaluation: argmax actions (used for testing snapshots).
+//! * **Replay** — gradient pass: the recorded indices are fed back while
+//!   the tape accumulates `advantage × ∇(−log π)` (plus an entropy bonus)
+//!   into the agent's parameter store. Replaying a deterministic episode
+//!   is what lets one-pass REINFORCE work without retaining every tape
+//!   (see `decima-rl`).
+
+use crate::policy::{argmax_logp, sample_from_logp, DecimaPolicy, ParallelismMode};
+use decima_nn::{ParamStore, Tape};
+use decima_sim::{Action, Observation, Scheduler};
+use decima_core::{ClassId, StageId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The sampled indices of one decision (into the candidate/limit/class
+/// arrays the policy constructed for that step).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ActionChoice {
+    /// Row in the node softmax.
+    pub node: usize,
+    /// Row in the limit softmax (0 when parallelism control is disabled).
+    pub limit: usize,
+    /// Row in the class softmax, if the cluster is multi-class.
+    pub class: Option<usize>,
+}
+
+enum Mode {
+    Sample,
+    Greedy,
+    Replay {
+        choices: Vec<ActionChoice>,
+        advantages: Vec<f64>,
+        entropy_beta: f64,
+        step: usize,
+    },
+}
+
+/// A Decima scheduling agent (policy + parameters + mode).
+pub struct DecimaAgent {
+    /// The policy architecture (cheap to clone; references `store`).
+    pub policy: DecimaPolicy,
+    /// Parameter values; in replay mode gradients accumulate into its
+    /// grad buffers.
+    pub store: ParamStore,
+    mode: Mode,
+    rng: SmallRng,
+    /// Choices recorded during sampling, in decision order.
+    pub records: Vec<ActionChoice>,
+    /// Wall-clock seconds spent in each `decide` call (Figure 15b).
+    pub decide_secs: Vec<f64>,
+    /// Sum of node-softmax entropies observed (nats), for logging.
+    pub entropy_sum: f64,
+}
+
+impl DecimaAgent {
+    /// Rollout agent: samples actions with the given seed.
+    pub fn sampler(policy: DecimaPolicy, store: ParamStore, seed: u64) -> Self {
+        DecimaAgent {
+            policy,
+            store,
+            mode: Mode::Sample,
+            rng: SmallRng::seed_from_u64(seed),
+            records: Vec::new(),
+            decide_secs: Vec::new(),
+            entropy_sum: 0.0,
+        }
+    }
+
+    /// Evaluation agent: deterministic argmax actions.
+    pub fn greedy(policy: DecimaPolicy, store: ParamStore) -> Self {
+        DecimaAgent {
+            policy,
+            store,
+            mode: Mode::Greedy,
+            rng: SmallRng::seed_from_u64(0),
+            records: Vec::new(),
+            decide_secs: Vec::new(),
+            entropy_sum: 0.0,
+        }
+    }
+
+    /// Gradient-replay agent: feeds back `choices` while accumulating
+    /// `Σ_k advantages[k]·∇(−log π(a_k)) − β·∇H` into `store`'s gradient
+    /// buffers.
+    pub fn replayer(
+        policy: DecimaPolicy,
+        store: ParamStore,
+        choices: Vec<ActionChoice>,
+        advantages: Vec<f64>,
+        entropy_beta: f64,
+    ) -> Self {
+        assert_eq!(choices.len(), advantages.len(), "one advantage per step");
+        DecimaAgent {
+            policy,
+            store,
+            mode: Mode::Replay {
+                choices,
+                advantages,
+                entropy_beta,
+                step: 0,
+            },
+            rng: SmallRng::seed_from_u64(0),
+            records: Vec::new(),
+            decide_secs: Vec::new(),
+            entropy_sum: 0.0,
+        }
+    }
+
+    /// Number of decisions taken so far.
+    pub fn steps(&self) -> usize {
+        self.decide_secs.len()
+    }
+
+    fn scalar_entropy(tape: &Tape, logp: decima_nn::TensorId) -> f64 {
+        tape.value(logp)
+            .data()
+            .iter()
+            .map(|&l| -l.exp() * l)
+            .sum()
+    }
+}
+
+impl Scheduler for DecimaAgent {
+    fn decide(&mut self, obs: &Observation) -> Option<Action> {
+        let t0 = Instant::now();
+        let mut tape = Tape::new();
+        let fwd = self.policy.forward_nodes(&mut tape, &self.store, obs);
+        self.entropy_sum += Self::scalar_entropy(&tape, fwd.node_logp);
+
+        // Pick the stage.
+        let skip_limits = self.policy.cfg.parallelism == ParallelismMode::Disabled;
+        let (node_idx, limit_choice, class_choice, replay_info) = match &mut self.mode {
+            Mode::Sample => {
+                let ni = sample_from_logp(&tape, fwd.node_logp, &mut self.rng);
+                (ni, None, None, None)
+            }
+            Mode::Greedy => (argmax_logp(&tape, fwd.node_logp), None, None, None),
+            Mode::Replay {
+                choices,
+                advantages,
+                entropy_beta,
+                step,
+            } => {
+                if *step >= choices.len() {
+                    // Defensive: a diverged replay ends the episode's
+                    // scheduling rather than panicking mid-training.
+                    debug_assert!(false, "replay ran past its recorded choices");
+                    return None;
+                }
+                let ch = choices[*step];
+                let adv = advantages[*step];
+                let beta = *entropy_beta;
+                *step += 1;
+                (ch.node, Some(ch.limit), ch.class, Some((adv, beta, ch)))
+            }
+        };
+        let cand = fwd.cands[node_idx];
+
+        // Pick the parallelism limit.
+        let (limit, limit_idx, limit_fwd) = if skip_limits {
+            (obs.total_executors, 0, None)
+        } else {
+            let lf = self
+                .policy
+                .forward_limits(&mut tape, &self.store, obs, &fwd, cand);
+            let li = match (&self.mode, limit_choice) {
+                (Mode::Sample, _) => sample_from_logp(&tape, lf.logp, &mut self.rng),
+                (Mode::Greedy, _) => argmax_logp(&tape, lf.logp),
+                (Mode::Replay { .. }, Some(li)) => li.min(lf.values.len() - 1),
+                (Mode::Replay { .. }, None) => unreachable!(),
+            };
+            (lf.values[li], li, Some(lf))
+        };
+
+        // Pick the executor class (multi-resource only).
+        let class_fwd = self
+            .policy
+            .forward_classes(&mut tape, &self.store, obs, &fwd, cand);
+        let (class, class_idx) = match &class_fwd {
+            Some(cf) => {
+                let ci = match (&self.mode, class_choice) {
+                    (Mode::Sample, _) => sample_from_logp(&tape, cf.logp, &mut self.rng),
+                    (Mode::Greedy, _) => argmax_logp(&tape, cf.logp),
+                    (Mode::Replay { .. }, Some(ci)) => ci.min(cf.classes.len() - 1),
+                    (Mode::Replay { .. }, None) => 0,
+                };
+                (Some(ClassId(cf.classes[ci] as u16)), Some(ci))
+            }
+            None => (None, None),
+        };
+
+        // Gradient accumulation (replay) or record keeping (sample).
+        match (&self.mode, replay_info) {
+            (Mode::Replay { .. }, Some((adv, beta, _ch))) => {
+                // loss = −adv·log π(a) − β·H(node softmax)
+                let mut logp_terms = vec![tape.pick(fwd.node_logp, node_idx, 0)];
+                if let Some(lf) = &limit_fwd {
+                    logp_terms.push(tape.pick(lf.logp, limit_idx, 0));
+                }
+                if let (Some(cf), Some(ci)) = (&class_fwd, class_idx) {
+                    logp_terms.push(tape.pick(cf.logp, ci, 0));
+                }
+                let cat = tape.concat_rows(&logp_terms);
+                let logp = tape.sum_all(cat);
+                let mut loss = tape.scale(logp, -adv);
+                if beta != 0.0 {
+                    let p = tape.exp(fwd.node_logp);
+                    let pl = tape.mul(p, fwd.node_logp);
+                    let neg_h = tape.sum_all(pl); // = −H
+                    let ent_term = tape.scale(neg_h, beta);
+                    loss = tape.add(loss, ent_term);
+                }
+                tape.backward(loss, 1.0, &mut self.store);
+            }
+            (Mode::Sample, _) => self.records.push(ActionChoice {
+                node: node_idx,
+                limit: limit_idx,
+                class: class_idx,
+            }),
+            _ => {}
+        }
+
+        self.decide_secs.push(t0.elapsed().as_secs_f64());
+        let mut action = Action::new(obs.jobs[cand.job_idx].id, StageId(cand.stage), limit);
+        if self.policy.cfg.parallelism == ParallelismMode::StageLevel {
+            action = action.stage_scoped();
+        }
+        if let Some(c) = class {
+            action = action.with_class(c);
+        }
+        Some(action)
+    }
+
+    fn name(&self) -> &str {
+        "decima"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use decima_core::ClusterSpec;
+    use decima_nn::ParamStore;
+    use decima_sim::{SimConfig, Simulator};
+    use decima_workload::tpch_batch;
+
+    fn make_policy(total: usize, mode: ParallelismMode) -> (DecimaPolicy, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cfg = PolicyConfig {
+            parallelism: mode,
+            ..PolicyConfig::small(total)
+        };
+        let policy = DecimaPolicy::new(cfg, &mut store, &mut rng);
+        (policy, store)
+    }
+
+    fn tiny_batch() -> Vec<decima_core::JobSpec> {
+        // Scale task counts down hard so tests stay fast.
+        use decima_core::{JobId, SimTime};
+        use decima_workload::tpch_job_scaled;
+        vec![
+            tpch_job_scaled(6, 2.0, JobId(0), SimTime::ZERO, 8.0),
+            tpch_job_scaled(13, 2.0, JobId(1), SimTime::ZERO, 8.0),
+        ]
+    }
+
+    #[test]
+    fn sampling_episode_completes_and_records() {
+        let (policy, store) = make_policy(5, ParallelismMode::JobLevel);
+        let mut agent = DecimaAgent::sampler(policy, store, 42);
+        let sim = Simulator::new(
+            ClusterSpec::homogeneous(5).with_move_delay(0.5),
+            tiny_batch(),
+            SimConfig::default().with_seed(1),
+        );
+        let r = sim.run(&mut agent);
+        assert_eq!(r.completed(), 2, "all jobs must finish");
+        assert!(!agent.records.is_empty());
+        assert_eq!(agent.records.len(), r.actions.len());
+        assert!(r.wasted_actions == 0, "every action must assign work");
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = |seed| {
+            let (policy, store) = make_policy(5, ParallelismMode::JobLevel);
+            let mut agent = DecimaAgent::sampler(policy, store, seed);
+            let sim = Simulator::new(
+                ClusterSpec::homogeneous(5).with_move_delay(0.5),
+                tiny_batch(),
+                SimConfig::default().with_seed(1),
+            );
+            let r = sim.run(&mut agent);
+            (r.avg_jct().unwrap(), agent.records.len())
+        };
+        assert_eq!(run(7), run(7));
+        // Across a handful of seeds, at least one trajectory must differ
+        // (the policy is stochastic).
+        let base = run(7);
+        assert!(
+            (0..6).any(|s| run(s) != base),
+            "sampling produced identical trajectories for every seed"
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_the_sampled_episode_and_accumulates_grads() {
+        let (policy, store) = make_policy(5, ParallelismMode::JobLevel);
+        let mut sampler = DecimaAgent::sampler(policy.clone(), store.clone(), 42);
+        let mk_sim = || {
+            Simulator::new(
+                ClusterSpec::homogeneous(5).with_move_delay(0.5),
+                tiny_batch(),
+                SimConfig::default().with_seed(1),
+            )
+        };
+        let r1 = mk_sim().run(&mut sampler);
+
+        let advantages = vec![1.0; sampler.records.len()];
+        let mut replayer = DecimaAgent::replayer(
+            policy,
+            store,
+            sampler.records.clone(),
+            advantages,
+            0.01,
+        );
+        let r2 = mk_sim().run(&mut replayer);
+        assert_eq!(r1.avg_jct(), r2.avg_jct(), "replay must be bit-faithful");
+        assert_eq!(r1.actions.len(), r2.actions.len());
+        assert!(
+            replayer.store.grad_norm() > 0.0,
+            "replay must accumulate gradients"
+        );
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let (policy, store) = make_policy(5, ParallelismMode::JobLevel);
+        let run = || {
+            let mut agent = DecimaAgent::greedy(policy.clone(), store.clone());
+            let sim = Simulator::new(
+                ClusterSpec::homogeneous(5).with_move_delay(0.5),
+                tiny_batch(),
+                SimConfig::default().with_seed(1),
+            );
+            sim.run(&mut agent).avg_jct().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn variants_run_to_completion() {
+        for mode in [
+            ParallelismMode::StageLevel,
+            ParallelismMode::OneHot,
+            ParallelismMode::Disabled,
+        ] {
+            let (policy, store) = make_policy(5, mode);
+            let mut agent = DecimaAgent::sampler(policy, store, 3);
+            let sim = Simulator::new(
+                ClusterSpec::homogeneous(5).with_move_delay(0.5),
+                tiny_batch(),
+                SimConfig::default().with_seed(1),
+            );
+            let r = sim.run(&mut agent);
+            assert_eq!(r.completed(), 2, "mode {mode:?} failed to finish");
+        }
+    }
+
+    #[test]
+    fn no_gnn_ablation_runs() {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cfg = PolicyConfig {
+            gnn: None,
+            ..PolicyConfig::small(5)
+        };
+        let policy = DecimaPolicy::new(cfg, &mut store, &mut rng);
+        let mut agent = DecimaAgent::sampler(policy, store, 3);
+        let sim = Simulator::new(
+            ClusterSpec::homogeneous(5).with_move_delay(0.5),
+            tiny_batch(),
+            SimConfig::default().with_seed(1),
+        );
+        let r = sim.run(&mut agent);
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn multi_resource_actions_fit_memory() {
+        use decima_workload::tpch::with_random_memory;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let jobs: Vec<_> = tiny_batch()
+            .into_iter()
+            .map(|j| with_random_memory(j, &mut rng))
+            .collect();
+        let mut store = ParamStore::new();
+        let mut prng = SmallRng::seed_from_u64(0);
+        let cfg = PolicyConfig {
+            num_classes: 4,
+            ..PolicyConfig::small(8)
+        };
+        let policy = DecimaPolicy::new(cfg, &mut store, &mut prng);
+        let mut agent = DecimaAgent::sampler(policy, store, 9);
+        let sim = Simulator::new(
+            ClusterSpec::four_class(8).with_move_delay(0.5),
+            jobs,
+            SimConfig::default().with_seed(1),
+        );
+        let r = sim.run(&mut agent);
+        assert_eq!(r.completed(), 2, "multi-resource episode must finish");
+    }
+
+    #[test]
+    fn decide_latency_recorded() {
+        let (policy, store) = make_policy(5, ParallelismMode::JobLevel);
+        let mut agent = DecimaAgent::sampler(policy, store, 42);
+        let sim = Simulator::new(
+            ClusterSpec::homogeneous(5).with_move_delay(0.5),
+            tiny_batch(),
+            SimConfig::default().with_seed(1),
+        );
+        let _ = sim.run(&mut agent);
+        assert_eq!(agent.decide_secs.len(), agent.records.len());
+        assert!(agent.decide_secs.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn batch_of_tpch_jobs_runs_with_sampler() {
+        // A slightly larger smoke test on the real generator.
+        let jobs = tpch_batch(4, 11)
+            .into_iter()
+            .map(|mut j| {
+                // Shrink for test speed.
+                for s in &mut j.stages {
+                    s.num_tasks = (s.num_tasks / 8).max(1);
+                }
+                j
+            })
+            .collect::<Vec<_>>();
+        let (policy, store) = make_policy(10, ParallelismMode::JobLevel);
+        let mut agent = DecimaAgent::sampler(policy, store, 1);
+        let sim = Simulator::new(
+            ClusterSpec::homogeneous(10).with_move_delay(1.0),
+            jobs,
+            SimConfig::default().with_seed(2),
+        );
+        let r = sim.run(&mut agent);
+        assert_eq!(r.completed(), 4);
+    }
+}

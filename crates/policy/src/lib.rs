@@ -1,0 +1,18 @@
+//! # decima-policy
+//!
+//! Decima's scheduling policy (§5.2): the GNN-backed policy network with
+//! its node-scoring, parallelism-limit, and executor-class heads, and the
+//! [`DecimaAgent`] that drives the simulator in sampling, greedy, and
+//! gradient-replay modes. All of the paper's architecture ablations
+//! (Figures 14 and 15a) are construction-time switches.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod policy;
+
+pub use agent::{ActionChoice, DecimaAgent};
+pub use policy::{
+    argmax_logp, sample_from_logp, Candidate, ClassForward, DecimaPolicy, LimitForward,
+    ParallelismMode, PolicyConfig, PolicyForward,
+};

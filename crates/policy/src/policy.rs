@@ -1,0 +1,405 @@
+//! The Decima policy network (§5.2).
+//!
+//! Given the GNN embeddings, the policy scores every schedulable node
+//! (`q(e_v, y_i, z)`), every parallelism limit for the chosen node's job
+//! (`w(y_i, z, l)` — note `l` is an *input*, which is what lets one score
+//! function cover every limit, §5.2), and — in the multi-resource setting
+//! (§7.3) — every executor class. Masked softmaxes over the valid sets
+//! yield the action distribution; everything is differentiable end to end.
+//!
+//! The [`ParallelismMode`] and `gnn: None` switches reproduce the paper's
+//! ablations: no parallelism control and no graph embedding (Figure 14),
+//! stage-level granularity and per-limit output heads (Figure 15a).
+
+use decima_gnn::{Embeddings, FeatureConfig, GnnConfig, GnnEncoder, GraphInput, FEAT_DIM};
+use decima_nn::{Activation, Mlp, ParamStore, Tape, Tensor, TensorId};
+use decima_sim::Observation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the policy controls parallelism (§5.2, Figure 15a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ParallelismMode {
+    /// Job-level limits with the limit value as a score-function input —
+    /// the paper's design.
+    #[default]
+    JobLevel,
+    /// Limits applied per stage (finer control, larger search space; the
+    /// green curve in Figure 15a).
+    StageLevel,
+    /// One output unit per limit value instead of the limit-as-input
+    /// trick (many more parameters; the yellow curve in Figure 15a).
+    OneHot,
+    /// No parallelism control: always grant the maximum (Figure 14's
+    /// "Decima w/o parallelism control" ablation).
+    Disabled,
+}
+
+/// Policy construction options.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// GNN configuration; `None` feeds raw features directly to the score
+    /// functions (Figure 14's "w/o graph embedding" ablation).
+    pub gnn: Option<GnnConfig>,
+    /// Feature extraction settings.
+    pub feat: FeatureConfig,
+    /// Parallelism-control mode.
+    pub parallelism: ParallelismMode,
+    /// Stride over limit values (1 = every value 1..=executors).
+    pub limit_stride: usize,
+    /// Total executors (sizes the one-hot head and limit normalization).
+    pub total_executors: usize,
+    /// Executor classes (>1 enables the class head).
+    pub num_classes: usize,
+    /// Hidden widths of the score-function MLPs (paper: [32, 16]).
+    pub hidden: Vec<usize>,
+}
+
+impl PolicyConfig {
+    /// The scaled-down default used by the fast experiments: small GNN,
+    /// job-level limits, single resource class.
+    pub fn small(total_executors: usize) -> Self {
+        PolicyConfig {
+            gnn: Some(GnnConfig::small(FEAT_DIM)),
+            feat: FeatureConfig::default(),
+            parallelism: ParallelismMode::JobLevel,
+            limit_stride: 1,
+            total_executors,
+            num_classes: 1,
+            hidden: vec![16, 8],
+        }
+    }
+
+    /// The paper's §6.1 configuration (32/16 hidden units, 16-dim
+    /// embeddings).
+    pub fn paper(total_executors: usize) -> Self {
+        PolicyConfig {
+            gnn: Some(GnnConfig::paper(FEAT_DIM)),
+            feat: FeatureConfig::default(),
+            parallelism: ParallelismMode::JobLevel,
+            limit_stride: 1,
+            total_executors,
+            num_classes: 1,
+            hidden: vec![32, 16],
+        }
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.gnn.as_ref().map_or(FEAT_DIM, |g| g.embed_dim)
+    }
+
+    fn mlp_dims(&self, in_dim: usize, out_dim: usize) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(in_dim);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(out_dim);
+        dims
+    }
+}
+
+/// One candidate the node head can pick.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// Index into `obs.jobs`.
+    pub job_idx: usize,
+    /// Stage within the job.
+    pub stage: u32,
+}
+
+/// The forward-pass handles needed to sample (or re-score) one decision.
+pub struct PolicyForward {
+    /// Log-probabilities over candidates, `[C, 1]`.
+    pub node_logp: TensorId,
+    /// The candidates, aligned with `node_logp` rows.
+    pub cands: Vec<Candidate>,
+    emb: EmbeddingsOrRaw,
+}
+
+enum EmbeddingsOrRaw {
+    Gnn(Embeddings),
+    Raw {
+        nodes: TensorId,
+        jobs: TensorId,
+        global: TensorId,
+    },
+}
+
+impl EmbeddingsOrRaw {
+    fn parts(&self) -> (TensorId, TensorId, TensorId) {
+        match self {
+            EmbeddingsOrRaw::Gnn(e) => (e.nodes, e.jobs, e.global),
+            EmbeddingsOrRaw::Raw {
+                nodes,
+                jobs,
+                global,
+            } => (*nodes, *jobs, *global),
+        }
+    }
+}
+
+/// Limit head output: log-probs over the valid limit values.
+pub struct LimitForward {
+    /// Log-probabilities `[L, 1]`.
+    pub logp: TensorId,
+    /// The limit value each row encodes.
+    pub values: Vec<usize>,
+}
+
+/// Class head output: log-probs over the fitting executor classes.
+pub struct ClassForward {
+    /// Log-probabilities `[K, 1]`.
+    pub logp: TensorId,
+    /// The class index each row encodes.
+    pub classes: Vec<usize>,
+}
+
+/// The Decima policy network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecimaPolicy {
+    /// Construction options.
+    pub cfg: PolicyConfig,
+    encoder: Option<GnnEncoder>,
+    q_net: Mlp,
+    w_net: Mlp,
+    /// One-hot limit head (only in `ParallelismMode::OneHot`).
+    w_onehot: Option<Mlp>,
+    class_net: Option<Mlp>,
+}
+
+impl DecimaPolicy {
+    /// Registers all parameters in `store`.
+    pub fn new(cfg: PolicyConfig, store: &mut ParamStore, rng: &mut impl Rng) -> Self {
+        let act = Activation::LeakyRelu(0.2);
+        let d = cfg.embed_dim();
+        let encoder = cfg
+            .gnn
+            .clone()
+            .map(|g| GnnEncoder::new(g, store, rng));
+        let q_net = Mlp::new(store, "policy.q", &cfg.mlp_dims(3 * d, 1), act, rng);
+        let w_net = Mlp::new(store, "policy.w", &cfg.mlp_dims(2 * d + 1, 1), act, rng);
+        let w_onehot = (cfg.parallelism == ParallelismMode::OneHot).then(|| {
+            Mlp::new(
+                store,
+                "policy.w1h",
+                &cfg.mlp_dims(2 * d, cfg.total_executors),
+                act,
+                rng,
+            )
+        });
+        let class_net = (cfg.num_classes > 1).then(|| {
+            Mlp::new(store, "policy.class", &cfg.mlp_dims(2 * d + 2, 1), act, rng)
+        });
+        // Near-zero final layers give a near-uniform initial policy:
+        // unnormalized GNN sums would otherwise make the initial softmax
+        // almost deterministic and kill exploration.
+        for head in [&q_net, &w_net]
+            .into_iter()
+            .chain(w_onehot.as_ref())
+            .chain(class_net.as_ref())
+        {
+            head.scale_final_layer(store, 0.01);
+        }
+        DecimaPolicy {
+            cfg,
+            encoder,
+            q_net,
+            w_net,
+            w_onehot,
+            class_net,
+        }
+    }
+
+    /// Runs the encoder and node head over the observation's schedulable
+    /// set. Panics if the schedulable set is empty (the engine guarantees
+    /// it is not when it invokes the scheduler).
+    pub fn forward_nodes(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        obs: &Observation,
+    ) -> PolicyForward {
+        assert!(
+            !obs.schedulable.is_empty(),
+            "policy invoked with no schedulable nodes"
+        );
+        let graph: GraphInput = self.cfg.feat.graph_input(obs);
+        let emb = match &self.encoder {
+            Some(enc) => EmbeddingsOrRaw::Gnn(enc.forward(tape, store, &graph)),
+            None => {
+                // Ablation: raw features as "embeddings", with per-job and
+                // global raw aggregates standing in for y_i and z.
+                let nodes = tape.input(graph.features.clone());
+                let mut seg = Tensor::zeros(graph.num_jobs(), graph.num_nodes());
+                for (ji, jg) in graph.jobs.iter().enumerate() {
+                    for v in jg.node_offset..jg.node_offset + jg.num_nodes {
+                        seg.set(ji, v, 1.0);
+                    }
+                }
+                let seg = tape.input(seg);
+                let jobs = tape.matmul(seg, nodes);
+                let global = tape.sum_rows(jobs);
+                EmbeddingsOrRaw::Raw {
+                    nodes,
+                    jobs,
+                    global,
+                }
+            }
+        };
+
+        let (e_nodes, e_jobs, e_glob) = emb.parts();
+        let cands: Vec<Candidate> = obs
+            .schedulable
+            .iter()
+            .map(|&(job_idx, stage)| Candidate {
+                job_idx,
+                stage: stage.0,
+            })
+            .collect();
+        let node_rows: Vec<usize> = cands
+            .iter()
+            .map(|c| graph.jobs[c.job_idx].node_offset + c.stage as usize)
+            .collect();
+        let job_rows: Vec<usize> = cands.iter().map(|c| c.job_idx).collect();
+
+        let ev = tape.gather_rows(e_nodes, node_rows);
+        let yi = tape.gather_rows(e_jobs, job_rows);
+        let z = tape.gather_rows(e_glob, vec![0; cands.len()]);
+        let qin = tape.concat_cols(&[ev, yi, z]);
+        let scores = self.q_net.forward(tape, store, qin);
+        let node_logp = tape.log_softmax_col(scores);
+        PolicyForward {
+            node_logp,
+            cands,
+            emb,
+        }
+    }
+
+    /// Valid limit values for a candidate under the current mode.
+    pub fn limit_values(&self, obs: &Observation, cand: Candidate) -> Vec<usize> {
+        let total = obs.total_executors;
+        let cur = match self.cfg.parallelism {
+            ParallelismMode::StageLevel => {
+                let n = &obs.jobs[cand.job_idx].nodes[cand.stage as usize];
+                (n.executors_on + n.in_flight) as usize
+            }
+            _ => obs.jobs[cand.job_idx].alloc,
+        };
+        // The paper enforces limit > current allocation so every action
+        // schedules at least one executor (§5.2).
+        let lo = (cur + 1).min(total);
+        let vals: Vec<usize> = (lo..=total).step_by(self.cfg.limit_stride.max(1)).collect();
+        if vals.is_empty() {
+            vec![total]
+        } else {
+            vals
+        }
+    }
+
+    /// Runs the limit head for one candidate.
+    pub fn forward_limits(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        obs: &Observation,
+        fwd: &PolicyForward,
+        cand: Candidate,
+    ) -> LimitForward {
+        let values = self.limit_values(obs, cand);
+        let (_, e_jobs, e_glob) = fwd.emb.parts();
+        let l = values.len();
+        let yi = tape.gather_rows(e_jobs, vec![cand.job_idx; l]);
+        let z = tape.gather_rows(e_glob, vec![0; l]);
+
+        let logp = match self.cfg.parallelism {
+            ParallelismMode::OneHot => {
+                let win = tape.concat_cols(&[yi, z]);
+                let net = self.w_onehot.as_ref().expect("one-hot head exists");
+                let all = net.forward(tape, store, win); // [l, total] (row-repeated)
+                // Select each valid limit's unit from the first row.
+                let first = tape.gather_rows(all, vec![0]);
+                let t = values.len();
+                let mut sel = Tensor::zeros(self.cfg.total_executors, t);
+                for (i, &v) in values.iter().enumerate() {
+                    sel.set(v - 1, i, 1.0);
+                }
+                let sel = tape.input(sel);
+                let picked = tape.matmul(first, sel); // [1, t]
+                // To a column for log_softmax_col: gather transpose.
+                let mut cols = Vec::with_capacity(t);
+                for i in 0..t {
+                    cols.push(tape.pick(picked, 0, i));
+                }
+                let col = tape.concat_rows(&cols);
+                tape.log_softmax_col(col)
+            }
+            _ => {
+                let lnorm: Vec<f64> = values
+                    .iter()
+                    .map(|&v| v as f64 / self.cfg.total_executors as f64)
+                    .collect();
+                let lcol = tape.input(Tensor::col(lnorm));
+                let win = tape.concat_cols(&[yi, z, lcol]);
+                let scores = self.w_net.forward(tape, store, win);
+                tape.log_softmax_col(scores)
+            }
+        };
+        LimitForward { logp, values }
+    }
+
+    /// Runs the class head for one candidate (multi-resource setting).
+    /// Returns `None` when the cluster has a single class.
+    pub fn forward_classes(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        obs: &Observation,
+        fwd: &PolicyForward,
+        cand: Candidate,
+    ) -> Option<ClassForward> {
+        let net = self.class_net.as_ref()?;
+        let demand = obs.jobs[cand.job_idx].nodes[cand.stage as usize].mem_demand;
+        let classes: Vec<usize> = (0..obs.num_classes)
+            .filter(|&c| obs.free_by_class[c] > 0 && obs.class_memory[c] >= demand)
+            .collect();
+        if classes.is_empty() {
+            return None;
+        }
+        let (_, e_jobs, e_glob) = fwd.emb.parts();
+        let k = classes.len();
+        let yi = tape.gather_rows(e_jobs, vec![cand.job_idx; k]);
+        let z = tape.gather_rows(e_glob, vec![0; k]);
+        let mem: Vec<f64> = classes.iter().map(|&c| obs.class_memory[c]).collect();
+        let free: Vec<f64> = classes
+            .iter()
+            .map(|&c| obs.free_by_class[c] as f64 / obs.total_executors as f64)
+            .collect();
+        let mem = tape.input(Tensor::col(mem));
+        let free = tape.input(Tensor::col(free));
+        let cin = tape.concat_cols(&[yi, z, mem, free]);
+        let scores = net.forward(tape, store, cin);
+        let logp = tape.log_softmax_col(scores);
+        Some(ClassForward { logp, classes })
+    }
+}
+
+/// Samples an index from a `[n,1]` log-probability column.
+pub fn sample_from_logp(tape: &Tape, logp: TensorId, rng: &mut impl Rng) -> usize {
+    let t = tape.value(logp);
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for i in 0..t.rows() {
+        acc += t.get(i, 0).exp();
+        if u < acc {
+            return i;
+        }
+    }
+    t.rows() - 1
+}
+
+/// Argmax index of a `[n,1]` log-probability column.
+pub fn argmax_logp(tape: &Tape, logp: TensorId) -> usize {
+    let t = tape.value(logp);
+    (0..t.rows())
+        .max_by(|&a, &b| t.get(a, 0).total_cmp(&t.get(b, 0)))
+        .unwrap_or(0)
+}

@@ -1,0 +1,174 @@
+//! Return computation and the input-dependent, time-aligned baseline
+//! (§5.3 challenge #2; Mao et al., "Variance Reduction for Reinforcement
+//! Learning in Input-Driven Environments", ICLR 2019).
+//!
+//! Rollouts that share one job-arrival sequence are aligned on *wall
+//! clock* rather than step index (episodes take different numbers of
+//! actions), and each action's baseline is the across-rollout mean of the
+//! return-to-go at that action's time.
+
+/// Suffix sums: `returns[k] = Σ_{k' ≥ k} rewards[k']`.
+pub fn returns_to_go(rewards: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; rewards.len()];
+    let mut acc = 0.0;
+    for k in (0..rewards.len()).rev() {
+        acc += rewards[k];
+        out[k] = acc;
+    }
+    out
+}
+
+/// One rollout's `(action time, return-to-go)` series, time-ascending.
+#[derive(Clone, Debug)]
+pub struct ReturnSeries {
+    times: Vec<f64>,
+    returns: Vec<f64>,
+}
+
+impl ReturnSeries {
+    /// Builds a series; `times` must be non-decreasing.
+    pub fn new(times: Vec<f64>, returns: Vec<f64>) -> Self {
+        assert_eq!(times.len(), returns.len());
+        debug_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        ReturnSeries { times, returns }
+    }
+
+    /// The return-to-go at wall time `t`: the return of the first action
+    /// at or after `t` (a step function; 0 past the final action, since no
+    /// reward remains to be collected).
+    pub fn at(&self, t: f64) -> f64 {
+        match self
+            .times
+            .binary_search_by(|probe| probe.total_cmp(&t))
+        {
+            Ok(mut i) => {
+                while i > 0 && self.times[i - 1] == t {
+                    i -= 1;
+                }
+                self.returns[i]
+            }
+            Err(i) if i < self.returns.len() => self.returns[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of actions in the series.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// Computes per-rollout baselines: `baselines[i][k]` is the mean over all
+/// rollouts `j` of `R_j(t_{ik})`, the return-to-go at rollout `i`'s `k`-th
+/// action time. With a shared arrival sequence this removes the variance
+/// contributed by the input process (§5.3).
+pub fn time_aligned_baselines(series: &[ReturnSeries]) -> Vec<Vec<f64>> {
+    let n = series.len().max(1) as f64;
+    series
+        .iter()
+        .map(|si| {
+            si.times
+                .iter()
+                .map(|&t| series.iter().map(|sj| sj.at(t)).sum::<f64>() / n)
+                .collect()
+        })
+        .collect()
+}
+
+/// A windowed moving average for the differential-reward rate `r̂`
+/// (average-reward formulation, Appendix B).
+#[derive(Clone, Debug)]
+pub struct MovingAvg {
+    window: usize,
+    values: Vec<f64>,
+    next: usize,
+}
+
+impl MovingAvg {
+    /// A moving average over the last `window` samples.
+    pub fn new(window: usize) -> Self {
+        MovingAvg {
+            window: window.max(1),
+            values: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        if self.values.len() < self.window {
+            self.values.push(v);
+        } else {
+            self.values[self.next] = v;
+            self.next = (self.next + 1) % self.window;
+        }
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_are_suffix_sums() {
+        assert_eq!(returns_to_go(&[1.0, 2.0, 3.0]), vec![6.0, 5.0, 3.0]);
+        assert!(returns_to_go(&[]).is_empty());
+    }
+
+    #[test]
+    fn series_step_lookup() {
+        let s = ReturnSeries::new(vec![0.0, 1.0, 3.0], vec![10.0, 6.0, 1.0]);
+        assert_eq!(s.at(-1.0), 10.0);
+        assert_eq!(s.at(0.0), 10.0);
+        assert_eq!(s.at(0.5), 6.0);
+        assert_eq!(s.at(1.0), 6.0);
+        assert_eq!(s.at(2.9), 1.0);
+        assert_eq!(s.at(3.0), 1.0);
+        assert_eq!(s.at(99.0), 0.0);
+    }
+
+    #[test]
+    fn identical_rollouts_give_zero_advantage() {
+        let mk = || ReturnSeries::new(vec![0.0, 1.0, 2.0], vec![5.0, 3.0, 1.0]);
+        let baselines = time_aligned_baselines(&[mk(), mk(), mk()]);
+        for (b, r) in baselines[0].iter().zip([5.0, 3.0, 1.0]) {
+            assert!((b - r).abs() < 1e-12, "baseline must equal the return");
+        }
+    }
+
+    #[test]
+    fn baseline_averages_across_rollouts() {
+        let a = ReturnSeries::new(vec![0.0, 2.0], vec![8.0, 2.0]);
+        let b = ReturnSeries::new(vec![0.0, 1.0, 2.0], vec![4.0, 4.0, 0.0]);
+        let bl = time_aligned_baselines(&[a, b]);
+        // At t=0: mean(8, 4) = 6. At t=2: mean(2, 0) = 1.
+        assert_eq!(bl[0], vec![6.0, 1.0]);
+        // Rollout b's middle action at t=1: a's return at t≥1 is 2.
+        assert_eq!(bl[1][1], (2.0 + 4.0) / 2.0);
+    }
+
+    #[test]
+    fn moving_avg_window() {
+        let mut m = MovingAvg::new(3);
+        assert_eq!(m.mean(), 0.0);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.push(v);
+        }
+        // Window holds [4, 2, 3].
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+    }
+}

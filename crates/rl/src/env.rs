@@ -1,0 +1,157 @@
+//! Episode factories: how the trainer materializes environments.
+//!
+//! Input-dependent baselines (§5.3 challenge #2) require rebuilding the
+//! *same* arrival sequence for several rollouts, so environments are
+//! described by a factory that maps a sequence seed to a concrete
+//! `(cluster, jobs, sim-config)` triple deterministically.
+
+use decima_core::{ClusterSpec, JobSpec};
+use decima_sim::SimConfig;
+use decima_workload::{alibaba_stream_cfg, tpch_job_scaled, AlibabaConfig};
+use decima_workload::{sample_query, ArrivalProcess};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds a deterministic episode from a sequence seed.
+pub trait EnvFactory: Sync {
+    /// Materializes the episode for `seq_seed`. The trainer may override
+    /// `SimConfig::time_limit` with the curriculum horizon afterwards.
+    fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig);
+}
+
+/// A TPC-H environment: `num_jobs` jobs, batched or Poisson arrivals, on
+/// a homogeneous cluster, at a configurable task scale.
+#[derive(Clone, Debug)]
+pub struct TpchEnv {
+    /// Number of jobs per episode.
+    pub num_jobs: usize,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Executor count.
+    pub executors: usize,
+    /// Executor-motion delay in seconds.
+    pub move_delay: f64,
+    /// Task-count divisor (see `tpch_job_scaled`).
+    pub task_scale: f64,
+    /// Template for the simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl TpchEnv {
+    /// A small batched environment (good for quick training runs).
+    pub fn batch(num_jobs: usize, executors: usize) -> Self {
+        TpchEnv {
+            num_jobs,
+            arrivals: ArrivalProcess::Batch,
+            executors,
+            move_delay: 1.0,
+            task_scale: 8.0,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// A small continuous-arrival environment.
+    pub fn stream(num_jobs: usize, executors: usize, mean_iat: f64) -> Self {
+        TpchEnv {
+            num_jobs,
+            arrivals: ArrivalProcess::Poisson { mean_iat },
+            executors,
+            move_delay: 1.0,
+            task_scale: 8.0,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl EnvFactory for TpchEnv {
+    fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
+        let mut rng = SmallRng::seed_from_u64(seq_seed);
+        let arrivals = self.arrivals.sample(self.num_jobs, &mut rng);
+        let jobs: Vec<JobSpec> = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let (q, s) = sample_query(&mut rng);
+                tpch_job_scaled(q, s, decima_core::JobId(i as u32), t, self.task_scale)
+            })
+            .collect();
+        let cluster = ClusterSpec::homogeneous(self.executors).with_move_delay(self.move_delay);
+        let mut sim = self.sim.clone();
+        sim.seed = seq_seed ^ 0x9e37_79b9_7f4a_7c15;
+        (cluster, jobs, sim)
+    }
+}
+
+/// An Alibaba-like multi-resource environment (§7.3).
+#[derive(Clone, Debug)]
+pub struct AlibabaEnv {
+    /// Number of jobs per episode.
+    pub num_jobs: usize,
+    /// Mean interarrival time (seconds).
+    pub mean_iat: f64,
+    /// Total executors (split over four classes).
+    pub executors: usize,
+    /// Executor-motion delay.
+    pub move_delay: f64,
+    /// Generator configuration.
+    pub gen: AlibabaConfig,
+    /// Simulator configuration template.
+    pub sim: SimConfig,
+}
+
+impl AlibabaEnv {
+    /// A small default instance.
+    pub fn small(num_jobs: usize, executors: usize, mean_iat: f64) -> Self {
+        AlibabaEnv {
+            num_jobs,
+            mean_iat,
+            executors,
+            move_delay: 1.0,
+            gen: AlibabaConfig {
+                max_stages: 30,
+                max_tasks: 50,
+                ..AlibabaConfig::default()
+            },
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl EnvFactory for AlibabaEnv {
+    fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
+        let jobs = alibaba_stream_cfg(&self.gen, self.num_jobs, self.mean_iat, seq_seed);
+        let cluster = ClusterSpec::four_class(self.executors).with_move_delay(self.move_delay);
+        let mut sim = self.sim.clone();
+        sim.seed = seq_seed ^ 0x9e37_79b9_7f4a_7c15;
+        (cluster, jobs, sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_env_is_deterministic() {
+        let env = TpchEnv::batch(5, 10);
+        let (c1, j1, s1) = env.build(42);
+        let (c2, j2, s2) = env.build(42);
+        assert_eq!(c1.total_executors(), c2.total_executors());
+        assert_eq!(s1.seed, s2.seed);
+        let w1: f64 = j1.iter().map(JobSpec::total_work).sum();
+        let w2: f64 = j2.iter().map(JobSpec::total_work).sum();
+        assert_eq!(w1, w2);
+        // Different seeds give different workloads.
+        let (_, j3, _) = env.build(43);
+        let w3: f64 = j3.iter().map(JobSpec::total_work).sum();
+        assert_ne!(w1, w3);
+    }
+
+    #[test]
+    fn alibaba_env_builds_four_classes() {
+        let env = AlibabaEnv::small(10, 12, 20.0);
+        let (c, jobs, _) = env.build(1);
+        assert_eq!(c.num_classes(), 4);
+        assert_eq!(jobs.len(), 10);
+    }
+}

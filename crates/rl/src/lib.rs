@@ -1,0 +1,17 @@
+//! # decima-rl
+//!
+//! Reinforcement-learning infrastructure for Decima (§5.3, Appendices B
+//! and C): REINFORCE with input-dependent time-aligned baselines,
+//! curriculum learning via memoryless episode termination, the
+//! average-reward (differential) formulation, entropy regularization,
+//! and crossbeam-parallel rollout/replay passes.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod env;
+pub mod trainer;
+
+pub use baseline::{returns_to_go, time_aligned_baselines, MovingAvg, ReturnSeries};
+pub use env::{AlibabaEnv, EnvFactory, TpchEnv};
+pub use trainer::{Curriculum, IterStats, TrainConfig, Trainer};

@@ -1,0 +1,541 @@
+//! The REINFORCE trainer (§5.3, Algorithm 1).
+//!
+//! One iteration:
+//!
+//! 1. sample an episode horizon `τ ~ Exp(τ_mean)` (memoryless termination;
+//!    `τ_mean` grows over training — curriculum learning);
+//! 2. sample a job-arrival sequence and roll out `N` episodes of it in
+//!    parallel with different action-sampling seeds (fixing the sequence
+//!    is the input-dependent variance-reduction technique);
+//! 3. compute differential rewards (average-reward formulation, App. B),
+//!    returns-to-go, and time-aligned per-sequence baselines;
+//! 4. replay each episode, accumulating `advantage × ∇(−log π)` plus a
+//!    decaying entropy bonus, and apply one Adam step to the shared
+//!    parameters.
+//!
+//! Rollouts are CPU-bound, so they run on plain `crossbeam` scoped
+//! threads (per the networking guides: no async runtime for compute).
+
+use crate::baseline::{returns_to_go, time_aligned_baselines, MovingAvg, ReturnSeries};
+use crate::env::EnvFactory;
+use decima_nn::{Adam, ParamStore};
+use decima_policy::{ActionChoice, DecimaAgent, DecimaPolicy};
+use decima_sim::{EpisodeResult, Simulator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+/// Curriculum over episode horizons (§5.3 challenge #1).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Curriculum {
+    /// Initial mean horizon (seconds of simulated time).
+    pub tau_init: f64,
+    /// Additive growth of the mean per iteration.
+    pub tau_step: f64,
+    /// Cap on the mean horizon.
+    pub tau_max: f64,
+}
+
+/// Trainer hyperparameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Rollouts per iteration (the paper uses 16 workers).
+    pub num_rollouts: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f64,
+    /// Entropy-bonus weight at iteration 0.
+    pub entropy_start: f64,
+    /// Entropy-bonus weight after decay.
+    pub entropy_end: f64,
+    /// Iterations over which the entropy weight decays linearly.
+    pub entropy_decay_iters: usize,
+    /// Episode-horizon curriculum; `None` runs episodes to completion
+    /// (batched-arrival training).
+    pub curriculum: Option<Curriculum>,
+    /// Fix one arrival sequence per iteration and baseline within it
+    /// (`false` reproduces the "w/o variance reduction" ablation of
+    /// Figure 14: every rollout draws its own sequence).
+    pub input_dependent_baseline: bool,
+    /// Subtract the moving-average reward rate (average-reward
+    /// formulation; recommended for continuous arrivals).
+    pub differential_reward: bool,
+    /// Multiplier applied to raw rewards before gradient computation.
+    pub reward_scale: f64,
+    /// Divide advantages by their batch standard deviation.
+    pub normalize_advantages: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            num_rollouts: 8,
+            lr: 1e-3,
+            entropy_start: 0.5,
+            entropy_end: 1e-3,
+            entropy_decay_iters: 200,
+            curriculum: None,
+            input_dependent_baseline: true,
+            differential_reward: false,
+            reward_scale: 1e-3,
+            normalize_advantages: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-iteration statistics.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IterStats {
+    /// Iteration index.
+    pub iter: usize,
+    /// Mean (scaled) total episode reward across rollouts.
+    pub mean_reward: f64,
+    /// Mean average JCT over rollouts that completed ≥1 job.
+    pub mean_avg_jct: f64,
+    /// Mean number of completed jobs per rollout.
+    pub mean_completed: f64,
+    /// Mean actions per episode.
+    pub mean_actions: f64,
+    /// Mean node-softmax entropy per decision (nats).
+    pub mean_entropy: f64,
+    /// Global gradient norm after merging (before clipping).
+    pub grad_norm: f64,
+    /// The sampled horizon for this iteration, if curricular.
+    pub tau: Option<f64>,
+    /// Entropy weight used.
+    pub beta: f64,
+}
+
+/// One rollout's raw material for the gradient pass.
+struct Rollout {
+    seq_seed: u64,
+    records: Vec<ActionChoice>,
+    result: EpisodeResult,
+    entropy_sum: f64,
+}
+
+/// The REINFORCE trainer.
+pub struct Trainer {
+    /// The policy being trained.
+    pub policy: DecimaPolicy,
+    /// The shared parameters.
+    pub store: ParamStore,
+    /// Optimizer.
+    pub opt: Adam,
+    /// Hyperparameters.
+    pub cfg: TrainConfig,
+    rng: SmallRng,
+    rate_avg: MovingAvg,
+    tau_mean: f64,
+    /// Completed iterations.
+    pub iter: usize,
+    /// History of per-iteration statistics.
+    pub history: Vec<IterStats>,
+}
+
+impl Trainer {
+    /// Builds a trainer around an initialized policy and store.
+    pub fn new(policy: DecimaPolicy, store: ParamStore, cfg: TrainConfig) -> Self {
+        let opt = Adam::new(&store, cfg.lr);
+        let tau_mean = cfg.curriculum.map_or(f64::INFINITY, |c| c.tau_init);
+        Trainer {
+            policy,
+            store,
+            opt,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            rate_avg: MovingAvg::new(64),
+            tau_mean,
+            iter: 0,
+            history: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Current entropy weight.
+    pub fn beta(&self) -> f64 {
+        let t = (self.iter as f64 / self.cfg.entropy_decay_iters.max(1) as f64).min(1.0);
+        self.cfg.entropy_start + t * (self.cfg.entropy_end - self.cfg.entropy_start)
+    }
+
+    /// Runs one training iteration against `env`.
+    pub fn train_iteration(&mut self, env: &dyn EnvFactory) -> IterStats {
+        let n = self.cfg.num_rollouts;
+        let beta = self.beta();
+
+        // Horizon: memoryless termination with growing mean (§5.3).
+        let tau = self.cfg.curriculum.map(|c| {
+            let exp = Exp::new(1.0 / self.tau_mean).expect("positive mean");
+            let t: f64 = exp.sample(&mut self.rng).max(1.0);
+            self.tau_mean = (self.tau_mean + c.tau_step).min(c.tau_max);
+            t
+        });
+
+        // Sequence seeds: shared (input-dependent baseline) or per-rollout.
+        let master_seq: u64 = self.rng.gen();
+        let seq_seeds: Vec<u64> = (0..n)
+            .map(|w| {
+                if self.cfg.input_dependent_baseline {
+                    master_seq
+                } else {
+                    master_seq.wrapping_add(w as u64 + 1)
+                }
+            })
+            .collect();
+        let action_seeds: Vec<u64> = (0..n).map(|_| self.rng.gen()).collect();
+
+        // ---- rollout pass (parallel) ----
+        let policy = &self.policy;
+        let store = &self.store;
+        let rollouts: Vec<Rollout> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|w| {
+                    let seq_seed = seq_seeds[w];
+                    let act_seed = action_seeds[w];
+                    scope.spawn(move |_| {
+                        let (cluster, jobs, mut sim_cfg) = env.build(seq_seed);
+                        if let Some(t) = tau {
+                            sim_cfg.time_limit =
+                                Some(sim_cfg.time_limit.map_or(t, |l| l.min(t)));
+                        }
+                        let mut agent =
+                            DecimaAgent::sampler(policy.clone(), store.clone(), act_seed);
+                        let result =
+                            Simulator::new(cluster, jobs, sim_cfg).run(&mut agent);
+                        Rollout {
+                            seq_seed,
+                            records: agent.records,
+                            result,
+                            entropy_sum: agent.entropy_sum,
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("rollout threads");
+
+        // ---- rewards, returns, baselines ----
+        let mut all_rewards: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for r in &rollouts {
+            let mut rw: Vec<f64> = r
+                .result
+                .rewards()
+                .iter()
+                .map(|x| x * self.cfg.reward_scale)
+                .collect();
+            if self.cfg.differential_reward && !rw.is_empty() {
+                let duration = r.result.end_time.as_secs().max(1e-9);
+                let rate = rw.iter().sum::<f64>() / duration;
+                self.rate_avg.push(rate);
+                let rhat = self.rate_avg.mean();
+                let times: Vec<f64> =
+                    r.result.actions.iter().map(|a| a.time.as_secs()).collect();
+                for k in 0..rw.len() {
+                    let dt = if k + 1 < times.len() {
+                        times[k + 1] - times[k]
+                    } else {
+                        duration - times[k]
+                    };
+                    rw[k] -= rhat * dt;
+                }
+            }
+            all_rewards.push(rw);
+        }
+        let series: Vec<ReturnSeries> = rollouts
+            .iter()
+            .zip(&all_rewards)
+            .map(|(r, rw)| {
+                ReturnSeries::new(
+                    r.result.actions.iter().map(|a| a.time.as_secs()).collect(),
+                    returns_to_go(rw),
+                )
+            })
+            .collect();
+        let baselines = time_aligned_baselines(&series);
+        let mut advantages: Vec<Vec<f64>> = all_rewards
+            .iter()
+            .zip(&baselines)
+            .map(|(rw, bl)| {
+                returns_to_go(rw)
+                    .iter()
+                    .zip(bl)
+                    .map(|(r, b)| r - b)
+                    .collect()
+            })
+            .collect();
+        if self.cfg.normalize_advantages {
+            let flat: Vec<f64> = advantages.iter().flatten().copied().collect();
+            if flat.len() > 1 {
+                let mean = flat.iter().sum::<f64>() / flat.len() as f64;
+                let var =
+                    flat.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / flat.len() as f64;
+                let std = var.sqrt().max(1e-8);
+                for adv in &mut advantages {
+                    for a in adv {
+                        *a /= std;
+                    }
+                }
+            }
+        }
+
+        // ---- replay pass (parallel gradient accumulation) ----
+        let grads: Vec<ParamStore> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = rollouts
+                .iter()
+                .zip(advantages)
+                .map(|(r, adv)| {
+                    let seq_seed = r.seq_seed;
+                    let records = r.records.clone();
+                    scope.spawn(move |_| {
+                        let (cluster, jobs, mut sim_cfg) = env.build(seq_seed);
+                        if let Some(t) = tau {
+                            sim_cfg.time_limit =
+                                Some(sim_cfg.time_limit.map_or(t, |l| l.min(t)));
+                        }
+                        let mut agent = DecimaAgent::replayer(
+                            policy.clone(),
+                            store.clone(),
+                            records,
+                            adv,
+                            beta,
+                        );
+                        let _ = Simulator::new(cluster, jobs, sim_cfg).run(&mut agent);
+                        agent.store
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("replay threads");
+
+        for g in &grads {
+            self.store.merge_grads(g);
+        }
+        self.store.scale_grads(1.0 / n as f64);
+        let grad_norm = self.store.grad_norm();
+        self.opt.step(&mut self.store);
+
+        // ---- stats ----
+        let mean_reward = all_rewards
+            .iter()
+            .map(|rw| rw.iter().sum::<f64>())
+            .sum::<f64>()
+            / n as f64;
+        let jcts: Vec<f64> = rollouts
+            .iter()
+            .filter_map(|r| r.result.avg_jct())
+            .collect();
+        let mean_avg_jct = if jcts.is_empty() {
+            f64::NAN
+        } else {
+            jcts.iter().sum::<f64>() / jcts.len() as f64
+        };
+        let mean_completed = rollouts
+            .iter()
+            .map(|r| r.result.completed() as f64)
+            .sum::<f64>()
+            / n as f64;
+        let mean_actions = rollouts
+            .iter()
+            .map(|r| r.records.len() as f64)
+            .sum::<f64>()
+            / n as f64;
+        let mean_entropy = {
+            let steps: f64 = rollouts.iter().map(|r| r.records.len() as f64).sum();
+            let ent: f64 = rollouts.iter().map(|r| r.entropy_sum).sum();
+            if steps > 0.0 {
+                ent / steps
+            } else {
+                0.0
+            }
+        };
+
+        let stats = IterStats {
+            iter: self.iter,
+            mean_reward,
+            mean_avg_jct,
+            mean_completed,
+            mean_actions,
+            mean_entropy,
+            grad_norm,
+            tau,
+            beta,
+        };
+        self.history.push(stats);
+        self.iter += 1;
+        stats
+    }
+
+    /// Runs `iters` iterations, invoking `on_iter` after each.
+    pub fn train(
+        &mut self,
+        env: &dyn EnvFactory,
+        iters: usize,
+        mut on_iter: impl FnMut(&IterStats),
+    ) {
+        for _ in 0..iters {
+            let s = self.train_iteration(env);
+            on_iter(&s);
+        }
+    }
+
+    /// Greedy evaluation on the given sequence seeds (no horizon cap).
+    pub fn evaluate(&self, env: &dyn EnvFactory, seq_seeds: &[u64]) -> Vec<EpisodeResult> {
+        let policy = &self.policy;
+        let store = &self.store;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = seq_seeds
+                .iter()
+                .map(|&seed| {
+                    scope.spawn(move |_| {
+                        let (cluster, jobs, sim_cfg) = env.build(seed);
+                        let mut agent = DecimaAgent::greedy(policy.clone(), store.clone());
+                        Simulator::new(cluster, jobs, sim_cfg).run(&mut agent)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("eval threads")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::TpchEnv;
+    use decima_policy::PolicyConfig;
+
+    fn tiny_trainer(cfg: TrainConfig) -> Trainer {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let policy = DecimaPolicy::new(PolicyConfig::small(5), &mut store, &mut rng);
+        Trainer::new(policy, store, cfg)
+    }
+
+    #[test]
+    fn one_iteration_produces_finite_stats() {
+        let env = TpchEnv::batch(3, 5);
+        let mut t = tiny_trainer(TrainConfig {
+            num_rollouts: 4,
+            ..TrainConfig::default()
+        });
+        let s = t.train_iteration(&env);
+        assert!(s.mean_reward.is_finite());
+        assert!(s.grad_norm.is_finite() && s.grad_norm > 0.0);
+        assert!(s.mean_actions > 0.0);
+        assert_eq!(t.iter, 1);
+        assert_eq!(t.history.len(), 1);
+    }
+
+    #[test]
+    fn curriculum_grows_horizon() {
+        let env = TpchEnv::batch(2, 5);
+        let mut t = tiny_trainer(TrainConfig {
+            num_rollouts: 2,
+            curriculum: Some(Curriculum {
+                tau_init: 10.0,
+                tau_step: 5.0,
+                tau_max: 30.0,
+            }),
+            ..TrainConfig::default()
+        });
+        for _ in 0..6 {
+            let s = t.train_iteration(&env);
+            assert!(s.tau.is_some());
+        }
+        assert!((t.tau_mean - 30.0).abs() < 1e-9, "mean capped at tau_max");
+    }
+
+    #[test]
+    fn entropy_weight_decays() {
+        let mut t = tiny_trainer(TrainConfig {
+            entropy_start: 1.0,
+            entropy_end: 0.0,
+            entropy_decay_iters: 10,
+            ..TrainConfig::default()
+        });
+        assert_eq!(t.beta(), 1.0);
+        t.iter = 5;
+        assert!((t.beta() - 0.5).abs() < 1e-12);
+        t.iter = 20;
+        assert_eq!(t.beta(), 0.0);
+    }
+
+    #[test]
+    fn ablation_unfixed_sequences_runs() {
+        let env = TpchEnv::batch(2, 5);
+        let mut t = tiny_trainer(TrainConfig {
+            num_rollouts: 3,
+            input_dependent_baseline: false,
+            ..TrainConfig::default()
+        });
+        let s = t.train_iteration(&env);
+        assert!(s.grad_norm.is_finite());
+    }
+
+    #[test]
+    fn differential_reward_on_stream_runs() {
+        let env = TpchEnv::stream(4, 5, 20.0);
+        let mut t = tiny_trainer(TrainConfig {
+            num_rollouts: 2,
+            differential_reward: true,
+            curriculum: Some(Curriculum {
+                tau_init: 60.0,
+                tau_step: 0.0,
+                tau_max: 60.0,
+            }),
+            ..TrainConfig::default()
+        });
+        let s = t.train_iteration(&env);
+        assert!(s.mean_reward.is_finite());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let env = TpchEnv::batch(3, 5);
+        let t = tiny_trainer(TrainConfig::default());
+        let a = t.evaluate(&env, &[1, 2]);
+        let b = t.evaluate(&env, &[1, 2]);
+        assert_eq!(a[0].avg_jct(), b[0].avg_jct());
+        assert_eq!(a[1].avg_jct(), b[1].avg_jct());
+    }
+
+    /// The core claim, miniaturized: a few REINFORCE iterations on a tiny
+    /// fixed workload must improve the policy's expected return.
+    #[test]
+    fn training_improves_return_on_tiny_workload() {
+        let env = TpchEnv::batch(4, 5);
+        let mut t = tiny_trainer(TrainConfig {
+            num_rollouts: 6,
+            lr: 3e-3,
+            entropy_start: 0.2,
+            entropy_end: 0.0,
+            entropy_decay_iters: 15,
+            seed: 3,
+            ..TrainConfig::default()
+        });
+        // Fixed eval sequences, measured before and after.
+        let eval_seeds = [100, 101, 102];
+        let before: f64 = t
+            .evaluate(&env, &eval_seeds)
+            .iter()
+            .map(|r| r.avg_jct().unwrap())
+            .sum();
+        for _ in 0..15 {
+            t.train_iteration(&env);
+        }
+        let after: f64 = t
+            .evaluate(&env, &eval_seeds)
+            .iter()
+            .map(|r| r.avg_jct().unwrap())
+            .sum();
+        assert!(
+            after < before * 1.05,
+            "training should not regress: before={before:.1} after={after:.1}"
+        );
+    }
+}

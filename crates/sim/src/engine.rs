@@ -1,0 +1,1023 @@
+//! The discrete-event simulation engine.
+//!
+//! Models a Spark-like cluster (§3, §6.2): executors are slots bound to at
+//! most one job at a time; moving an executor between jobs costs
+//! `ClusterSpec::move_delay` seconds of dead time (JVM teardown/launch);
+//! the first task an executor runs on a stage is slowed by the stage's
+//! first-wave factor; per-task durations inflate with the job's current
+//! parallelism according to its [`InflationCurve`]; optional log-normal
+//! noise and task-failure injection complete the fidelity switches.
+//!
+//! The engine invokes the [`Scheduler`] at the paper's scheduling events
+//! and applies each returned action by dispatching free executors —
+//! idle executors already bound to the target job first (no delay), then
+//! unbound or other-job executors (with delay) — up to the action's
+//! parallelism limit and the stage's unclaimed task count.
+
+use crate::config::{Objective, SimConfig};
+use crate::result::{ActionRecord, EpisodeResult, JobOutcome};
+use crate::sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};
+use decima_core::{ClassId, ClusterSpec, ExecutorId, Gantt, JobId, JobSpec, SimTime, StageId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Simulator events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    /// A job becomes visible to the scheduler.
+    Arrival(JobId),
+    /// A running task finishes on an executor.
+    TaskDone(ExecutorId),
+    /// A moving executor arrives at its destination job.
+    ExecReady(ExecutorId),
+}
+
+/// Heap entry ordered by `(time, seq)` for deterministic tie-breaking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct QueuedEv {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for QueuedEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ExecState {
+    /// Unbound: no JVM running. Binding to any job costs the move delay.
+    Free,
+    /// Bound to a job, idle. Dispatching within the job is free.
+    Idle(JobId),
+    /// In transit to `job` to work on `node` (best effort).
+    Moving { job: JobId, node: u32 },
+    /// Running one task.
+    Running {
+        job: JobId,
+        node: u32,
+        started: SimTime,
+        duration: f64,
+    },
+}
+
+#[derive(Clone, Debug, Default)]
+struct NodeRt {
+    waiting: u32,
+    running: u32,
+    finished: u32,
+    executors_on: u32,
+    in_flight: u32,
+    runnable: bool,
+    completed: bool,
+}
+
+#[derive(Clone, Debug)]
+struct JobRt {
+    spec: Arc<JobSpec>,
+    arrived: bool,
+    finished: bool,
+    completion: Option<SimTime>,
+    /// Executors bound to the job: idle-local + running + in flight.
+    alloc: usize,
+    peak_alloc: usize,
+    nodes: Vec<NodeRt>,
+    unfinished_nodes: usize,
+    executed_work: f64,
+    class_busy: Vec<f64>,
+}
+
+/// The discrete-event cluster simulator.
+pub struct Simulator {
+    cluster: ClusterSpec,
+    cfg: SimConfig,
+    jobs: Vec<JobRt>,
+    execs: Vec<ExecMeta>,
+    queue: BinaryHeap<Reverse<QueuedEv>>,
+    seq: u64,
+    now: SimTime,
+    /// Objective integral accumulated so far.
+    cost_integral: f64,
+    /// Integral value at the previous agent decision.
+    cost_at_last_action: f64,
+    jobs_in_system: usize,
+    jobs_remaining: usize,
+    rng: SmallRng,
+    gantt: Option<Gantt>,
+    actions: Vec<ActionRecord>,
+    num_events: u64,
+    wasted_actions: u64,
+    task_failures: u64,
+    /// A scheduling pass is owed once same-time events finish coalescing.
+    pending_sched: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ExecMeta {
+    state: ExecState,
+    class: ClassId,
+    memory: f64,
+    /// Last (job, node) this executor ran a task of — used for the
+    /// first-wave (cold executor) slowdown.
+    last_node: Option<(JobId, u32)>,
+}
+
+impl Simulator {
+    /// Builds a simulator over the given cluster and job set.
+    ///
+    /// Jobs must have dense ids `0..n` in `specs` order and valid specs.
+    pub fn new(cluster: ClusterSpec, specs: Vec<JobSpec>, cfg: SimConfig) -> Self {
+        let num_classes = cluster.num_classes();
+        let mut execs = Vec::with_capacity(cluster.total_executors());
+        for (ci, class) in cluster.classes.iter().enumerate() {
+            for _ in 0..class.count {
+                execs.push(ExecMeta {
+                    state: ExecState::Free,
+                    class: ClassId(ci as u16),
+                    memory: class.memory,
+                    last_node: None,
+                });
+            }
+        }
+
+        let mut queue = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut jobs = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            assert_eq!(spec.id.index(), i, "job ids must be dense 0..n");
+            spec.validate().expect("invalid JobSpec handed to Simulator");
+            let n = spec.dag.len();
+            let mut nodes = vec![NodeRt::default(); n];
+            for (v, node) in nodes.iter_mut().enumerate() {
+                node.waiting = spec.stages[v].num_tasks;
+                node.runnable = spec.dag.parents(v).is_empty();
+            }
+            queue.push(Reverse(QueuedEv {
+                time: spec.arrival,
+                seq,
+                ev: Ev::Arrival(spec.id),
+            }));
+            seq += 1;
+            jobs.push(JobRt {
+                spec: Arc::new(spec),
+                arrived: false,
+                finished: false,
+                completion: None,
+                alloc: 0,
+                peak_alloc: 0,
+                unfinished_nodes: n,
+                nodes,
+                executed_work: 0.0,
+                class_busy: vec![0.0; num_classes],
+            });
+        }
+
+        let gantt = cfg.record_gantt.then(|| Gantt::new(execs.len()));
+        let jobs_remaining = jobs.len();
+        Simulator {
+            cluster,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            jobs,
+            execs,
+            queue,
+            seq,
+            now: SimTime::ZERO,
+            cost_integral: 0.0,
+            cost_at_last_action: 0.0,
+            jobs_in_system: 0,
+            jobs_remaining,
+            gantt,
+            actions: Vec::new(),
+            num_events: 0,
+            wasted_actions: 0,
+            task_failures: 0,
+            pending_sched: false,
+        }
+    }
+
+    /// Runs the episode to completion (all jobs done, horizon reached, or
+    /// event budget exhausted) under the given scheduler.
+    pub fn run(mut self, mut sched: impl Scheduler) -> EpisodeResult {
+        sched.on_episode_start();
+        while let Some(Reverse(q)) = self.queue.pop() {
+            if let Some(limit) = self.cfg.time_limit {
+                if q.time.as_secs() > limit {
+                    // Account cost up to the horizon, then stop.
+                    self.advance_clock(SimTime::from_secs(limit));
+                    break;
+                }
+            }
+            self.num_events += 1;
+            if self.num_events > self.cfg.max_events {
+                break;
+            }
+            self.advance_clock(q.time);
+            if self.handle_event(q.ev) {
+                self.pending_sched = true;
+            }
+            // Coalesce same-time events before invoking the scheduler so
+            // one scheduling pass sees the full state at this instant.
+            let more_now = self
+                .queue
+                .peek()
+                .is_some_and(|Reverse(n)| n.time == self.now);
+            if self.pending_sched && !more_now {
+                self.scheduling_loop(&mut sched);
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> EpisodeResult {
+        let tail_penalty = self.cost_integral - self.cost_at_last_action;
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| JobOutcome {
+                id: j.spec.id,
+                name: j.spec.name.clone(),
+                arrival: j.spec.arrival,
+                completion: j.completion,
+                total_work: j.spec.total_work(),
+                executed_work: j.executed_work,
+                peak_alloc: j.peak_alloc,
+                class_busy: j.class_busy.clone(),
+            })
+            .collect();
+        EpisodeResult {
+            actions: self.actions,
+            tail_penalty,
+            jobs,
+            end_time: self.now,
+            num_events: self.num_events,
+            wasted_actions: self.wasted_actions,
+            task_failures: self.task_failures,
+            gantt: self.gantt,
+        }
+    }
+
+    #[inline]
+    fn advance_clock(&mut self, to: SimTime) {
+        debug_assert!(to >= self.now, "time must be monotone");
+        let dt = to - self.now;
+        if dt > 0.0 {
+            let rate = match self.cfg.objective {
+                Objective::AvgJct => self.jobs_in_system as f64,
+                Objective::Makespan => {
+                    if self.jobs_remaining > 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            self.cost_integral += rate * dt;
+        }
+        self.now = to;
+    }
+
+    /// Handles one event; returns whether a scheduling pass is needed.
+    fn handle_event(&mut self, ev: Ev) -> bool {
+        match ev {
+            Ev::Arrival(j) => {
+                let job = &mut self.jobs[j.index()];
+                job.arrived = true;
+                self.jobs_in_system += 1;
+                true
+            }
+            Ev::TaskDone(e) => self.on_task_done(e),
+            Ev::ExecReady(e) => self.on_exec_ready(e),
+        }
+    }
+
+    fn on_task_done(&mut self, e: ExecutorId) -> bool {
+        let (job_id, node, started, duration) = match self.execs[e.index()].state {
+            ExecState::Running {
+                job,
+                node,
+                started,
+                duration,
+            } => (job, node, started, duration),
+            ref other => unreachable!("TaskDone on non-running executor: {other:?}"),
+        };
+        let class = self.execs[e.index()].class;
+        if let Some(g) = &mut self.gantt {
+            g.record(e, started, self.now, Some(job_id));
+        }
+        let failed = self.cfg.failure_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.failure_rate;
+
+        let ji = job_id.index();
+        let v = node as usize;
+        self.jobs[ji].executed_work += duration;
+        self.jobs[ji].class_busy[class.index()] += duration;
+        {
+            let n = &mut self.jobs[ji].nodes[v];
+            n.running -= 1;
+            n.executors_on -= 1;
+            if failed {
+                n.waiting += 1; // re-queue the task
+            } else {
+                n.finished += 1;
+            }
+        }
+        if failed {
+            self.task_failures += 1;
+        }
+
+        // Same-node continuation: Spark's task-level scheduler keeps the
+        // executor on its stage while unclaimed tasks remain.
+        if self.jobs[ji].nodes[v].waiting > 0 {
+            self.start_task(e, job_id, node);
+            return false;
+        }
+
+        // Stage has no waiting tasks: the executor goes idle-local and a
+        // scheduling event fires ("stage runs out of tasks").
+        self.execs[e.index()].state = ExecState::Idle(job_id);
+        let node_done = {
+            let n = &self.jobs[ji].nodes[v];
+            n.running == 0 && n.waiting == 0 && !n.completed
+        };
+        if node_done {
+            self.complete_node(job_id, v);
+        }
+        true
+    }
+
+    /// Marks a node complete, unlocking children and possibly finishing
+    /// the job.
+    fn complete_node(&mut self, job_id: JobId, v: usize) {
+        let ji = job_id.index();
+        self.jobs[ji].nodes[v].completed = true;
+        self.jobs[ji].unfinished_nodes -= 1;
+        let spec = Arc::clone(&self.jobs[ji].spec);
+        for &c in spec.dag.children(v) {
+            let all_done = spec
+                .dag
+                .parents(c as usize)
+                .iter()
+                .all(|&p| self.jobs[ji].nodes[p as usize].completed);
+            if all_done {
+                self.jobs[ji].nodes[c as usize].runnable = true;
+            }
+        }
+        if self.jobs[ji].unfinished_nodes == 0 {
+            self.finish_job(job_id);
+        }
+    }
+
+    fn finish_job(&mut self, job_id: JobId) {
+        let ji = job_id.index();
+        self.jobs[ji].finished = true;
+        self.jobs[ji].completion = Some(self.now);
+        self.jobs_in_system -= 1;
+        self.jobs_remaining -= 1;
+        if let Some(g) = &mut self.gantt {
+            g.record_completion(job_id, self.now);
+        }
+        // Release bound idle executors: their JVM exits with the job.
+        for em in &mut self.execs {
+            if matches!(em.state, ExecState::Idle(j) if j == job_id) {
+                em.state = ExecState::Free;
+            }
+        }
+        self.jobs[ji].alloc = self.count_alloc(job_id);
+    }
+
+    fn count_alloc(&self, job_id: JobId) -> usize {
+        self.execs
+            .iter()
+            .filter(|em| match em.state {
+                ExecState::Idle(j) => j == job_id,
+                ExecState::Moving { job, .. } => job == job_id,
+                ExecState::Running { job, .. } => job == job_id,
+                ExecState::Free => false,
+            })
+            .count()
+    }
+
+    fn on_exec_ready(&mut self, e: ExecutorId) -> bool {
+        let (job_id, node) = match self.execs[e.index()].state {
+            ExecState::Moving { job, node } => (job, node),
+            ref other => unreachable!("ExecReady on non-moving executor: {other:?}"),
+        };
+        let ji = job_id.index();
+        self.jobs[ji].nodes[node as usize].in_flight -= 1;
+        if self.jobs[ji].finished {
+            // Job ended while the executor was in transit.
+            self.execs[e.index()].state = ExecState::Free;
+            self.jobs[ji].alloc = self.count_alloc(job_id);
+            return true;
+        }
+        // Try the original target, else any runnable stage of the job the
+        // executor fits; otherwise go idle-local and let the agent decide.
+        let mem = self.execs[e.index()].memory;
+        let target = {
+            let job = &self.jobs[ji];
+            if job.nodes[node as usize].runnable
+                && job.nodes[node as usize].waiting > 0
+                && mem >= job.spec.stages[node as usize].mem_demand
+            {
+                Some(node)
+            } else {
+                job.nodes
+                    .iter()
+                    .enumerate()
+                    .find(|(w, n)| {
+                        n.runnable
+                            && n.waiting > 0
+                            && mem >= job.spec.stages[*w].mem_demand
+                    })
+                    .map(|(w, _)| w as u32)
+            }
+        };
+        match target {
+            Some(v) => {
+                self.start_task(e, job_id, v);
+                false
+            }
+            None => {
+                self.execs[e.index()].state = ExecState::Idle(job_id);
+                true
+            }
+        }
+    }
+
+    /// Starts one task of `(job, node)` on executor `e` right now.
+    fn start_task(&mut self, e: ExecutorId, job_id: JobId, node: u32) {
+        let ji = job_id.index();
+        let v = node as usize;
+        debug_assert!(self.jobs[ji].nodes[v].waiting > 0);
+        debug_assert!(self.jobs[ji].nodes[v].runnable);
+
+        let cold = self.execs[e.index()].last_node != Some((job_id, node));
+        let spec = &self.jobs[ji].spec;
+        let stage = &spec.stages[v];
+        let mut dur = stage.task_duration;
+        if self.cfg.first_wave && cold {
+            dur *= stage.first_wave_factor;
+        }
+        if self.cfg.inflation {
+            dur *= spec.inflation.factor(self.jobs[ji].alloc.max(1));
+        }
+        if self.cfg.noise > 0.0 {
+            // Log-normal with unit mean: exp(N(-s²/2, s²)).
+            let s = self.cfg.noise;
+            let z: f64 = {
+                // Box-Muller from two uniforms (avoids a rand_distr dep here).
+                let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+                let u2: f64 = self.rng.gen();
+                (-2.0_f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            dur *= (s * z - s * s / 2.0).exp();
+        }
+        dur = dur.max(1e-6);
+
+        {
+            let n = &mut self.jobs[ji].nodes[v];
+            n.waiting -= 1;
+            n.running += 1;
+            n.executors_on += 1;
+        }
+        self.execs[e.index()].last_node = Some((job_id, node));
+        self.execs[e.index()].state = ExecState::Running {
+            job: job_id,
+            node,
+            started: self.now,
+            duration: dur,
+        };
+        self.push_event(self.now + dur, Ev::TaskDone(e));
+    }
+
+    fn push_event(&mut self, time: SimTime, ev: Ev) {
+        self.queue.push(Reverse(QueuedEv {
+            time,
+            seq: self.seq,
+            ev,
+        }));
+        self.seq += 1;
+    }
+
+    // ---- scheduling ----
+
+    fn free_total(&self) -> usize {
+        self.execs
+            .iter()
+            .filter(|em| matches!(em.state, ExecState::Free | ExecState::Idle(_)))
+            .count()
+    }
+
+    fn scheduling_loop(&mut self, sched: &mut impl Scheduler) {
+        self.pending_sched = false;
+        loop {
+            if self.free_total() == 0 {
+                break;
+            }
+            let obs = self.observation();
+            if obs.schedulable.is_empty() {
+                break;
+            }
+            let Some(action) = sched.decide(&obs) else {
+                break;
+            };
+            // Reward bookkeeping per decision.
+            self.actions.push(ActionRecord {
+                time: self.now,
+                penalty_before: self.cost_integral - self.cost_at_last_action,
+            });
+            self.cost_at_last_action = self.cost_integral;
+
+            let assigned = self.apply_action(&action);
+            if assigned == 0 {
+                self.wasted_actions += 1;
+                break;
+            }
+        }
+    }
+
+    /// Builds the observation snapshot handed to the scheduler.
+    pub fn observation(&self) -> Observation {
+        let num_classes = self.cluster.num_classes();
+        let mut free_by_class = vec![0usize; num_classes];
+        for em in &self.execs {
+            if matches!(em.state, ExecState::Free | ExecState::Idle(_)) {
+                free_by_class[em.class.index()] += 1;
+            }
+        }
+        let free_total: usize = free_by_class.iter().sum();
+
+        let mut jobs = Vec::new();
+        let mut schedulable = Vec::new();
+        for j in &self.jobs {
+            if !j.arrived || j.finished {
+                continue;
+            }
+            let local_free = self
+                .execs
+                .iter()
+                .filter(|em| matches!(em.state, ExecState::Idle(id) if id == j.spec.id))
+                .count();
+            let nodes: Vec<NodeObs> = j
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(v, n)| NodeObs {
+                    waiting: n.waiting,
+                    running: n.running,
+                    finished: n.finished,
+                    executors_on: n.executors_on,
+                    in_flight: n.in_flight,
+                    runnable: n.runnable,
+                    completed: n.completed,
+                    avg_task_duration: j.spec.stages[v].task_duration,
+                    mem_demand: j.spec.stages[v].mem_demand,
+                })
+                .collect();
+            let job_index = jobs.len();
+            for (v, n) in nodes.iter().enumerate() {
+                if n.runnable && n.waiting > n.in_flight {
+                    // At least one free executor must fit the stage.
+                    let fits = self.execs.iter().any(|em| {
+                        matches!(em.state, ExecState::Free | ExecState::Idle(_))
+                            && em.memory >= n.mem_demand
+                    });
+                    if fits {
+                        schedulable.push((job_index, StageId(v as u32)));
+                    }
+                }
+            }
+            jobs.push(JobObs {
+                id: j.spec.id,
+                spec: Arc::clone(&j.spec),
+                alloc: j.alloc,
+                local_free,
+                nodes,
+            });
+        }
+
+        Observation {
+            time: self.now,
+            total_executors: self.execs.len(),
+            num_classes,
+            free_total,
+            free_by_class,
+            class_memory: self.cluster.classes.iter().map(|c| c.memory).collect(),
+            jobs,
+            schedulable,
+        }
+    }
+
+    /// Applies one action; returns the number of executors dispatched.
+    fn apply_action(&mut self, a: &Action) -> usize {
+        let ji = a.job.index();
+        if ji >= self.jobs.len() || !self.jobs[ji].arrived || self.jobs[ji].finished {
+            return 0;
+        }
+        let v = a.stage.index();
+        if v >= self.jobs[ji].nodes.len() {
+            return 0;
+        }
+        {
+            let n = &self.jobs[ji].nodes[v];
+            if !n.runnable || n.waiting <= n.in_flight {
+                return 0;
+            }
+        }
+        let demand = self.jobs[ji].spec.stages[v].mem_demand;
+        let job_id = a.job;
+        let node = v as u32;
+
+        // Unclaimed tasks bound the total dispatch.
+        let unclaimed =
+            (self.jobs[ji].nodes[v].waiting - self.jobs[ji].nodes[v].in_flight) as usize;
+
+        // Allocation headroom under the limit.
+        let cur_scope = match a.scope {
+            LimitScope::Job => self.jobs[ji].alloc,
+            LimitScope::Stage => {
+                (self.jobs[ji].nodes[v].executors_on + self.jobs[ji].nodes[v].in_flight) as usize
+            }
+        };
+
+        let class_ok = |em: &ExecMeta| -> bool {
+            em.memory >= demand && a.class.map_or(true, |c| em.class == c)
+        };
+
+        let mut dispatched = 0usize;
+
+        // Tier 1: idle executors already bound to this job — free motion,
+        // does not change the job's allocation.
+        let local: Vec<ExecutorId> = self
+            .execs
+            .iter()
+            .enumerate()
+            .filter(|(_, em)| matches!(em.state, ExecState::Idle(id) if id == job_id))
+            .filter(|(_, em)| class_ok(em))
+            .map(|(i, _)| ExecutorId(i as u32))
+            .collect();
+        for e in local {
+            if dispatched >= unclaimed {
+                break;
+            }
+            // For stage scope, locals still count against the stage limit.
+            if a.scope == LimitScope::Stage && cur_scope + dispatched >= a.limit {
+                break;
+            }
+            self.start_task(e, job_id, node);
+            dispatched += 1;
+        }
+
+        // Tier 2: unbound executors, then idle executors of other jobs —
+        // both incur the move delay and raise this job's allocation.
+        let mut remote: Vec<ExecutorId> = Vec::new();
+        for (i, em) in self.execs.iter().enumerate() {
+            if matches!(em.state, ExecState::Free) && class_ok(em) {
+                remote.push(ExecutorId(i as u32));
+            }
+        }
+        for (i, em) in self.execs.iter().enumerate() {
+            if matches!(em.state, ExecState::Idle(id) if id != job_id) && class_ok(em) {
+                remote.push(ExecutorId(i as u32));
+            }
+        }
+        for e in remote {
+            if dispatched >= unclaimed {
+                break;
+            }
+            let headroom = match a.scope {
+                LimitScope::Job => self.jobs[ji].alloc < a.limit,
+                LimitScope::Stage => cur_scope + dispatched < a.limit,
+            };
+            if !headroom {
+                break;
+            }
+            // Detach from the previous owner, if any.
+            if let ExecState::Idle(prev) = self.execs[e.index()].state {
+                let pi = prev.index();
+                self.execs[e.index()].state = ExecState::Free;
+                self.jobs[pi].alloc = self.count_alloc(prev);
+            }
+            let delay = self.cluster.move_delay;
+            self.execs[e.index()].last_node = None; // cold JVM at the new job
+            self.execs[e.index()].state = ExecState::Moving { job: job_id, node };
+            self.jobs[ji].nodes[v].in_flight += 1;
+            self.jobs[ji].alloc += 1;
+            if let Some(g) = &mut self.gantt {
+                if delay > 0.0 {
+                    g.record(e, self.now, self.now + delay, None);
+                }
+            }
+            self.push_event(self.now + delay, Ev::ExecReady(e));
+            dispatched += 1;
+        }
+
+        let job = &mut self.jobs[ji];
+        job.peak_alloc = job.peak_alloc.max(job.alloc);
+        dispatched
+    }
+}
+
+impl Simulator {
+    /// Current simulation time (for tests and instrumentation).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decima_core::{JobBuilder, StageSpec};
+
+    /// Greedy FIFO-ish scheduler used only for engine tests.
+    struct TestSched;
+    impl Scheduler for TestSched {
+        fn decide(&mut self, obs: &Observation) -> Option<Action> {
+            let &(j, stage) = obs.schedulable.first()?;
+            Some(Action::new(obs.jobs[j].id, stage, obs.total_executors))
+        }
+    }
+
+    fn one_stage_job(id: u32, tasks: u32, dur: f64, arrival: f64) -> JobSpec {
+        let mut b = JobBuilder::new(JobId(id));
+        b.stage(StageSpec::simple(tasks, dur));
+        b.arrival(SimTime::from_secs(arrival)).build().unwrap()
+    }
+
+    fn chain_job(id: u32, arrival: f64) -> JobSpec {
+        let mut b = JobBuilder::new(JobId(id));
+        let a = b.stage(StageSpec::simple(2, 1.0));
+        let c = b.stage(StageSpec::simple(2, 1.0));
+        b.edge(a, c);
+        b.arrival(SimTime::from_secs(arrival)).build().unwrap()
+    }
+
+    fn bare_cfg() -> SimConfig {
+        SimConfig {
+            first_wave: false,
+            inflation: false,
+            noise: 0.0,
+            ..SimConfig::default()
+        }
+    }
+
+    fn cluster(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n).with_move_delay(0.0)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        // 4 tasks of 2s on 2 executors => 2 waves => JCT 4s.
+        let sim = Simulator::new(cluster(2), vec![one_stage_job(0, 4, 2.0, 0.0)], bare_cfg());
+        let r = sim.run(TestSched);
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.avg_jct(), Some(4.0));
+        assert_eq!(r.makespan(), Some(4.0));
+    }
+
+    #[test]
+    fn chain_respects_dependencies() {
+        // Stage 0: 2 tasks 1s; stage 1: 2 tasks 1s, only after stage 0.
+        let sim = Simulator::new(cluster(2), vec![chain_job(0, 0.0)], bare_cfg());
+        let r = sim.run(TestSched);
+        assert_eq!(r.avg_jct(), Some(2.0));
+    }
+
+    #[test]
+    fn parallelism_bounded_by_executors() {
+        // 10 tasks of 1s on 3 executors => ceil(10/3)=4 waves => 4s.
+        let sim = Simulator::new(cluster(3), vec![one_stage_job(0, 10, 1.0, 0.0)], bare_cfg());
+        let r = sim.run(TestSched);
+        assert_eq!(r.avg_jct(), Some(4.0));
+    }
+
+    #[test]
+    fn move_delay_charged_for_fresh_executors() {
+        let cl = ClusterSpec::homogeneous(1).with_move_delay(2.0);
+        let sim = Simulator::new(cl, vec![one_stage_job(0, 1, 1.0, 0.0)], bare_cfg());
+        let r = sim.run(TestSched);
+        // 2s JVM launch + 1s task.
+        assert_eq!(r.avg_jct(), Some(3.0));
+    }
+
+    #[test]
+    fn first_wave_factor_applies_once_per_executor() {
+        let mut b = JobBuilder::new(JobId(0));
+        b.stage(StageSpec {
+            num_tasks: 3,
+            task_duration: 1.0,
+            first_wave_factor: 2.0,
+            mem_demand: 0.0,
+        });
+        let job = b.build().unwrap();
+        let cfg = SimConfig {
+            first_wave: true,
+            inflation: false,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(cluster(1), vec![job], cfg);
+        let r = sim.run(TestSched);
+        // First task 2s (cold), next two 1s each => 4s.
+        assert_eq!(r.avg_jct(), Some(4.0));
+    }
+
+    #[test]
+    fn inflation_slows_high_parallelism() {
+        use decima_core::InflationCurve;
+        let mut b = JobBuilder::new(JobId(0));
+        b.stage(StageSpec::simple(4, 1.0));
+        let job = b
+            .inflation(InflationCurve {
+                gamma: 1.0,
+                p_ref: 1.0,
+                knee: 1.0,
+            })
+            .build()
+            .unwrap();
+        let cfg = SimConfig {
+            first_wave: false,
+            inflation: true,
+            ..SimConfig::default()
+        };
+        // 4 executors: factor(4) = 1 + 3 = 4 => each task 4s, one wave.
+        let sim = Simulator::new(cluster(4), vec![job], cfg);
+        let r = sim.run(TestSched);
+        assert_eq!(r.avg_jct(), Some(4.0));
+    }
+
+    #[test]
+    fn two_jobs_fifo_order_and_avg_jct_reward() {
+        let jobs = vec![one_stage_job(0, 2, 1.0, 0.0), one_stage_job(1, 2, 1.0, 0.0)];
+        let sim = Simulator::new(cluster(2), jobs, bare_cfg());
+        let r = sim.run(TestSched);
+        assert_eq!(r.completed(), 2);
+        // Job 0 takes both executors: done at 1s; job 1 next: done at 2s.
+        let jcts = r.jcts();
+        assert_eq!(jcts, vec![1.0, 2.0]);
+        // Total AvgJct penalty = ∫J dt = 2*1 + 1*1 = 3 (2 jobs during
+        // first second, 1 during the second).
+        assert!((r.total_penalty() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_limit_truncates_episode() {
+        let sim = Simulator::new(
+            cluster(1),
+            vec![one_stage_job(0, 10, 1.0, 0.0)],
+            bare_cfg().with_time_limit(3.5),
+        );
+        let r = sim.run(TestSched);
+        assert_eq!(r.completed(), 0);
+        assert_eq!(r.unfinished(), 1);
+        assert!(r.end_time.as_secs() <= 3.5 + 1e-9);
+        // Penalty accrues only to the horizon: 1 job * 3.5s.
+        assert!((r.total_penalty() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_scheduler_starves_but_terminates() {
+        struct Idle;
+        impl Scheduler for Idle {
+            fn decide(&mut self, _: &Observation) -> Option<Action> {
+                None
+            }
+        }
+        let sim = Simulator::new(
+            cluster(2),
+            vec![one_stage_job(0, 2, 1.0, 0.0)],
+            bare_cfg().with_time_limit(10.0),
+        );
+        let r = sim.run(Idle);
+        assert_eq!(r.completed(), 0);
+    }
+
+    #[test]
+    fn limit_restricts_parallelism() {
+        struct LimitTwo;
+        impl Scheduler for LimitTwo {
+            fn decide(&mut self, obs: &Observation) -> Option<Action> {
+                let &(j, stage) = obs.schedulable.first()?;
+                Some(Action::new(obs.jobs[j].id, stage, 2))
+            }
+        }
+        // 8 tasks of 1s, 8 executors, but limit 2 => 4 waves => 4s.
+        let sim = Simulator::new(cluster(8), vec![one_stage_job(0, 8, 1.0, 0.0)], bare_cfg());
+        let r = sim.run(LimitTwo);
+        assert_eq!(r.avg_jct(), Some(4.0));
+    }
+
+    #[test]
+    fn multi_resource_memory_fit() {
+        // Two classes: small (0.25) x1, large (1.0) x1. A stage demanding
+        // 0.5 can only use the large executor.
+        let cl = ClusterSpec {
+            classes: vec![
+                decima_core::ExecutorClass {
+                    memory: 0.25,
+                    count: 1,
+                },
+                decima_core::ExecutorClass {
+                    memory: 1.0,
+                    count: 1,
+                },
+            ],
+            move_delay: 0.0,
+        };
+        let mut b = JobBuilder::new(JobId(0));
+        b.stage(StageSpec {
+            num_tasks: 2,
+            task_duration: 1.0,
+            first_wave_factor: 1.0,
+            mem_demand: 0.5,
+        });
+        let job = b.build().unwrap();
+        let sim = Simulator::new(cl, vec![job], bare_cfg());
+        let r = sim.run(TestSched);
+        // Only one executor fits => 2 sequential tasks => 2s.
+        assert_eq!(r.avg_jct(), Some(2.0));
+        // All busy time on class 1.
+        assert_eq!(r.jobs[0].class_busy[0], 0.0);
+        assert!((r.jobs[0].class_busy[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_failures_requeue() {
+        let cfg = SimConfig {
+            failure_rate: 0.5,
+            seed: 42,
+            ..bare_cfg()
+        };
+        let sim = Simulator::new(cluster(1), vec![one_stage_job(0, 5, 1.0, 0.0)], cfg);
+        let r = sim.run(TestSched);
+        assert_eq!(r.completed(), 1);
+        assert!(r.task_failures > 0);
+        // Every failure adds one extra second of serial work.
+        let expected = 5.0 + r.task_failures as f64;
+        assert_eq!(r.avg_jct(), Some(expected));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mk = || {
+            let cfg = SimConfig {
+                noise: 0.3,
+                seed: 7,
+                ..bare_cfg()
+            };
+            Simulator::new(
+                cluster(4),
+                vec![one_stage_job(0, 20, 1.0, 0.0), chain_job(1, 0.5)],
+                cfg,
+            )
+            .run(TestSched)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.avg_jct(), b.avg_jct());
+        assert_eq!(a.num_events, b.num_events);
+    }
+
+    #[test]
+    fn gantt_recorded_when_enabled() {
+        let cfg = SimConfig {
+            record_gantt: true,
+            ..bare_cfg()
+        };
+        let sim = Simulator::new(cluster(2), vec![one_stage_job(0, 4, 1.0, 0.0)], cfg);
+        let r = sim.run(TestSched);
+        let g = r.gantt.expect("gantt requested");
+        assert_eq!(g.num_rows(), 2);
+        assert!(g.utilization() > 0.9);
+        assert_eq!(g.completions().len(), 1);
+    }
+
+    #[test]
+    fn rewards_align_with_actions() {
+        let sim = Simulator::new(
+            cluster(2),
+            vec![one_stage_job(0, 2, 1.0, 0.0), one_stage_job(1, 2, 1.0, 1.0)],
+            bare_cfg(),
+        );
+        let r = sim.run(TestSched);
+        assert!(!r.actions.is_empty());
+        let rewards = r.rewards();
+        assert_eq!(rewards.len(), r.actions.len());
+        // Total reward equals negative total penalty.
+        let sum: f64 = rewards.iter().sum();
+        assert!((sum + r.total_penalty()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Episode results: per-action reward records, per-job outcomes, and
+//! aggregate metrics.
+
+use decima_core::{Gantt, JobId, SimTime, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Reward bookkeeping for one agent decision.
+///
+/// `penalty_before` is the objective integral accumulated since the
+/// *previous* decision (or episode start), so the REINFORCE reward of
+/// action `k` is `r_k = -actions[k+1].penalty_before` shifted by one — the
+/// trainer handles the alignment; see `decima-rl`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ActionRecord {
+    /// Wall-clock time of the decision.
+    pub time: SimTime,
+    /// Objective cost accrued since the previous decision.
+    pub penalty_before: f64,
+}
+
+/// Outcome of one job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job identifier.
+    pub id: JobId,
+    /// Display name.
+    pub name: String,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completion time, if the job finished within the episode.
+    pub completion: Option<SimTime>,
+    /// Static total work (task-seconds at later-wave durations).
+    pub total_work: f64,
+    /// Actually-executed work including waves/inflation/noise
+    /// (Figure 10e's "work inflation" measure).
+    pub executed_work: f64,
+    /// Peak executor allocation observed for the job.
+    pub peak_alloc: usize,
+    /// Executor-seconds consumed by the job, split per executor class
+    /// (Figure 12b). Entry `c` is the busy time on class-`c` executors.
+    pub class_busy: Vec<f64>,
+}
+
+impl JobOutcome {
+    /// Job completion time (JCT) in seconds, if finished.
+    pub fn jct(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+}
+
+/// Everything measured during one simulated episode.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EpisodeResult {
+    /// One record per agent decision, in decision order.
+    pub actions: Vec<ActionRecord>,
+    /// Objective cost accrued after the last decision until episode end.
+    pub tail_penalty: f64,
+    /// Per-job outcomes (all jobs, finished or not).
+    pub jobs: Vec<JobOutcome>,
+    /// Time at which the episode ended.
+    pub end_time: SimTime,
+    /// Number of simulator events processed.
+    pub num_events: u64,
+    /// Actions that assigned no executor (scheduler bugs / passes).
+    pub wasted_actions: u64,
+    /// Injected task failures observed.
+    pub task_failures: u64,
+    /// Gantt chart, when recording was enabled.
+    pub gantt: Option<Gantt>,
+}
+
+impl EpisodeResult {
+    /// Completed-job completion times.
+    pub fn jcts(&self) -> Vec<f64> {
+        self.jobs.iter().filter_map(JobOutcome::jct).collect()
+    }
+
+    /// Average JCT over completed jobs (`None` if none completed).
+    pub fn avg_jct(&self) -> Option<f64> {
+        let j = self.jcts();
+        if j.is_empty() {
+            None
+        } else {
+            Some(j.iter().sum::<f64>() / j.len() as f64)
+        }
+    }
+
+    /// Summary statistics of completed-job JCTs.
+    pub fn jct_summary(&self) -> Summary {
+        Summary::of(&self.jcts())
+    }
+
+    /// Completion time of the last finished job (the makespan for batched
+    /// workloads where everything completes).
+    pub fn makespan(&self) -> Option<f64> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.completion)
+            .max()
+            .map(|t| t.as_secs())
+    }
+
+    /// Number of jobs that completed.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.completion.is_some()).count()
+    }
+
+    /// Number of jobs left unfinished at episode end.
+    pub fn unfinished(&self) -> usize {
+        self.jobs.len() - self.completed()
+    }
+
+    /// Total objective penalty of the episode (sum over actions + tail).
+    pub fn total_penalty(&self) -> f64 {
+        self.actions.iter().map(|a| a.penalty_before).sum::<f64>() + self.tail_penalty
+    }
+
+    /// Per-action rewards for REINFORCE: the negative cost accrued *after*
+    /// each action, i.e. reward of action `k` covers `(t_k, t_{k+1}]` with
+    /// the tail charged to the final action. Length equals `actions.len()`.
+    pub fn rewards(&self) -> Vec<f64> {
+        let n = self.actions.len();
+        let mut r = Vec::with_capacity(n);
+        for k in 0..n {
+            let cost = if k + 1 < n {
+                self.actions[k + 1].penalty_before
+            } else {
+                self.tail_penalty
+            };
+            r.push(-cost);
+        }
+        r
+    }
+
+    /// Concurrency time-series: `(time, jobs in system)` step points,
+    /// reconstructed from arrivals/completions (Figure 10a).
+    pub fn concurrency_series(&self) -> Vec<(f64, usize)> {
+        let mut deltas: Vec<(f64, i32)> = Vec::new();
+        for j in &self.jobs {
+            deltas.push((j.arrival.as_secs(), 1));
+            if let Some(c) = j.completion {
+                deltas.push((c.as_secs(), -1));
+            }
+        }
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut out = Vec::with_capacity(deltas.len());
+        let mut cur = 0i32;
+        for (t, d) in deltas {
+            cur += d;
+            out.push((t, cur.max(0) as usize));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u32, arrival: f64, completion: Option<f64>, work: f64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            name: format!("j{id}"),
+            arrival: SimTime::from_secs(arrival),
+            completion: completion.map(SimTime::from_secs),
+            total_work: work,
+            executed_work: work,
+            peak_alloc: 1,
+            class_busy: vec![work],
+        }
+    }
+
+    #[test]
+    fn jct_and_makespan() {
+        let r = EpisodeResult {
+            jobs: vec![
+                outcome(0, 0.0, Some(10.0), 5.0),
+                outcome(1, 5.0, Some(25.0), 5.0),
+                outcome(2, 6.0, None, 5.0),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.jcts(), vec![10.0, 20.0]);
+        assert_eq!(r.avg_jct(), Some(15.0));
+        assert_eq!(r.makespan(), Some(25.0));
+        assert_eq!(r.completed(), 2);
+        assert_eq!(r.unfinished(), 1);
+    }
+
+    #[test]
+    fn rewards_shift_and_tail() {
+        let r = EpisodeResult {
+            actions: vec![
+                ActionRecord {
+                    time: SimTime::from_secs(0.0),
+                    penalty_before: 0.0,
+                },
+                ActionRecord {
+                    time: SimTime::from_secs(1.0),
+                    penalty_before: 3.0,
+                },
+            ],
+            tail_penalty: 4.0,
+            ..Default::default()
+        };
+        assert_eq!(r.rewards(), vec![-3.0, -4.0]);
+        assert_eq!(r.total_penalty(), 7.0);
+    }
+
+    #[test]
+    fn concurrency_series_steps() {
+        let r = EpisodeResult {
+            jobs: vec![
+                outcome(0, 0.0, Some(10.0), 1.0),
+                outcome(1, 2.0, Some(4.0), 1.0),
+            ],
+            ..Default::default()
+        };
+        let s = r.concurrency_series();
+        assert_eq!(s, vec![(0.0, 1), (2.0, 2), (4.0, 1), (10.0, 0)]);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = EpisodeResult::default();
+        assert!(r.avg_jct().is_none());
+        assert!(r.makespan().is_none());
+        assert!(r.rewards().is_empty());
+        assert_eq!(r.total_penalty(), 0.0);
+    }
+}

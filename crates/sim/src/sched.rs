@@ -1,0 +1,256 @@
+//! The scheduler interface: observations, actions, and the `Scheduler`
+//! trait that both Decima agents and all baseline heuristics implement.
+//!
+//! The simulator invokes the scheduler at the paper's scheduling events
+//! (§5.2): a stage running out of tasks, a stage completing (unlocking
+//! children), and a job arrival — plus executor-availability events that
+//! reduce to those. On each event the scheduler is invoked *repeatedly*,
+//! returning one [`Action`] at a time (a stage plus a parallelism limit,
+//! and in the multi-resource setting an executor class), until free
+//! executors are exhausted, no runnable stage remains, or the scheduler
+//! passes.
+
+use decima_core::{ClassId, JobId, JobSpec, StageId, SimTime};
+use std::sync::Arc;
+
+/// Whether an action's parallelism limit constrains the whole job (the
+/// paper's design, §5.2) or just the selected stage (the fine-grained
+/// variant evaluated in Figure 15a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LimitScope {
+    /// Limit applies to the job's total executor allocation.
+    #[default]
+    Job,
+    /// Limit applies to the selected stage's executor count.
+    Stage,
+}
+
+/// One scheduling decision: run `stage` of `job`, with parallelism limit
+/// `limit`, optionally restricted to one executor class.
+#[derive(Clone, Copy, Debug)]
+pub struct Action {
+    /// Target job.
+    pub job: JobId,
+    /// Target stage within the job.
+    pub stage: StageId,
+    /// Parallelism limit (upper bound on the job's — or stage's, per
+    /// `scope` — executor allocation after this action).
+    pub limit: usize,
+    /// Executor class to draw from; `None` lets the engine pick best-fit.
+    pub class: Option<ClassId>,
+    /// Scope of `limit`.
+    pub scope: LimitScope,
+}
+
+impl Action {
+    /// Job-scoped action with engine-chosen executor class.
+    pub fn new(job: JobId, stage: StageId, limit: usize) -> Self {
+        Action {
+            job,
+            stage,
+            limit,
+            class: None,
+            scope: LimitScope::Job,
+        }
+    }
+
+    /// Restricts the action to one executor class.
+    pub fn with_class(mut self, class: ClassId) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Makes the limit stage-scoped.
+    pub fn stage_scoped(mut self) -> Self {
+        self.scope = LimitScope::Stage;
+        self
+    }
+}
+
+/// Dynamic, per-stage view at a scheduling event.
+#[derive(Clone, Debug)]
+pub struct NodeObs {
+    /// Tasks not yet started.
+    pub waiting: u32,
+    /// Tasks currently running.
+    pub running: u32,
+    /// Tasks finished.
+    pub finished: u32,
+    /// Executors currently running tasks of this stage.
+    pub executors_on: u32,
+    /// Executors in flight (moving) toward this stage.
+    pub in_flight: u32,
+    /// All parents complete (tasks may or may not remain).
+    pub runnable: bool,
+    /// All tasks finished.
+    pub completed: bool,
+    /// Mean task duration estimate (from the job profile). The paper's
+    /// feature (ii); Appendix J evaluates hiding it from the policy.
+    pub avg_task_duration: f64,
+    /// Normalized memory demand of the stage's tasks.
+    pub mem_demand: f64,
+}
+
+impl NodeObs {
+    /// Tasks remaining (waiting + running) — the paper's feature (i).
+    #[inline]
+    pub fn remaining_tasks(&self) -> u32 {
+        self.waiting + self.running
+    }
+
+    /// Remaining work estimate in task-seconds.
+    #[inline]
+    pub fn remaining_work(&self) -> f64 {
+        self.remaining_tasks() as f64 * self.avg_task_duration
+    }
+}
+
+/// Dynamic, per-job view at a scheduling event.
+#[derive(Clone, Debug)]
+pub struct JobObs {
+    /// Job identifier.
+    pub id: JobId,
+    /// Static specification (shared, cheap to clone).
+    pub spec: Arc<JobSpec>,
+    /// Executors bound to the job (idle-local + running + in flight).
+    pub alloc: usize,
+    /// Executors bound to the job and currently idle.
+    pub local_free: usize,
+    /// Per-stage dynamic state, indexed like `spec.stages`.
+    pub nodes: Vec<NodeObs>,
+}
+
+impl JobObs {
+    /// Remaining work estimate over all incomplete stages.
+    pub fn remaining_work(&self) -> f64 {
+        self.nodes.iter().map(NodeObs::remaining_work).sum()
+    }
+
+    /// Stages that are runnable with unclaimed waiting tasks.
+    pub fn open_stages(&self) -> impl Iterator<Item = (usize, &NodeObs)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.runnable && n.waiting > n.in_flight)
+    }
+}
+
+/// Snapshot passed to [`Scheduler::decide`].
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// Current simulation time.
+    pub time: SimTime,
+    /// Total executor slots in the cluster.
+    pub total_executors: usize,
+    /// Number of executor classes (1 in the single-resource setting).
+    pub num_classes: usize,
+    /// Free executors (unbound or idle-local), in total.
+    pub free_total: usize,
+    /// Free executors per class.
+    pub free_by_class: Vec<usize>,
+    /// Memory capacity per class.
+    pub class_memory: Vec<f64>,
+    /// Active jobs (arrived, not finished).
+    pub jobs: Vec<JobObs>,
+    /// Actionable `(job index into `jobs`, stage)` pairs: runnable stages
+    /// with unclaimed waiting tasks that at least one free executor fits.
+    pub schedulable: Vec<(usize, StageId)>,
+}
+
+impl Observation {
+    /// Number of jobs currently in the system.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Looks up a job observation by id.
+    pub fn job(&self, id: JobId) -> Option<&JobObs> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// True when nothing can be scheduled.
+    #[inline]
+    pub fn is_terminal(&self) -> bool {
+        self.schedulable.is_empty() || self.free_total == 0
+    }
+}
+
+/// A scheduling policy. Implemented by all baselines and by Decima.
+pub trait Scheduler {
+    /// Called once when an episode starts (reset internal state).
+    fn on_episode_start(&mut self) {}
+
+    /// Returns the next action, or `None` to leave remaining executors
+    /// idle until the next scheduling event.
+    ///
+    /// The engine guarantees `obs.free_total > 0` and
+    /// `!obs.schedulable.is_empty()`; an action that assigns no executor
+    /// ends the event's scheduling loop (and is counted as wasted).
+    fn decide(&mut self, obs: &Observation) -> Option<Action>;
+
+    /// A short display name for reports.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+/// Blanket impl so `&mut S` can be passed where `impl Scheduler` is wanted.
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn on_episode_start(&mut self) {
+        (**self).on_episode_start();
+    }
+    fn decide(&mut self, obs: &Observation) -> Option<Action> {
+        (**self).decide(obs)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Boxed schedulers are schedulers (heterogeneous comparison harnesses).
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn on_episode_start(&mut self) {
+        (**self).on_episode_start();
+    }
+    fn decide(&mut self, obs: &Observation) -> Option<Action> {
+        (**self).decide(obs)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_builders() {
+        let a = Action::new(JobId(1), StageId(2), 5)
+            .with_class(ClassId(3))
+            .stage_scoped();
+        assert_eq!(a.job, JobId(1));
+        assert_eq!(a.stage, StageId(2));
+        assert_eq!(a.limit, 5);
+        assert_eq!(a.class, Some(ClassId(3)));
+        assert_eq!(a.scope, LimitScope::Stage);
+    }
+
+    #[test]
+    fn node_obs_derived_quantities() {
+        let n = NodeObs {
+            waiting: 3,
+            running: 2,
+            finished: 5,
+            executors_on: 2,
+            in_flight: 1,
+            runnable: true,
+            completed: false,
+            avg_task_duration: 2.0,
+            mem_demand: 0.0,
+        };
+        assert_eq!(n.remaining_tasks(), 5);
+        assert_eq!(n.remaining_work(), 10.0);
+    }
+}

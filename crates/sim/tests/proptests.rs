@@ -1,0 +1,135 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use decima_core::{ClusterSpec, JobBuilder, JobId, SimTime, StageSpec};
+use decima_sim::{Action, Observation, Scheduler, SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// A work-conserving test scheduler that spreads over all stages.
+struct Spread;
+impl Scheduler for Spread {
+    fn decide(&mut self, obs: &Observation) -> Option<Action> {
+        // Round-robin over schedulable stages by picking the job with the
+        // smallest allocation.
+        let &(j, s) = obs
+            .schedulable
+            .iter()
+            .min_by_key(|&&(j, _)| obs.jobs[j].alloc)?;
+        Some(Action::new(obs.jobs[j].id, s, obs.jobs[j].alloc + 1))
+    }
+}
+
+fn random_jobs(seed: u64, n_jobs: usize) -> Vec<decima_core::JobSpec> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    (0..n_jobs)
+        .map(|i| {
+            let stages = rng.gen_range(1..5usize);
+            let mut b = JobBuilder::new(JobId(i as u32));
+            for s in 0..stages {
+                b.stage(StageSpec {
+                    num_tasks: rng.gen_range(1..10),
+                    task_duration: rng.gen_range(0.2..5.0),
+                    first_wave_factor: rng.gen_range(1.0..2.5),
+                    mem_demand: 0.0,
+                });
+                // Random upstream parent keeps the DAG connected-ish.
+                if s > 0 {
+                    let p = rng.gen_range(0..s);
+                    b.edge(p as u32, s as u32);
+                }
+            }
+            b.arrival(SimTime::from_secs(rng.gen_range(0.0..20.0)))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: every task runs exactly once (finished counts match
+    /// the specs; executed work ≥ static work), under arbitrary
+    /// cluster shapes and noise.
+    #[test]
+    fn task_conservation(seed in 0u64..3000, n_jobs in 1usize..5,
+                         execs in 1usize..6, noise in 0.0f64..0.3) {
+        let jobs = random_jobs(seed, n_jobs);
+        let static_work: f64 = jobs.iter().map(|j| j.total_work()).sum();
+        let cfg = SimConfig { noise, seed, ..SimConfig::default() };
+        let r = Simulator::new(
+            ClusterSpec::homogeneous(execs),
+            jobs,
+            cfg,
+        ).run(Spread);
+        prop_assert_eq!(r.completed(), n_jobs, "all jobs must finish");
+        let executed: f64 = r.jobs.iter().map(|j| j.executed_work).sum();
+        // Noise is mean-one but can undershoot; allow slack below while
+        // requiring the first-wave factor to push the average up overall.
+        prop_assert!(executed > 0.5 * static_work);
+        for j in &r.jobs {
+            prop_assert!(j.completion.unwrap() >= j.arrival);
+            prop_assert!(j.peak_alloc <= execs);
+        }
+    }
+
+    /// More executors never hurt a single job's completion time in the
+    /// simplified (inflation-free) environment under greedy scheduling.
+    #[test]
+    fn monotone_speedup_without_inflation(seed in 0u64..2000) {
+        let jobs = random_jobs(seed, 1);
+        let jct = |execs: usize| {
+            Simulator::new(
+                ClusterSpec::homogeneous(execs).with_move_delay(0.0),
+                jobs.clone(),
+                SimConfig::simplified(),
+            )
+            .run(Spread)
+            .avg_jct()
+            .unwrap()
+        };
+        let (a, b, c) = (jct(1), jct(2), jct(4));
+        prop_assert!(b <= a + 1e-9, "2 execs ({b}) slower than 1 ({a})");
+        prop_assert!(c <= b + 1e-9, "4 execs ({c}) slower than 2 ({b})");
+    }
+
+    /// The episode horizon truncates exactly: no event effects after the
+    /// limit, penalty integral capped at limit × jobs.
+    #[test]
+    fn horizon_truncates(seed in 0u64..2000, limit in 1.0f64..30.0) {
+        let jobs = random_jobs(seed, 3);
+        let cfg = SimConfig { time_limit: Some(limit), seed, ..SimConfig::default() };
+        let r = Simulator::new(ClusterSpec::homogeneous(2), jobs, cfg).run(Spread);
+        prop_assert!(r.end_time.as_secs() <= limit + 1e-9);
+        for j in &r.jobs {
+            if let Some(c) = j.completion {
+                prop_assert!(c.as_secs() <= limit + 1e-9);
+            }
+        }
+        prop_assert!(r.total_penalty() <= limit * 3.0 + 1e-6);
+    }
+
+    /// Determinism: identical configuration ⇒ identical episode, even
+    /// with noise and failures enabled.
+    #[test]
+    fn bitwise_determinism(seed in 0u64..1000) {
+        let mk = || {
+            let cfg = SimConfig {
+                noise: 0.2,
+                failure_rate: 0.05,
+                seed,
+                ..SimConfig::default()
+            };
+            Simulator::new(
+                ClusterSpec::homogeneous(3),
+                random_jobs(seed, 3),
+                cfg,
+            ).run(Spread)
+        };
+        let (a, b) = (mk(), mk());
+        prop_assert_eq!(a.avg_jct(), b.avg_jct());
+        prop_assert_eq!(a.num_events, b.num_events);
+        prop_assert_eq!(a.task_failures, b.task_failures);
+        prop_assert_eq!(a.total_penalty(), b.total_penalty());
+    }
+}

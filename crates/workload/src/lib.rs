@@ -1,0 +1,29 @@
+//! # decima-workload
+//!
+//! Synthetic workload generators for the Decima reproduction:
+//!
+//! * [`tpch`] — TPC-H-like jobs: 22 structurally-distinct query DAGs at
+//!   six input scales with per-query parallelism profiles (§2, §7.2).
+//! * [`alibaba`] — an Alibaba-trace-like synthesizer matching the
+//!   statistics the paper publishes about the proprietary trace (§7.3).
+//! * [`arrivals`] — batched and Poisson arrival processes plus
+//!   ready-made workload constructors.
+//!
+//! All generation is deterministic under a seed, which the RL trainer
+//! relies on for input-dependent baselines (§5.3 challenge #2).
+
+#![warn(missing_docs)]
+
+pub mod alibaba;
+pub mod arrivals;
+pub mod tpch;
+
+pub use alibaba::{alibaba_job, AlibabaConfig};
+pub use arrivals::{
+    alibaba_stream, alibaba_stream_cfg, offered_load, renumber, tpch_batch, tpch_stream,
+    tpch_stream_with_memory, ArrivalProcess,
+};
+pub use tpch::{
+    sample_query, tpch_job, tpch_job_scaled, with_random_memory, FIRST_WAVE_FACTOR, INPUT_SIZES_GB,
+    NUM_QUERIES,
+};
