@@ -29,7 +29,8 @@ impl Scheduler for TetrisScheduler {
                 .then(obs.jobs[jb].id.cmp(&obs.jobs[ja].id))
         })?;
         // Greedy parallelism: enough executors for every waiting task.
-        let want = obs.jobs[job_idx].alloc + obs.jobs[job_idx].nodes[stage.index()].waiting as usize;
+        let want =
+            obs.jobs[job_idx].alloc + obs.jobs[job_idx].nodes[stage.index()].waiting as usize;
         let action = Action::new(obs.jobs[job_idx].id, stage, want.min(obs.total_executors));
         Some(with_best_fit(obs, job_idx, stage, action))
     }
@@ -218,7 +219,6 @@ mod tests {
     fn graphene_detects_troublesome_stages() {
         let g = GrapheneScheduler::default();
         // Construct an observation via a capture scheduler.
-        use decima_sim::Scheduler as _;
         struct Capture(Option<Observation>, GrapheneScheduler);
         impl decima_sim::Scheduler for Capture {
             fn decide(&mut self, obs: &Observation) -> Option<Action> {
@@ -238,9 +238,8 @@ mod tests {
         let obs = cap.0.unwrap();
         // At least one job must have at least one troublesome stage under
         // the default thresholds (memory demands are uniform on (0,1]).
-        let any = (0..obs.jobs.len()).any(|j| {
-            (0..obs.jobs[j].nodes.len()).any(|v| g.is_troublesome(&obs, j, v))
-        });
+        let any = (0..obs.jobs.len())
+            .any(|j| (0..obs.jobs[j].nodes.len()).any(|v| g.is_troublesome(&obs, j, v)));
         assert!(any);
     }
 

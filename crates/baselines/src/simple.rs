@@ -78,9 +78,9 @@ impl Scheduler for RandomScheduler {
         let &(job_idx, stage) = obs
             .schedulable
             .get(self.rng.gen_range(0..obs.schedulable.len()))?;
-        let limit = self
-            .rng
-            .gen_range(obs.jobs[job_idx].alloc.min(obs.total_executors - 1) + 1..=obs.total_executors);
+        let limit = self.rng.gen_range(
+            obs.jobs[job_idx].alloc.min(obs.total_executors - 1) + 1..=obs.total_executors,
+        );
         let action = Action::new(obs.jobs[job_idx].id, stage, limit);
         Some(with_best_fit(obs, job_idx, stage, action))
     }

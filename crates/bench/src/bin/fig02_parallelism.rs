@@ -48,10 +48,11 @@ fn main() {
     let cases = [(2u16, 100.0), (9, 100.0), (9, 2.0)];
 
     println!("Figure 2: runtime vs. degree of parallelism");
-    println!("{:>6} {:>14} {:>14} {:>14}", "p", "Q2-100G", "Q9-100G", "Q9-2G");
-    let ps: Vec<usize> = (1..=max_p)
-        .filter(|p| *p <= 10 || p % 5 == 0)
-        .collect();
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "p", "Q2-100G", "Q9-100G", "Q9-2G"
+    );
+    let ps: Vec<usize> = (1..=max_p).filter(|p| *p <= 10 || p % 5 == 0).collect();
     let mut curves: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cases.len()];
     let mut rows = Vec::new();
     for &p in &ps {

@@ -4,9 +4,9 @@
 //! Scaled-down default: 15 executors, task_scale 8 (paper: 50 slots on a
 //! real cluster). Decima is trained briefly inside the binary.
 
+use decima_baselines::{FifoScheduler, SjfCpScheduler, WeightedFairScheduler};
 use decima_bench::{run_episode, standard_trainer, train_with_progress, Args};
 use decima_core::ClusterSpec;
-use decima_baselines::{FifoScheduler, SjfCpScheduler, WeightedFairScheduler};
 use decima_policy::DecimaAgent;
 use decima_rl::TpchEnv;
 use decima_sim::{EpisodeResult, Scheduler, SimConfig};
@@ -54,6 +54,10 @@ fn main() {
     let f = fifo.avg_jct().unwrap();
     let d = decima.avg_jct().unwrap();
     let fr = fair.avg_jct().unwrap();
-    println!("\nDecima vs FIFO: {:+.0}%   Decima vs Fair: {:+.0}%", 100.0 * (d - f) / f, 100.0 * (d - fr) / fr);
+    println!(
+        "\nDecima vs FIFO: {:+.0}%   Decima vs Fair: {:+.0}%",
+        100.0 * (d - f) / f,
+        100.0 * (d - fr) / fr
+    );
     println!("Paper: Decima improves 45% over FIFO and 19% over fair on this setup.");
 }

@@ -6,11 +6,11 @@
 //! (§5.3 challenge #2). We quantify it: the across-sequence variance of
 //! episode returns dwarfs the within-sequence (action-sampling) variance.
 
+use decima_baselines::RandomScheduler;
 use decima_bench::{write_csv, Args};
 use decima_core::ClusterSpec;
 use decima_rl::{EnvFactory, TpchEnv};
 use decima_sim::Simulator;
-use decima_baselines::RandomScheduler;
 
 fn episode_return(env: &TpchEnv, seq_seed: u64, action_seed: u64) -> f64 {
     let (cluster, jobs, mut cfg): (ClusterSpec, _, _) = env.build(seq_seed);
@@ -31,8 +31,7 @@ fn main() {
 
     let stats = |v: &[f64]| {
         let m = v.iter().sum::<f64>() / v.len() as f64;
-        let sd =
-            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt();
+        let sd = (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt();
         (m, sd)
     };
     let (ma, sa) = stats(&across);
@@ -51,5 +50,9 @@ fn main() {
         .enumerate()
         .map(|(i, (a, w))| format!("{i},{a:.2},{w:.2}"))
         .collect();
-    write_csv("fig07_reward_variance", "sample,across_seq,within_seq", &rows);
+    write_csv(
+        "fig07_reward_variance",
+        "sample,across_seq,within_seq",
+        &rows,
+    );
 }

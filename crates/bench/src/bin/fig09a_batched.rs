@@ -5,12 +5,10 @@
 //! × 100 runs on 50 slots). The tuned weighted-fair α is swept on
 //! held-out seeds, exactly as §7.1 prescribes.
 
+use decima_baselines::{tune_alpha, FifoScheduler, SjfCpScheduler, WeightedFairScheduler};
 use decima_bench::{
     print_comparison, run_episode, standard_trainer, train_with_progress, write_csv, Args,
     SchedulerSeries,
-};
-use decima_baselines::{
-    tune_alpha, FifoScheduler, SjfCpScheduler, WeightedFairScheduler,
 };
 use decima_rl::{EnvFactory, TpchEnv};
 use decima_sim::Scheduler;
@@ -69,7 +67,12 @@ fn main() {
         series("fifo", &env, &test_seeds, || FifoScheduler),
         series("sjf-cp", &env, &test_seeds, || SjfCpScheduler),
         series("fair", &env, &test_seeds, WeightedFairScheduler::fair),
-        series("naive-weighted-fair", &env, &test_seeds, WeightedFairScheduler::naive),
+        series(
+            "naive-weighted-fair",
+            &env,
+            &test_seeds,
+            WeightedFairScheduler::naive,
+        ),
         series("opt-weighted-fair", &env, &test_seeds, || {
             WeightedFairScheduler::new(alpha)
         }),

@@ -5,8 +5,8 @@
 //! keep up accumulate a backlog; we report completed-job average JCT and
 //! the backlog at the horizon.
 
-use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
 use decima_baselines::{FifoScheduler, SjfCpScheduler, WeightedFairScheduler};
+use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
 use decima_policy::DecimaAgent;
 use decima_rl::{Curriculum, EnvFactory, TpchEnv};
 use decima_sim::{EpisodeResult, Scheduler};

@@ -3,8 +3,8 @@
 //! jobs, and total-work inflation, Decima vs the tuned weighted-fair
 //! heuristic.
 
-use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
 use decima_baselines::WeightedFairScheduler;
+use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
 use decima_policy::DecimaAgent;
 use decima_rl::{Curriculum, EnvFactory, TpchEnv};
 use decima_sim::EpisodeResult;
@@ -37,7 +37,11 @@ fn main() {
     let ser = |r: &EpisodeResult| r.concurrency_series();
     let (hs, ds) = (ser(&heuristic), ser(&decima));
     let peak = |s: &[(f64, usize)]| s.iter().map(|&(_, c)| c).max().unwrap_or(0);
-    println!("\n(a) concurrent jobs: peak heuristic {}, peak decima {}", peak(&hs), peak(&ds));
+    println!(
+        "\n(a) concurrent jobs: peak heuristic {}, peak decima {}",
+        peak(&hs),
+        peak(&ds)
+    );
     let rows: Vec<String> = hs
         .iter()
         .map(|&(t, c)| format!("heuristic,{t:.1},{c}"))
@@ -98,8 +102,12 @@ fn main() {
     };
     let (h_alloc, h_infl) = stats(&heuristic);
     let (d_alloc, d_infl) = stats(&decima);
-    println!("(d) mean peak executors on smallest-20% jobs: heuristic {h_alloc:.1}, decima {d_alloc:.1}");
-    println!("(e) mean work inflation (executed/static): heuristic {h_infl:.2}, decima {d_infl:.2}");
+    println!(
+        "(d) mean peak executors on smallest-20% jobs: heuristic {h_alloc:.1}, decima {d_alloc:.1}"
+    );
+    println!(
+        "(e) mean work inflation (executed/static): heuristic {h_infl:.2}, decima {d_infl:.2}"
+    );
     println!(
         "\navg JCT: heuristic {:.1}s vs decima {:.1}s ({:+.0}%)",
         heuristic.avg_jct().unwrap_or(f64::NAN),

@@ -2,8 +2,8 @@
 //! vs opt-weighted-fair, Tetris, and Graphene* on (a) the Alibaba-like
 //! trace replay and (b) the TPC-H workload with random memory demands.
 
-use decima_bench::{run_episode, train_with_progress, write_csv, Args};
 use decima_baselines::{tune_graphene, GrapheneScheduler, TetrisScheduler, WeightedFairScheduler};
+use decima_bench::{run_episode, train_with_progress, write_csv, Args};
 use decima_gnn::FEAT_DIM;
 use decima_nn::ParamStore;
 use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
@@ -128,21 +128,32 @@ fn main() {
         train_with_progress(&mut trainer, &env, iters);
         eval_all("tpch-mem", &env, &seeds, &trainer, &mut rows);
     }
-    write_csv("fig11_multires", "workload,scheduler,avg_jct,unfinished", &rows);
+    write_csv(
+        "fig11_multires",
+        "workload,scheduler,avg_jct,unfinished",
+        &rows,
+    );
 }
 
 /// TPC-H stream with per-stage memory demands on a four-class cluster.
 struct TpchMem(TpchEnv);
 impl EnvFactory for TpchMem {
-    fn build(&self, seq_seed: u64) -> (decima_core::ClusterSpec, Vec<decima_core::JobSpec>, decima_sim::SimConfig) {
+    fn build(
+        &self,
+        seq_seed: u64,
+    ) -> (
+        decima_core::ClusterSpec,
+        Vec<decima_core::JobSpec>,
+        decima_sim::SimConfig,
+    ) {
         let (c, jobs, cfg) = self.0.build(seq_seed);
         let mut rng = SmallRng::seed_from_u64(seq_seed ^ 0xfeed);
         let jobs = jobs
             .into_iter()
             .map(|j| decima_workload::with_random_memory(j, &mut rng))
             .collect();
-        let cluster = decima_core::ClusterSpec::four_class(c.total_executors())
-            .with_move_delay(c.move_delay);
+        let cluster =
+            decima_core::ClusterSpec::four_class(c.total_executors()).with_move_delay(c.move_delay);
         (cluster, jobs, cfg)
     }
 }

@@ -2,8 +2,8 @@
 //! duration ratio per total-work bin, (b) per-class executor usage on
 //! the smallest-20% jobs. Runs the Alibaba-like multi-resource setup.
 
-use decima_bench::{run_episode, train_with_progress, write_csv, Args};
 use decima_baselines::GrapheneScheduler;
+use decima_bench::{run_episode, train_with_progress, write_csv, Args};
 use decima_nn::ParamStore;
 use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
 use decima_rl::{AlibabaEnv, Curriculum, EnvFactory, TrainConfig, Trainer};
@@ -84,7 +84,11 @@ fn main() {
         println!("  quintile {}: {:.2}", b + 1, ratio);
         rows.push(format!("{},{ratio:.4}", b + 1));
     }
-    write_csv("fig12a_duration_ratio", "work_quintile,decima_over_graphene", &rows);
+    write_csv(
+        "fig12a_duration_ratio",
+        "work_quintile,decima_over_graphene",
+        &rows,
+    );
 
     // (b) per-class executor usage on the smallest-20% jobs.
     let small_cut = sorted[sorted.len() / 5];
@@ -109,7 +113,11 @@ fn main() {
         println!("  memory {:.2}: {:.2}", mems[c], ratio);
         rows.push(format!("{},{ratio:.4}", mems[c]));
     }
-    write_csv("fig12b_class_usage", "class_memory,decima_over_graphene", &rows);
+    write_csv(
+        "fig12b_class_usage",
+        "class_memory,decima_over_graphene",
+        &rows,
+    );
     println!("\nPaper shape: Decima completes small jobs faster and uses ~39% more of");
     println!("the largest executor class on the smallest-20% jobs.");
 }

@@ -5,8 +5,8 @@
 //! embedding, w/o parallelism control, trained on batched arrivals, and
 //! w/o variance reduction (unfixed sequences).
 
-use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
 use decima_baselines::WeightedFairScheduler;
+use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
 use decima_nn::ParamStore;
 use decima_policy::{DecimaPolicy, ParallelismMode, PolicyConfig};
 use decima_rl::{Curriculum, EnvFactory, TpchEnv, TrainConfig, Trainer};
@@ -68,22 +68,19 @@ fn main() {
             .sum::<f64>()
             / eval_seeds.len() as f64;
 
-        let train_and_eval = |cfg: PolicyConfig,
-                                  fixed_seq: bool,
-                                  batch_train: bool,
-                                  seed: u64|
-         -> f64 {
-            let mut t = variant_trainer(execs, cfg, fixed_seq, seed);
-            if batch_train {
-                let batch_env = TpchEnv::batch(20, execs);
-                t.cfg.curriculum = None;
-                t.cfg.differential_reward = false;
-                train_with_progress(&mut t, &batch_env, iters);
-            } else {
-                train_with_progress(&mut t, &env, iters);
-            }
-            eval_mean_jct(&t, &env, &eval_seeds)
-        };
+        let train_and_eval =
+            |cfg: PolicyConfig, fixed_seq: bool, batch_train: bool, seed: u64| -> f64 {
+                let mut t = variant_trainer(execs, cfg, fixed_seq, seed);
+                if batch_train {
+                    let batch_env = TpchEnv::batch(20, execs);
+                    t.cfg.curriculum = None;
+                    t.cfg.differential_reward = false;
+                    train_with_progress(&mut t, &batch_env, iters);
+                } else {
+                    train_with_progress(&mut t, &env, iters);
+                }
+                eval_mean_jct(&t, &env, &eval_seeds)
+            };
 
         let full = train_and_eval(PolicyConfig::small(execs), true, false, 31);
         let no_gnn = train_and_eval(

@@ -68,7 +68,11 @@ fn main() {
             curves[0][i].0, curves[0][i].1, curves[1][i].1, curves[2][i].1
         ));
     }
-    write_csv("fig15a_learning_curve", "iter,job_level,one_hot,stage_level", &rows);
+    write_csv(
+        "fig15a_learning_curve",
+        "iter,job_level,one_hot,stage_level",
+        &rows,
+    );
     println!("\nPaper shape: the limit-as-input job-level encoding learns fastest;");
     println!("one-hot output heads and stage-level granularity train slower.");
 }

@@ -32,7 +32,10 @@ fn main() {
         .collect();
     intervals_ms.sort_by(|a, b| a.total_cmp(b));
 
-    println!("Figure 15b: scheduling delay vs event interval ({} decisions)", delays_ms.len());
+    println!(
+        "Figure 15b: scheduling delay vs event interval ({} decisions)",
+        delays_ms.len()
+    );
     for q in [0.5, 0.9, 0.95, 0.99] {
         println!(
             "  p{:>2.0}: decision {:>8.2} ms   event interval {:>10.1} ms",

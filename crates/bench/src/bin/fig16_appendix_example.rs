@@ -13,8 +13,8 @@
 //! (10 s), then L (10 s) must still run → 28 + ε·stuff. The optimal plan
 //! gives L one slot at t = 0 and overlaps both branches → 20 + ε.
 
-use decima_bench::{run_episode, standard_trainer, train_with_progress, Args};
 use decima_baselines::SjfCpScheduler;
+use decima_bench::{run_episode, standard_trainer, train_with_progress, Args};
 use decima_core::{ClusterSpec, JobBuilder, JobId, JobSpec, StageSpec};
 use decima_policy::DecimaAgent;
 use decima_rl::EnvFactory;
@@ -53,8 +53,14 @@ fn main() {
     let cp = run_episode(&cluster, &jobs, &cfg, SjfCpScheduler)
         .makespan()
         .unwrap();
-    println!("critical-path schedule: {cp:.2}s (paper: 28 + 3ε = {:.2}s)", 28.0 + 3.0 * EPS);
-    println!("optimal plan:           {:.2}s (paper: 20 + 3ε)", 20.0 + 3.0 * EPS);
+    println!(
+        "critical-path schedule: {cp:.2}s (paper: 28 + 3ε = {:.2}s)",
+        28.0 + 3.0 * EPS
+    );
+    println!(
+        "optimal plan:           {:.2}s (paper: 20 + 3ε)",
+        20.0 + 3.0 * EPS
+    );
 
     println!("\nTraining Decima on this single DAG ({iters} iterations)...");
     let mut trainer = standard_trainer(5, None, 47);

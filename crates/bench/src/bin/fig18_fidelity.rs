@@ -7,8 +7,8 @@
 //! relative error per query in isolation and for a 22-query mix —
 //! the paper's bars are ≤5% (isolated) and ≤9% (mixed).
 
-use decima_bench::{run_episode, write_csv, Args};
 use decima_baselines::WeightedFairScheduler;
+use decima_bench::{run_episode, write_csv, Args};
 use decima_core::{ClusterSpec, JobId, SimTime};
 use decima_sim::SimConfig;
 use decima_workload::{renumber, tpch_job_scaled};

@@ -14,8 +14,12 @@ fn main() {
     let every: usize = args.get("eval-every", 25);
 
     let mut rng = SmallRng::seed_from_u64(0);
-    let train: Vec<CpExample> = (0..64).map(|_| random_cp_example(nodes, &mut rng)).collect();
-    let test: Vec<CpExample> = (0..100).map(|_| random_cp_example(nodes, &mut rng)).collect();
+    let train: Vec<CpExample> = (0..64)
+        .map(|_| random_cp_example(nodes, &mut rng))
+        .collect();
+    let test: Vec<CpExample> = (0..100)
+        .map(|_| random_cp_example(nodes, &mut rng))
+        .collect();
 
     let mut two = CpHarness::new(true, 7);
     let mut one = CpHarness::new(false, 7);

@@ -2,8 +2,8 @@
 //! orderings in the simplified environment (no waves, no inflation, free
 //! executor motion).
 
-use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
 use decima_baselines::{exhaustive_search, SjfCpScheduler, WeightedFairScheduler};
+use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
 use decima_core::{ClusterSpec, JobSpec};
 use decima_policy::DecimaAgent;
 use decima_rl::{EnvFactory, TpchEnv};
@@ -64,7 +64,11 @@ fn main() {
             search.avg_jct
         ));
     }
-    write_csv("fig22_optimality", "seed,opt_wf,sjf_cp,search,decima", &rows);
+    write_csv(
+        "fig22_optimality",
+        "seed,opt_wf,sjf_cp,search,decima",
+        &rows,
+    );
     println!("\nPaper shape: SJF-CP beats tuned weighted-fair here (no real-cluster");
     println!("complexity); the ordering search beats SJF-CP; Decima matches or");
     println!("slightly beats the search (it re-prioritizes dynamically at runtime).");

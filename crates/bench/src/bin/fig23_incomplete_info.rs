@@ -2,8 +2,8 @@
 //! Decima trained without task-duration estimates still beats the tuned
 //! heuristic by exploiting DAG structure and task counts.
 
-use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
 use decima_baselines::WeightedFairScheduler;
+use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
 use decima_gnn::FeatureConfig;
 use decima_nn::ParamStore;
 use decima_policy::{DecimaPolicy, PolicyConfig};

@@ -5,13 +5,13 @@
 //! (task_scale 8, 10 executors): paper's 45 s / 75 s IATs become 24 s /
 //! 40 s at the same offered loads.
 
-use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
 use decima_baselines::WeightedFairScheduler;
+use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
+use decima_core::{ClusterSpec, JobSpec};
 use decima_gnn::FeatureConfig;
 use decima_nn::ParamStore;
 use decima_policy::{DecimaPolicy, PolicyConfig};
 use decima_rl::{Curriculum, EnvFactory, TpchEnv, TrainConfig, Trainer};
-use decima_core::{ClusterSpec, JobSpec};
 use decima_sim::SimConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -235,9 +235,7 @@ impl DagTopology {
 
     /// Length of the overall critical path (max over nodes).
     pub fn critical_path_len(&self, work: &[f64]) -> f64 {
-        self.critical_path(work)
-            .into_iter()
-            .fold(0.0_f64, f64::max)
+        self.critical_path(work).into_iter().fold(0.0_f64, f64::max)
     }
 
     /// All nodes reachable (strictly) downstream of `v`.

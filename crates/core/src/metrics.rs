@@ -54,7 +54,7 @@ impl std::fmt::Display for Summary {
     }
 }
 
-/// Linear-interpolated percentile of an ascending-sorted slice; `q` in [0,1].
+/// Linear-interpolated percentile of an ascending-sorted slice; `q` in `[0, 1]`.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -102,10 +102,7 @@ impl Cdf {
 
     /// F(x): fraction of the sample ≤ `x`.
     pub fn at(&self, x: f64) -> f64 {
-        match self
-            .points
-            .binary_search_by(|(v, _)| v.total_cmp(&x))
-        {
+        match self.points.binary_search_by(|(v, _)| v.total_cmp(&x)) {
             Ok(mut i) => {
                 // Step to the last equal value.
                 while i + 1 < self.points.len() && self.points[i + 1].0 == x {

@@ -153,10 +153,7 @@ impl GnnEncoder {
 
             // Gather all child embeddings of this level's nodes from the
             // already-computed blocks.
-            let total_children: usize = level_nodes
-                .iter()
-                .map(|&v| g.children_of(v).len())
-                .sum();
+            let total_children: usize = level_nodes.iter().map(|&v| g.children_of(v).len()).sum();
             let e_level = if total_children == 0 {
                 // All leaves: message is the zero vector, so
                 // e = g(0) + p (or just p in single-level mode).

@@ -50,13 +50,7 @@ impl Default for FeatureConfig {
 
 impl FeatureConfig {
     /// Builds the per-node feature row for one `(job, node)` pair.
-    fn node_row(
-        &self,
-        obs: &Observation,
-        job_idx: usize,
-        node_idx: usize,
-        out: &mut [f64],
-    ) {
+    fn node_row(&self, obs: &Observation, job_idx: usize, node_idx: usize, out: &mut [f64]) {
         let job = &obs.jobs[job_idx];
         let n = &job.nodes[node_idx];
         let m = obs.total_executors.max(1) as f64;

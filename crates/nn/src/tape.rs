@@ -23,7 +23,9 @@ pub struct TensorId(usize);
 #[derive(Debug)]
 enum Op {
     Input,
-    Param { store_idx: usize },
+    Param {
+        store_idx: usize,
+    },
     MatMul(TensorId, TensorId),
     Add(TensorId, TensorId),
     /// `[m,n] + [1,n]` with the right operand broadcast across rows.
@@ -267,12 +269,7 @@ impl Tape {
         let t = self.value(a);
         assert_eq!(t.cols(), 1, "log_softmax_col needs a column vector");
         let max = t.data().iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let lse = max
-            + t.data()
-                .iter()
-                .map(|&x| (x - max).exp())
-                .sum::<f64>()
-                .ln();
+        let lse = max + t.data().iter().map(|&x| (x - max).exp()).sum::<f64>().ln();
         let v = t.map(|x| x - lse);
         self.push(v, Op::LogSoftmaxCol(a))
     }
@@ -524,7 +521,10 @@ mod tests {
     #[test]
     fn grad_check_matmul_bias_relu() {
         let mut store = ParamStore::new();
-        store.add("w", Tensor::from_vec(3, 2, vec![0.5, -0.3, 0.2, 0.8, -0.6, 0.1]));
+        store.add(
+            "w",
+            Tensor::from_vec(3, 2, vec![0.5, -0.3, 0.2, 0.8, -0.6, 0.1]),
+        );
         store.add("b", Tensor::from_vec(1, 2, vec![0.1, -0.2]));
         grad_check(&mut store, |tape, store| {
             let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]));

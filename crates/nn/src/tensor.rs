@@ -135,7 +135,8 @@ impl Tensor {
     /// Matrix product `self[m,k] × rhs[k,n]`.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()

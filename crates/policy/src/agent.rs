@@ -12,9 +12,9 @@
 //!   (see `decima-rl`).
 
 use crate::policy::{argmax_logp, sample_from_logp, DecimaPolicy, ParallelismMode};
+use decima_core::{ClassId, StageId};
 use decima_nn::{ParamStore, Tape};
 use decima_sim::{Action, Observation, Scheduler};
-use decima_core::{ClassId, StageId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -120,11 +120,7 @@ impl DecimaAgent {
     }
 
     fn scalar_entropy(tape: &Tape, logp: decima_nn::TensorId) -> f64 {
-        tape.value(logp)
-            .data()
-            .iter()
-            .map(|&l| -l.exp() * l)
-            .sum()
+        tape.value(logp).data().iter().map(|&l| -l.exp() * l).sum()
     }
 }
 
@@ -327,13 +323,8 @@ mod tests {
         let r1 = mk_sim().run(&mut sampler);
 
         let advantages = vec![1.0; sampler.records.len()];
-        let mut replayer = DecimaAgent::replayer(
-            policy,
-            store,
-            sampler.records.clone(),
-            advantages,
-            0.01,
-        );
+        let mut replayer =
+            DecimaAgent::replayer(policy, store, sampler.records.clone(), advantages, 0.01);
         let r2 = mk_sim().run(&mut replayer);
         assert_eq!(r1.avg_jct(), r2.avg_jct(), "replay must be bit-faithful");
         assert_eq!(r1.actions.len(), r2.actions.len());

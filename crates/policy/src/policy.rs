@@ -171,10 +171,7 @@ impl DecimaPolicy {
     pub fn new(cfg: PolicyConfig, store: &mut ParamStore, rng: &mut impl Rng) -> Self {
         let act = Activation::LeakyRelu(0.2);
         let d = cfg.embed_dim();
-        let encoder = cfg
-            .gnn
-            .clone()
-            .map(|g| GnnEncoder::new(g, store, rng));
+        let encoder = cfg.gnn.clone().map(|g| GnnEncoder::new(g, store, rng));
         let q_net = Mlp::new(store, "policy.q", &cfg.mlp_dims(3 * d, 1), act, rng);
         let w_net = Mlp::new(store, "policy.w", &cfg.mlp_dims(2 * d + 1, 1), act, rng);
         let w_onehot = (cfg.parallelism == ParallelismMode::OneHot).then(|| {
@@ -186,9 +183,8 @@ impl DecimaPolicy {
                 rng,
             )
         });
-        let class_net = (cfg.num_classes > 1).then(|| {
-            Mlp::new(store, "policy.class", &cfg.mlp_dims(2 * d + 2, 1), act, rng)
-        });
+        let class_net = (cfg.num_classes > 1)
+            .then(|| Mlp::new(store, "policy.class", &cfg.mlp_dims(2 * d + 2, 1), act, rng));
         // Near-zero final layers give a near-uniform initial policy:
         // unnormalized GNN sums would otherwise make the initial softmax
         // almost deterministic and kill exploration.
@@ -315,7 +311,7 @@ impl DecimaPolicy {
                 let win = tape.concat_cols(&[yi, z]);
                 let net = self.w_onehot.as_ref().expect("one-hot head exists");
                 let all = net.forward(tape, store, win); // [l, total] (row-repeated)
-                // Select each valid limit's unit from the first row.
+                                                         // Select each valid limit's unit from the first row.
                 let first = tape.gather_rows(all, vec![0]);
                 let t = values.len();
                 let mut sel = Tensor::zeros(self.cfg.total_executors, t);
@@ -324,7 +320,7 @@ impl DecimaPolicy {
                 }
                 let sel = tape.input(sel);
                 let picked = tape.matmul(first, sel); // [1, t]
-                // To a column for log_softmax_col: gather transpose.
+                                                      // To a column for log_softmax_col: gather transpose.
                 let mut cols = Vec::with_capacity(t);
                 for i in 0..t {
                     cols.push(tape.pick(picked, 0, i));

@@ -37,10 +37,7 @@ impl ReturnSeries {
     /// at or after `t` (a step function; 0 past the final action, since no
     /// reward remains to be collected).
     pub fn at(&self, t: f64) -> f64 {
-        match self
-            .times
-            .binary_search_by(|probe| probe.total_cmp(&t))
-        {
+        match self.times.binary_search_by(|probe| probe.total_cmp(&t)) {
             Ok(mut i) => {
                 while i > 0 && self.times[i - 1] == t {
                     i -= 1;

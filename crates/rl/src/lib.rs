@@ -4,7 +4,7 @@
 //! and C): REINFORCE with input-dependent time-aligned baselines,
 //! curriculum learning via memoryless episode termination, the
 //! average-reward (differential) formulation, entropy regularization,
-//! and crossbeam-parallel rollout/replay passes.
+//! and scoped-thread-parallel rollout/replay passes.
 
 #![warn(missing_docs)]
 

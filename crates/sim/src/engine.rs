@@ -5,7 +5,8 @@
 //! `ClusterSpec::move_delay` seconds of dead time (JVM teardown/launch);
 //! the first task an executor runs on a stage is slowed by the stage's
 //! first-wave factor; per-task durations inflate with the job's current
-//! parallelism according to its [`InflationCurve`]; optional log-normal
+//! parallelism according to its [`InflationCurve`](decima_core::InflationCurve);
+//! optional log-normal
 //! noise and task-failure injection complete the fidelity switches.
 //!
 //! The engine invokes the [`Scheduler`] at the paper's scheduling events
@@ -45,9 +46,7 @@ struct QueuedEv {
 
 impl Ord for QueuedEv {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -158,7 +157,8 @@ impl Simulator {
         let mut jobs = Vec::with_capacity(specs.len());
         for (i, spec) in specs.into_iter().enumerate() {
             assert_eq!(spec.id.index(), i, "job ids must be dense 0..n");
-            spec.validate().expect("invalid JobSpec handed to Simulator");
+            spec.validate()
+                .expect("invalid JobSpec handed to Simulator");
             let n = spec.dag.len();
             let mut nodes = vec![NodeRt::default(); n];
             for (v, node) in nodes.iter_mut().enumerate() {
@@ -438,9 +438,7 @@ impl Simulator {
                     .iter()
                     .enumerate()
                     .find(|(w, n)| {
-                        n.runnable
-                            && n.waiting > 0
-                            && mem >= job.spec.stages[*w].mem_demand
+                        n.runnable && n.waiting > 0 && mem >= job.spec.stages[*w].mem_demand
                     })
                     .map(|(w, _)| w as u32)
             }

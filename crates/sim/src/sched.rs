@@ -10,7 +10,7 @@
 //! executors are exhausted, no runnable stage remains, or the scheduler
 //! passes.
 
-use decima_core::{ClassId, JobId, JobSpec, StageId, SimTime};
+use decima_core::{ClassId, JobId, JobSpec, SimTime, StageId};
 use std::sync::Arc;
 
 /// Whether an action's parallelism limit constrains the whole job (the

@@ -86,7 +86,11 @@ pub fn alibaba_job(
     let mut layer_of = Vec::with_capacity(n);
     for v in 0..n {
         // Ensure each layer is non-empty by striping, then shuffle a bit.
-        let l = if v < layers { v } else { rng.gen_range(0..layers) };
+        let l = if v < layers {
+            v
+        } else {
+            rng.gen_range(0..layers)
+        };
         layer_of.push(l);
     }
     for _ in 0..n {
@@ -162,7 +166,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let n = 4000;
         let ge4 = (0..n)
-            .filter(|&i| alibaba_job(&cfg, JobId(i), SimTime::ZERO, &mut rng).dag.len() >= 4)
+            .filter(|&i| {
+                alibaba_job(&cfg, JobId(i), SimTime::ZERO, &mut rng)
+                    .dag
+                    .len()
+                    >= 4
+            })
             .count();
         let frac = ge4 as f64 / n as f64;
         // Paper: 59% of jobs have four or more stages.
@@ -177,7 +186,11 @@ mod tests {
         let cfg = AlibabaConfig::default();
         let mut rng = SmallRng::seed_from_u64(5);
         let max = (0..2000)
-            .map(|i| alibaba_job(&cfg, JobId(i), SimTime::ZERO, &mut rng).dag.len())
+            .map(|i| {
+                alibaba_job(&cfg, JobId(i), SimTime::ZERO, &mut rng)
+                    .dag
+                    .len()
+            })
             .max()
             .unwrap();
         assert!(max >= 60, "largest job only had {max} stages");

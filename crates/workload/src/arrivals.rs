@@ -94,12 +94,7 @@ pub fn alibaba_stream(n: usize, mean_iat: f64, seed: u64) -> Vec<JobSpec> {
 }
 
 /// [`alibaba_stream`] with explicit generator configuration.
-pub fn alibaba_stream_cfg(
-    cfg: &AlibabaConfig,
-    n: usize,
-    mean_iat: f64,
-    seed: u64,
-) -> Vec<JobSpec> {
+pub fn alibaba_stream_cfg(cfg: &AlibabaConfig, n: usize, mean_iat: f64, seed: u64) -> Vec<JobSpec> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let arrivals = ArrivalProcess::Poisson { mean_iat }.sample(n, &mut rng);
     arrivals

@@ -109,7 +109,9 @@ fn template(query: u16) -> Template {
             26.0,
         ),
         8 => (
-            &[Part, Supplier, Lineitem, Orders, Customer, Nation, Nation, Region],
+            &[
+                Part, Supplier, Lineitem, Orders, Customer, Nation, Nation, Region,
+            ],
             Shape::Bushy,
             3,
             27.0,

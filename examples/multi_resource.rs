@@ -2,7 +2,7 @@
 //! on a four-class cluster, comparing the packing heuristics.
 //!
 //! ```sh
-//! cargo run --release -p decima --example multi_resource
+//! cargo run --release --example multi_resource
 //! ```
 
 use decima::baselines::{GrapheneScheduler, TetrisScheduler, WeightedFairScheduler};

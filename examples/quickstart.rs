@@ -2,7 +2,7 @@
 //! schedulers, and print what happened.
 //!
 //! ```sh
-//! cargo run --release -p decima --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use decima::baselines::{FifoScheduler, WeightedFairScheduler};
@@ -37,8 +37,12 @@ fn main() {
     for (name, result) in [
         (
             "FIFO",
-            Simulator::new(cluster.clone(), vec![diamond.clone(), small.clone()], cfg.clone())
-                .run(FifoScheduler),
+            Simulator::new(
+                cluster.clone(),
+                vec![diamond.clone(), small.clone()],
+                cfg.clone(),
+            )
+            .run(FifoScheduler),
         ),
         (
             "Fair",

@@ -2,7 +2,7 @@
 //! saturate (§7.2's "heuristics cannot keep up" regime).
 //!
 //! ```sh
-//! cargo run --release -p decima --example streaming_load
+//! cargo run --release --example streaming_load
 //! ```
 
 use decima::baselines::{FifoScheduler, SjfCpScheduler, WeightedFairScheduler};

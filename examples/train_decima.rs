@@ -2,7 +2,7 @@
 //! heuristics on a batched TPC-H-like workload.
 //!
 //! ```sh
-//! cargo run --release -p decima --example train_decima -- [iterations]
+//! cargo run --release --example train_decima -- [iterations]
 //! ```
 
 use decima::baselines::{FifoScheduler, WeightedFairScheduler};

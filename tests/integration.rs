@@ -16,16 +16,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn shrink(jobs: Vec<JobSpec>, factor: u32) -> Vec<JobSpec> {
-    jobs.into_iter()
-        .map(|mut j| {
-            for s in &mut j.stages {
-                s.num_tasks = (s.num_tasks / factor).max(1);
-            }
-            j
-        })
-        .collect()
-}
+use decima_tests::shrink_jobs as shrink;
 
 #[test]
 fn full_pipeline_baseline_ordering() {

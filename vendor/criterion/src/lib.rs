@@ -1,0 +1,126 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness (see `vendor/README.md` for why dependencies are
+//! vendored).
+//!
+//! Supports the `criterion_group!` / `criterion_main!` /
+//! [`Criterion::bench_function`] surface used by `crates/bench/benches/`.
+//! Instead of criterion's full statistical machinery it runs a short
+//! warm-up, then timed batches until ~0.5 s has elapsed, and reports the
+//! median per-iteration time. Numbers are indicative, not
+//! publication-grade — good enough to catch order-of-magnitude
+//! regressions (e.g. Figure 15b's <15 ms scheduling-decision budget)
+//! without any external dependencies.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    /// Target wall-clock spent measuring each benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measure_for: self.measure_for,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    measure_for: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+        let deadline = Instant::now() + self.measure_for;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_by(f64::total_cmp);
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[self.samples.len() / 20];
+        let hi = self.samples[self.samples.len() * 19 / 20];
+        println!(
+            "{name:<40} median {} (p5 {}, p95 {})",
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

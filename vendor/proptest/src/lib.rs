@@ -1,0 +1,139 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate (see `vendor/README.md` for why dependencies are vendored).
+//!
+//! Implements the subset the Decima test suites use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! [`Just`], [`collection::vec`], [`ProptestConfig::with_cases`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case is reported with the seed of the
+//!   run but is not minimized.
+//! * **Deterministic seeding.** Each generated test derives its RNG seed
+//!   from the test name (FNV-1a), so failures reproduce exactly across
+//!   runs and machines.
+//! * `prop_assert!` panics immediately (it is `assert!` with the case
+//!   number attached) instead of returning a `TestCaseError`.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Subset of proptest's run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test body runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// FNV-1a hash of the test name — the per-test RNG seed.
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times and runs
+/// the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::__rand::SeedableRng as _;
+                let cfg: $crate::ProptestConfig = $cfg;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let mut __proptest_rng = $crate::__rand::rngs::SmallRng::seed_from_u64(
+                        seed.wrapping_add(case as u64),
+                    );
+                    let ( $($pat,)+ ) = (
+                        $( $crate::strategy::Strategy::sample_once(&$strat, &mut __proptest_rng), )+
+                    );
+                    // Attach the case number to any panic from the body.
+                    $crate::__case_guard(case, || $body);
+                }
+            }
+        )*
+    };
+}
+
+/// Runs one case, annotating panics with the case number.
+#[doc(hidden)]
+pub fn __case_guard<F: FnOnce()>(case: u32, f: F) {
+    struct Bomb(u32, bool);
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            if !self.1 {
+                eprintln!("proptest (vendored stub): failing case index {}", self.0);
+            }
+        }
+    }
+    let mut bomb = Bomb(case, false);
+    f();
+    bomb.1 = true;
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,15 @@
+//! The [`Distribution`] trait that `rand_distr` builds on.
+
+use crate::RngCore;
+
+/// A probability distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using the given RNG.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}

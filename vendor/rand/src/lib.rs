@@ -1,0 +1,274 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal,
+//! API-compatible stubs (see `vendor/README.md`). This crate implements
+//! exactly the subset of the `rand` 0.8 API the Decima reproduction uses:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable PRNG (xoshiro256++).
+//! * [`SeedableRng::seed_from_u64`] — deterministic seeding.
+//! * [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`Rng::sample`].
+//! * [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`].
+//! * [`distributions::Distribution`] — the trait `rand_distr` builds on.
+//!
+//! Determinism matters more than statistical perfection here: the RL
+//! trainer's input-dependent baselines require that the same seed always
+//! produces the same job sequence, which this implementation guarantees.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// A low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates the RNG from a single `u64` seed (via SplitMix64 expansion,
+    /// so nearby seeds still produce uncorrelated streams).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its "standard" distribution:
+    /// uniform in `[0, 1)` for floats, uniform over all values for
+    /// integers, fair coin for `bool`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from a half-open (`lo..hi`) or inclusive
+    /// (`lo..=hi`) range. Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit [`distributions::Distribution`].
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a "standard" distribution usable via [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from the RNG.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Scalar types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`; `hi` is exclusive.
+    fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`; `hi` is inclusive.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + core::fmt::Debug> SampleRange<T>
+    for core::ops::Range<T>
+{
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "gen_range: empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + core::fmt::Debug> SampleRange<T>
+    for core::ops::RangeInclusive<T>
+{
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range {lo:?}..={hi:?}");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Widening-multiply reduction: unbiased enough for
+                // simulation workloads, and avoids modulo bias hotspots.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let u: f64 = Standard::from_rng(rng);
+                let v = lo + (hi - lo) * u as $t;
+                if v < hi {
+                    v.max(lo)
+                } else {
+                    // `lo + (hi - lo) * u` can round up to `hi` for u near
+                    // 1; step down one ulp to honor the half-open contract.
+                    let down = if hi > 0.0 {
+                        <$t>::from_bits(hi.to_bits() - 1)
+                    } else if hi < 0.0 {
+                        <$t>::from_bits(hi.to_bits() + 1)
+                    } else {
+                        -<$t>::from_bits(1) // largest value below +0.0
+                    };
+                    down.max(lo)
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                // For floats the closed/half-open distinction is immaterial.
+                Self::sample_exclusive(lo, hi, rng)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let s: i64 = rng.gen_range(-10..-2);
+            assert!((-10..-2).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_and_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn float_range_never_returns_exclusive_bound() {
+        // In a one-ulp-wide range, `lo + (hi - lo) * u` rounds up to `hi`
+        // for roughly half of all draws unless clamped.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let lo = 1.0f64;
+        let hi = 1.0 + f64::EPSILON;
+        for _ in 0..10_000 {
+            assert_eq!(rng.gen_range(lo..hi), lo);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac} far from 0.25");
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate (see `vendor/README.md` for why dependencies are vendored).
+//!
+//! Implements the two distributions the Decima reproduction samples from:
+//!
+//! * [`Exp`] — exponential inter-arrival times for the Poisson job
+//!   stream (§6.2) and the memoryless training horizon (§5.3).
+//! * [`LogNormal`] — task-count and task-duration marginals of the
+//!   Alibaba-like workload synthesizer (§7.3).
+//!
+//! Sampling uses inverse-transform (exponential) and Box–Muller
+//! (normal → log-normal): numerically unremarkable, deterministic under
+//! the vendored [`rand`] RNGs, and accurate far beyond what the
+//! simulator needs.
+
+#![warn(missing_docs)]
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The exponential distribution `Exp(λ)` with rate parameter `λ`.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda` (mean
+    /// `1/lambda`). Fails if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error("Exp: rate must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        // u is in [0, 1), so 1 - u is in (0, 1] and ln() is finite.
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// The log-normal distribution: `exp(N(μ, σ²))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the mean `mu` and standard
+    /// deviation `sigma` of the underlying normal. Fails if `sigma` is
+    /// negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error("LogNormal: need finite mu and sigma >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform.
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * (1.0 - u1).ln()).sqrt();
+        let z = r * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}, want ~0.5");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!(
+            (median - 1.0f64.exp()).abs() < 0.1,
+            "median {median}, want ~e"
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate (see `vendor/README.md` for why dependencies are vendored).
+//!
+//! The Decima reproduction derives `Serialize`/`Deserialize` on its
+//! config and model types so that checkpointing can be added later, but
+//! nothing in the workspace serializes yet (there is no `serde_json` /
+//! `bincode`). This stub therefore provides the two traits as markers,
+//! blanket-implemented for all types, plus no-op derive macros — enough
+//! for every `#[derive(Serialize, Deserialize)]` in the tree to compile
+//! unchanged. Swapping in the real `serde` later is a one-line change in
+//! the workspace manifest.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided — the
+/// stub never borrows from an input).
+pub trait Deserialize {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<T: ?Sized> Deserialize for T {}

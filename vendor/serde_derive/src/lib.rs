@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits are blanket-implemented
+//! for every type, so the derives have nothing to generate — they exist
+//! only so `#[derive(Serialize, Deserialize)]` attributes resolve.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
