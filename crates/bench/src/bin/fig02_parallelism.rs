@@ -5,73 +5,6 @@
 //! speeds up to ~40 parallel tasks, Q2@100G stalls near 20, Q9@2G needs
 //! only a handful.
 
-use decima_bench::{run_episode, write_csv, Args};
-use decima_core::{ClusterSpec, JobId, SimTime};
-use decima_sim::{Action, Observation, Scheduler, SimConfig};
-use decima_workload::tpch_job;
-
-/// Gives every executor to the only job (a user running one query).
-struct Greedy;
-impl Scheduler for Greedy {
-    fn decide(&mut self, obs: &Observation) -> Option<Action> {
-        let &(j, s) = obs.schedulable.first()?;
-        Some(Action::new(obs.jobs[j].id, s, obs.total_executors))
-    }
-}
-
-fn runtime(query: u16, gb: f64, execs: usize) -> f64 {
-    let job = tpch_job(query, gb, JobId(0), SimTime::ZERO);
-    let cluster = ClusterSpec::homogeneous(execs).with_move_delay(0.0);
-    let cfg = SimConfig {
-        first_wave: false,
-        noise: 0.0,
-        ..SimConfig::default()
-    };
-    run_episode(&cluster, &[job], &cfg, Greedy)
-        .avg_jct()
-        .expect("single job completes")
-}
-
-fn sweet_spot(curve: &[(usize, f64)]) -> usize {
-    // First parallelism whose runtime is within 5% of the curve minimum.
-    let min = curve.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
-    curve
-        .iter()
-        .find(|&&(_, r)| r <= 1.05 * min)
-        .map(|&(p, _)| p)
-        .unwrap_or(0)
-}
-
 fn main() {
-    let args = Args::new();
-    let max_p: usize = args.get("max-parallelism", 100);
-    let cases = [(2u16, 100.0), (9, 100.0), (9, 2.0)];
-
-    println!("Figure 2: runtime vs. degree of parallelism");
-    println!(
-        "{:>6} {:>14} {:>14} {:>14}",
-        "p", "Q2-100G", "Q9-100G", "Q9-2G"
-    );
-    let ps: Vec<usize> = (1..=max_p).filter(|p| *p <= 10 || p % 5 == 0).collect();
-    let mut curves: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cases.len()];
-    let mut rows = Vec::new();
-    for &p in &ps {
-        let mut row = format!("{p}");
-        let mut line = format!("{p:>6}");
-        for (i, &(q, gb)) in cases.iter().enumerate() {
-            let r = runtime(q, gb, p);
-            curves[i].push((p, r));
-            line += &format!(" {r:>14.1}");
-            row += &format!(",{r:.3}");
-        }
-        println!("{line}");
-        rows.push(row);
-    }
-    write_csv("fig02_parallelism", "p,q2_100g,q9_100g,q9_2g", &rows);
-
-    println!("\nSweet spots (within 5% of best):");
-    for (i, &(q, gb)) in cases.iter().enumerate() {
-        println!("  Q{q}@{gb}GB: {} executors", sweet_spot(&curves[i]));
-    }
-    println!("Paper: Q9@100G ≈ 40, Q2@100G ≈ 20, Q9@2G ≲ 10.");
+    decima_bench::artifact_main("fig02")
 }

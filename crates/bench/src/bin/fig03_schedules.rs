@@ -4,60 +4,6 @@
 //! Scaled-down default: 15 executors, task_scale 8 (paper: 50 slots on a
 //! real cluster). Decima is trained briefly inside the binary.
 
-use decima_baselines::{FifoScheduler, SjfCpScheduler, WeightedFairScheduler};
-use decima_bench::{run_episode, standard_trainer, train_with_progress, Args};
-use decima_core::ClusterSpec;
-use decima_policy::DecimaAgent;
-use decima_rl::TpchEnv;
-use decima_sim::{EpisodeResult, Scheduler, SimConfig};
-
-fn show(name: &str, r: &EpisodeResult, width: usize) {
-    println!(
-        "\n--- {name}: avg JCT {:.1}s, makespan {:.1}s ---",
-        r.avg_jct().unwrap_or(f64::NAN),
-        r.makespan().unwrap_or(f64::NAN)
-    );
-    if let Some(g) = &r.gantt {
-        print!("{}", g.render_ascii(width));
-    }
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 15);
-    let jobs_n: usize = args.get("jobs", 10);
-    let iters: usize = args.get("iters", 60);
-    let width: usize = args.get("width", 100);
-
-    let env = TpchEnv::batch(jobs_n, execs);
-    let seq_seed: u64 = args.get("seed", 7);
-    let (cluster, jobs, _) = decima_rl::EnvFactory::build(&env, seq_seed);
-    let cfg = SimConfig::default().with_seed(1).with_gantt();
-    let cluster: ClusterSpec = cluster;
-
-    let fifo = run_episode(&cluster, &jobs, &cfg, FifoScheduler);
-    let sjf = run_episode(&cluster, &jobs, &cfg, SjfCpScheduler);
-    let fair = run_episode(&cluster, &jobs, &cfg, WeightedFairScheduler::fair());
-
-    println!("Training Decima on the batch environment ({iters} iterations)...");
-    let mut trainer = standard_trainer(execs, None, 11);
-    train_with_progress(&mut trainer, &env, iters);
-    let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-    let decima = run_episode(&cluster, &jobs, &cfg, &mut agent);
-    let _ = agent.name();
-
-    show("FIFO", &fifo, width);
-    show("SJF", &sjf, width);
-    show("Fair", &fair, width);
-    show("Decima", &decima, width);
-
-    let f = fifo.avg_jct().unwrap();
-    let d = decima.avg_jct().unwrap();
-    let fr = fair.avg_jct().unwrap();
-    println!(
-        "\nDecima vs FIFO: {:+.0}%   Decima vs Fair: {:+.0}%",
-        100.0 * (d - f) / f,
-        100.0 * (d - fr) / fr
-    );
-    println!("Paper: Decima improves 45% over FIFO and 19% over fair on this setup.");
+    decima_bench::artifact_main("fig03")
 }

@@ -6,53 +6,6 @@
 //! (§5.3 challenge #2). We quantify it: the across-sequence variance of
 //! episode returns dwarfs the within-sequence (action-sampling) variance.
 
-use decima_baselines::RandomScheduler;
-use decima_bench::{write_csv, Args};
-use decima_core::ClusterSpec;
-use decima_rl::{EnvFactory, TpchEnv};
-use decima_sim::Simulator;
-
-fn episode_return(env: &TpchEnv, seq_seed: u64, action_seed: u64) -> f64 {
-    let (cluster, jobs, mut cfg): (ClusterSpec, _, _) = env.build(seq_seed);
-    cfg.time_limit = Some(600.0);
-    let r = Simulator::new(cluster, jobs, cfg).run(RandomScheduler::new(action_seed));
-    -r.total_penalty()
-}
-
 fn main() {
-    let args = Args::new();
-    let n: usize = args.get("samples", 20);
-    let env = TpchEnv::stream(60, 10, 12.0);
-
-    // Across-sequence spread (same action seed).
-    let across: Vec<f64> = (0..n as u64).map(|s| episode_return(&env, s, 0)).collect();
-    // Within-sequence spread (same arrivals, different action seeds).
-    let within: Vec<f64> = (0..n as u64).map(|a| episode_return(&env, 0, a)).collect();
-
-    let stats = |v: &[f64]| {
-        let m = v.iter().sum::<f64>() / v.len() as f64;
-        let sd = (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt();
-        (m, sd)
-    };
-    let (ma, sa) = stats(&across);
-    let (mw, sw) = stats(&within);
-
-    println!("Figure 7: return variance from the arrival process");
-    println!("  across arrival sequences: mean {ma:.0}, std {sa:.0}");
-    println!("  within one sequence:      mean {mw:.0}, std {sw:.0}");
-    println!(
-        "  variance ratio (across/within): {:.1}x — the input process dominates",
-        (sa / sw.max(1e-9)).powi(2)
-    );
-    let rows: Vec<String> = across
-        .iter()
-        .zip(&within)
-        .enumerate()
-        .map(|(i, (a, w))| format!("{i},{a:.2},{w:.2}"))
-        .collect();
-    write_csv(
-        "fig07_reward_variance",
-        "sample,across_seq,within_seq",
-        &rows,
-    );
+    decima_bench::artifact_main("fig07")
 }

@@ -5,113 +5,6 @@
 //! × 100 runs on 50 slots). The tuned weighted-fair α is swept on
 //! held-out seeds, exactly as §7.1 prescribes.
 
-use decima_baselines::{tune_alpha, FifoScheduler, SjfCpScheduler, WeightedFairScheduler};
-use decima_bench::{
-    print_comparison, run_episode, standard_trainer, train_with_progress, write_csv, Args,
-    SchedulerSeries,
-};
-use decima_rl::{EnvFactory, TpchEnv};
-use decima_sim::Scheduler;
-
-fn series<S: Scheduler>(
-    name: &str,
-    env: &TpchEnv,
-    seeds: &[u64],
-    mut mk: impl FnMut() -> S,
-) -> SchedulerSeries {
-    let avg_jcts = seeds
-        .iter()
-        .map(|&s| {
-            let (cluster, jobs, cfg) = env.build(s);
-            run_episode(&cluster, &jobs, &cfg, mk())
-                .avg_jct()
-                .expect("batch completes")
-        })
-        .collect();
-    SchedulerSeries {
-        name: name.into(),
-        avg_jcts,
-    }
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 15);
-    let jobs_n: usize = args.get("jobs", 20);
-    let runs: usize = args.get("runs", 20);
-    let iters: usize = args.get("iters", 80);
-
-    let env = TpchEnv::batch(jobs_n, execs);
-    let test_seeds: Vec<u64> = (1000..1000 + runs as u64).collect();
-    let tune_seeds: Vec<u64> = (2000..2010).collect();
-
-    // Sweep α for the tuned weighted-fair baseline on held-out seeds.
-    let (alpha, _) = tune_alpha(|a| {
-        tune_seeds
-            .iter()
-            .map(|&s| {
-                let (c, j, cfg) = env.build(s);
-                run_episode(&c, &j, &cfg, WeightedFairScheduler::new(a))
-                    .avg_jct()
-                    .unwrap()
-            })
-            .sum::<f64>()
-    });
-    println!("Tuned weighted-fair α = {alpha:.1} (paper: optimum near -1)");
-
-    println!("Training Decima ({iters} iterations)...");
-    let mut trainer = standard_trainer(execs, None, 11);
-    train_with_progress(&mut trainer, &env, iters);
-
-    let mut all = vec![
-        series("fifo", &env, &test_seeds, || FifoScheduler),
-        series("sjf-cp", &env, &test_seeds, || SjfCpScheduler),
-        series("fair", &env, &test_seeds, WeightedFairScheduler::fair),
-        series(
-            "naive-weighted-fair",
-            &env,
-            &test_seeds,
-            WeightedFairScheduler::naive,
-        ),
-        series("opt-weighted-fair", &env, &test_seeds, || {
-            WeightedFairScheduler::new(alpha)
-        }),
-    ];
-    let decima_jcts: Vec<f64> = trainer
-        .evaluate(&env, &test_seeds)
-        .iter()
-        .map(|r| r.avg_jct().expect("batch completes"))
-        .collect();
-    all.push(SchedulerSeries {
-        name: "decima".into(),
-        avg_jcts: decima_jcts,
-    });
-
-    print_comparison("Figure 9a: batched arrivals, avg JCT over runs", &all);
-
-    // CDF CSV: one column per scheduler, sorted values.
-    let mut rows = Vec::new();
-    let sorted: Vec<Vec<f64>> = all
-        .iter()
-        .map(|s| {
-            let mut v = s.avg_jcts.clone();
-            v.sort_by(|a, b| a.total_cmp(b));
-            v
-        })
-        .collect();
-    for i in 0..runs {
-        let frac = (i + 1) as f64 / runs as f64;
-        let mut row = format!("{frac:.3}");
-        for col in &sorted {
-            row += &format!(",{:.2}", col[i]);
-        }
-        rows.push(row);
-    }
-    write_csv(
-        "fig09a_batched",
-        "cdf,fifo,sjf_cp,fair,naive_wf,opt_wf,decima",
-        &rows,
-    );
-    println!("\nPaper shape: SJF-CP and fair beat FIFO (1.6×/2.5×); opt-weighted-fair");
-    println!("beats fair by ~11%; Decima beats the best heuristic by ≥21%.");
+    decima_bench::artifact_main("fig09a")
 }

@@ -5,89 +5,6 @@
 //! keep up accumulate a backlog; we report completed-job average JCT and
 //! the backlog at the horizon.
 
-use decima_baselines::{FifoScheduler, SjfCpScheduler, WeightedFairScheduler};
-use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
-use decima_policy::DecimaAgent;
-use decima_rl::{Curriculum, EnvFactory, TpchEnv};
-use decima_sim::{EpisodeResult, Scheduler};
-
-fn run_stream<S: Scheduler>(env: &TpchEnv, seed: u64, sched: S) -> EpisodeResult {
-    let (cluster, jobs, cfg) = env.build(seed);
-    run_episode(&cluster, &jobs, &cfg, sched)
-}
-
-fn report(name: &str, rs: &[EpisodeResult]) -> String {
-    let jcts: Vec<f64> = rs.iter().filter_map(EpisodeResult::avg_jct).collect();
-    let mean = jcts.iter().sum::<f64>() / jcts.len().max(1) as f64;
-    let unfinished: usize = rs.iter().map(EpisodeResult::unfinished).sum();
-    println!(
-        "{name:<22} avg JCT {mean:>8.1}s   unfinished {unfinished:>4} (across {} runs)",
-        rs.len()
-    );
-    format!("{name},{mean:.2},{unfinished}")
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 120);
-    let iat: f64 = args.get("iat", 28.0);
-    let runs: usize = args.get("runs", 5);
-    let iters: usize = args.get("iters", 100);
-
-    let env = TpchEnv::stream(jobs_n, execs, iat);
-    let seeds: Vec<u64> = (3000..3000 + runs as u64).collect();
-
-    println!("Training Decima on continuous arrivals ({iters} iterations, curriculum + differential rewards)...");
-    let mut trainer = standard_trainer(execs, None, 13);
-    trainer.cfg.differential_reward = true;
-    trainer.cfg.curriculum = Some(Curriculum {
-        tau_init: 300.0,
-        tau_step: 40.0,
-        tau_max: 4000.0,
-    });
-    train_with_progress(&mut trainer, &env, iters);
-
-    println!("\nFigure 9b: continuous arrivals (load ≈ 85%)");
-    let mut rows = Vec::new();
-    rows.push(report(
-        "fifo",
-        &seeds
-            .iter()
-            .map(|&s| run_stream(&env, s, FifoScheduler))
-            .collect::<Vec<_>>(),
-    ));
-    rows.push(report(
-        "sjf-cp",
-        &seeds
-            .iter()
-            .map(|&s| run_stream(&env, s, SjfCpScheduler))
-            .collect::<Vec<_>>(),
-    ));
-    rows.push(report(
-        "fair",
-        &seeds
-            .iter()
-            .map(|&s| run_stream(&env, s, WeightedFairScheduler::fair()))
-            .collect::<Vec<_>>(),
-    ));
-    rows.push(report(
-        "opt-weighted-fair",
-        &seeds
-            .iter()
-            .map(|&s| run_stream(&env, s, WeightedFairScheduler::new(-1.0)))
-            .collect::<Vec<_>>(),
-    ));
-    let decima_rs: Vec<EpisodeResult> = seeds
-        .iter()
-        .map(|&s| {
-            let (cluster, jobs, cfg) = env.build(s);
-            let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-            run_episode(&cluster, &jobs, &cfg, &mut agent)
-        })
-        .collect();
-    rows.push(report("decima", &decima_rs));
-    write_csv("fig09b_continuous", "scheduler,avg_jct,unfinished", &rows);
-    println!("\nPaper shape: only opt-weighted-fair keeps up among heuristics;");
-    println!("Decima's average JCT is ~29% lower than opt-weighted-fair.");
+    decima_bench::artifact_main("fig09b")
 }

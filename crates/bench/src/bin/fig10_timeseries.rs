@@ -3,118 +3,6 @@
 //! jobs, and total-work inflation, Decima vs the tuned weighted-fair
 //! heuristic.
 
-use decima_baselines::WeightedFairScheduler;
-use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
-use decima_policy::DecimaAgent;
-use decima_rl::{Curriculum, EnvFactory, TpchEnv};
-use decima_sim::EpisodeResult;
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 120);
-    let iat: f64 = args.get("iat", 28.0);
-    let iters: usize = args.get("iters", 100);
-    let seed: u64 = args.get("seed", 4000);
-
-    let env = TpchEnv::stream(jobs_n, execs, iat);
-    println!("Training Decima ({iters} iterations)...");
-    let mut trainer = standard_trainer(execs, None, 13);
-    trainer.cfg.differential_reward = true;
-    trainer.cfg.curriculum = Some(Curriculum {
-        tau_init: 300.0,
-        tau_step: 40.0,
-        tau_max: 4000.0,
-    });
-    train_with_progress(&mut trainer, &env, iters);
-
-    let (cluster, jobs, cfg) = env.build(seed);
-    let heuristic = run_episode(&cluster, &jobs, &cfg, WeightedFairScheduler::new(-1.0));
-    let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-    let decima = run_episode(&cluster, &jobs, &cfg, &mut agent);
-
-    // (a) concurrent jobs over time.
-    let ser = |r: &EpisodeResult| r.concurrency_series();
-    let (hs, ds) = (ser(&heuristic), ser(&decima));
-    let peak = |s: &[(f64, usize)]| s.iter().map(|&(_, c)| c).max().unwrap_or(0);
-    println!(
-        "\n(a) concurrent jobs: peak heuristic {}, peak decima {}",
-        peak(&hs),
-        peak(&ds)
-    );
-    let rows: Vec<String> = hs
-        .iter()
-        .map(|&(t, c)| format!("heuristic,{t:.1},{c}"))
-        .chain(ds.iter().map(|&(t, c)| format!("decima,{t:.1},{c}")))
-        .collect();
-    write_csv("fig10a_concurrency", "scheduler,time,jobs_in_system", &rows);
-
-    // (b)+(c) per-job JCT vs completion time and size.
-    let per_job = |r: &EpisodeResult, tag: &str| -> Vec<String> {
-        r.jobs
-            .iter()
-            .filter_map(|j| {
-                j.jct().map(|jct| {
-                    format!(
-                        "{tag},{},{:.1},{:.1},{:.1},{:.1},{}",
-                        j.id,
-                        j.arrival.as_secs(),
-                        jct,
-                        j.total_work,
-                        j.executed_work,
-                        j.peak_alloc
-                    )
-                })
-            })
-            .collect()
-    };
-    let mut rows = per_job(&heuristic, "heuristic");
-    rows.extend(per_job(&decima, "decima"));
-    write_csv(
-        "fig10cde_jobs",
-        "scheduler,job,arrival,jct,total_work,executed_work,peak_alloc",
-        &rows,
-    );
-
-    // (d) executor share on small jobs; (e) work inflation.
-    let small_cut = {
-        let mut works: Vec<f64> = jobs.iter().map(|j| j.total_work()).collect();
-        works.sort_by(|a, b| a.total_cmp(b));
-        works[works.len() / 5] // smallest 20%
-    };
-    let stats = |r: &EpisodeResult| -> (f64, f64) {
-        let mut alloc_small = 0.0_f64;
-        let mut n_small = 0.0_f64;
-        let mut inflation = 0.0_f64;
-        let mut n_done = 0.0_f64;
-        for j in &r.jobs {
-            if j.completion.is_none() {
-                continue;
-            }
-            n_done += 1.0;
-            inflation += j.executed_work / j.total_work.max(1e-9);
-            if j.total_work <= small_cut {
-                alloc_small += j.peak_alloc as f64;
-                n_small += 1.0;
-            }
-        }
-        (alloc_small / n_small.max(1.0), inflation / n_done.max(1.0))
-    };
-    let (h_alloc, h_infl) = stats(&heuristic);
-    let (d_alloc, d_infl) = stats(&decima);
-    println!(
-        "(d) mean peak executors on smallest-20% jobs: heuristic {h_alloc:.1}, decima {d_alloc:.1}"
-    );
-    println!(
-        "(e) mean work inflation (executed/static): heuristic {h_infl:.2}, decima {d_infl:.2}"
-    );
-    println!(
-        "\navg JCT: heuristic {:.1}s vs decima {:.1}s ({:+.0}%)",
-        heuristic.avg_jct().unwrap_or(f64::NAN),
-        decima.avg_jct().unwrap_or(f64::NAN),
-        100.0 * (decima.avg_jct().unwrap_or(0.0) - heuristic.avg_jct().unwrap_or(0.0))
-            / heuristic.avg_jct().unwrap_or(1.0)
-    );
-    println!("Paper shape: Decima keeps a lower concurrent-job count in busy periods,");
-    println!("gives small jobs more executors, with similar total work (no inflation blow-up).");
+    decima_bench::artifact_main("fig10")
 }

@@ -2,158 +2,6 @@
 //! vs opt-weighted-fair, Tetris, and Graphene* on (a) the Alibaba-like
 //! trace replay and (b) the TPC-H workload with random memory demands.
 
-use decima_baselines::{tune_graphene, GrapheneScheduler, TetrisScheduler, WeightedFairScheduler};
-use decima_bench::{run_episode, train_with_progress, write_csv, Args};
-use decima_gnn::FEAT_DIM;
-use decima_nn::ParamStore;
-use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
-use decima_rl::{AlibabaEnv, Curriculum, EnvFactory, TpchEnv, TrainConfig, Trainer};
-use decima_sim::{EpisodeResult, Scheduler};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-fn multires_trainer(execs: usize, seed: u64) -> Trainer {
-    let mut store = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let cfg = PolicyConfig {
-        num_classes: 4,
-        ..PolicyConfig::small(execs)
-    };
-    let policy = DecimaPolicy::new(cfg, &mut store, &mut rng);
-    let _ = FEAT_DIM;
-    Trainer::new(
-        policy,
-        store,
-        TrainConfig {
-            num_rollouts: 8,
-            lr: 1e-3,
-            entropy_start: 0.25,
-            entropy_end: 1e-3,
-            entropy_decay_iters: 60,
-            differential_reward: true,
-            curriculum: Some(Curriculum {
-                tau_init: 300.0,
-                tau_step: 40.0,
-                tau_max: 4000.0,
-            }),
-            seed,
-            ..TrainConfig::default()
-        },
-    )
-}
-
-fn eval_all(
-    name: &str,
-    env: &dyn EnvFactory,
-    seeds: &[u64],
-    trainer: &Trainer,
-    rows: &mut Vec<String>,
-) {
-    println!("\n== Figure 11 ({name}) ==");
-    let mut per_sched = |sched_name: &str, rs: &[EpisodeResult]| -> f64 {
-        let jcts: Vec<f64> = rs.iter().filter_map(EpisodeResult::avg_jct).collect();
-        let mean = jcts.iter().sum::<f64>() / jcts.len().max(1) as f64;
-        let unf: usize = rs.iter().map(EpisodeResult::unfinished).sum();
-        println!("{sched_name:<22} avg JCT {mean:>8.1}s  unfinished {unf}");
-        rows.push(format!("{name},{sched_name},{mean:.2},{unf}"));
-        mean
-    };
-
-    let run = |mk: &mut dyn FnMut() -> Box<dyn Scheduler>| -> Vec<EpisodeResult> {
-        seeds
-            .iter()
-            .map(|&s| {
-                let (c, j, cfg) = env.build(s);
-                run_episode(&c, &j, &cfg, mk())
-            })
-            .collect()
-    };
-    per_sched(
-        "opt-weighted-fair",
-        &run(&mut || Box::new(WeightedFairScheduler::new(-1.0))),
-    );
-    per_sched("tetris", &run(&mut || Box::new(TetrisScheduler)));
-
-    // Tune Graphene* on one held-out seed (App. F grid search).
-    let (g, _) = tune_graphene(|g| {
-        let (c, j, cfg) = env.build(seeds[0] ^ 0xdead);
-        run_episode(&c, &j, &cfg, g.clone())
-            .avg_jct()
-            .unwrap_or(f64::INFINITY)
-    });
-    println!(
-        "(graphene* tuned: work_frac {:.1}, mem {:.2}, α {:.1})",
-        g.work_frac_threshold, g.mem_threshold, g.alpha
-    );
-    let graphene = per_sched("graphene*", &run(&mut || Box::new(g.clone())));
-    let _ = GrapheneScheduler::default();
-
-    let decima_rs: Vec<EpisodeResult> = seeds
-        .iter()
-        .map(|&s| {
-            let (c, j, cfg) = env.build(s);
-            let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-            run_episode(&c, &j, &cfg, &mut agent)
-        })
-        .collect();
-    let decima = per_sched("decima", &decima_rs);
-    println!(
-        "decima vs graphene*: {:+.0}% (paper: -32% on the trace, -43% on TPC-H)",
-        100.0 * (decima - graphene) / graphene
-    );
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 12);
-    let iters: usize = args.get("iters", 80);
-    let runs: usize = args.get("runs", 3);
-    let seeds: Vec<u64> = (5000..5000 + runs as u64).collect();
-    let mut rows = Vec::new();
-
-    if !args.has("tpch-only") {
-        let env = AlibabaEnv::small(args.get("jobs", 80), execs, args.get("iat", 18.0));
-        println!("Training Decima on the Alibaba-like multi-resource environment...");
-        let mut trainer = multires_trainer(execs, 17);
-        train_with_progress(&mut trainer, &env, iters);
-        eval_all("alibaba", &env, &seeds, &trainer, &mut rows);
-    }
-    if !args.has("alibaba-only") {
-        // TPC-H with random memory demands (Figure 11b).
-        let mut env = TpchEnv::stream(args.get("jobs", 80), execs, args.get("iat", 28.0));
-        env.sim.seed = 9;
-        let env = TpchMem(env);
-        println!("\nTraining Decima on the TPC-H multi-resource environment...");
-        let mut trainer = multires_trainer(execs, 19);
-        train_with_progress(&mut trainer, &env, iters);
-        eval_all("tpch-mem", &env, &seeds, &trainer, &mut rows);
-    }
-    write_csv(
-        "fig11_multires",
-        "workload,scheduler,avg_jct,unfinished",
-        &rows,
-    );
-}
-
-/// TPC-H stream with per-stage memory demands on a four-class cluster.
-struct TpchMem(TpchEnv);
-impl EnvFactory for TpchMem {
-    fn build(
-        &self,
-        seq_seed: u64,
-    ) -> (
-        decima_core::ClusterSpec,
-        Vec<decima_core::JobSpec>,
-        decima_sim::SimConfig,
-    ) {
-        let (c, jobs, cfg) = self.0.build(seq_seed);
-        let mut rng = SmallRng::seed_from_u64(seq_seed ^ 0xfeed);
-        let jobs = jobs
-            .into_iter()
-            .map(|j| decima_workload::with_random_memory(j, &mut rng))
-            .collect();
-        let cluster =
-            decima_core::ClusterSpec::four_class(c.total_executors()).with_move_delay(c.move_delay);
-        (cluster, jobs, cfg)
-    }
+    decima_bench::artifact_main("fig11")
 }

@@ -2,122 +2,6 @@
 //! duration ratio per total-work bin, (b) per-class executor usage on
 //! the smallest-20% jobs. Runs the Alibaba-like multi-resource setup.
 
-use decima_baselines::GrapheneScheduler;
-use decima_bench::{run_episode, train_with_progress, write_csv, Args};
-use decima_nn::ParamStore;
-use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
-use decima_rl::{AlibabaEnv, Curriculum, EnvFactory, TrainConfig, Trainer};
-use decima_sim::EpisodeResult;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 12);
-    let iters: usize = args.get("iters", 80);
-    let seed: u64 = args.get("seed", 6000);
-
-    let env = AlibabaEnv::small(args.get("jobs", 80), execs, args.get("iat", 18.0));
-    println!("Training Decima (multi-resource, {iters} iterations)...");
-    let mut store = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(17);
-    let policy = DecimaPolicy::new(
-        PolicyConfig {
-            num_classes: 4,
-            ..PolicyConfig::small(execs)
-        },
-        &mut store,
-        &mut rng,
-    );
-    let mut trainer = Trainer::new(
-        policy,
-        store,
-        TrainConfig {
-            num_rollouts: 8,
-            differential_reward: true,
-            curriculum: Some(Curriculum {
-                tau_init: 300.0,
-                tau_step: 40.0,
-                tau_max: 4000.0,
-            }),
-            entropy_start: 0.25,
-            entropy_end: 1e-3,
-            entropy_decay_iters: 60,
-            seed: 17,
-            ..TrainConfig::default()
-        },
-    );
-    train_with_progress(&mut trainer, &env, iters);
-
-    let (cluster, jobs, cfg) = env.build(seed);
-    let graphene = run_episode(&cluster, &jobs, &cfg, GrapheneScheduler::default());
-    let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-    let decima = run_episode(&cluster, &jobs, &cfg, &mut agent);
-
-    // (a) duration ratio per work bin.
-    let works: Vec<f64> = jobs.iter().map(|j| j.total_work()).collect();
-    let mut sorted = works.clone();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let edges: Vec<f64> = (1..5).map(|q| sorted[q * sorted.len() / 5]).collect();
-    let bin_of = |w: f64| edges.iter().filter(|&&e| w > e).count();
-
-    let jct_by_bin = |r: &EpisodeResult| -> Vec<(f64, usize)> {
-        let mut sums = vec![(0.0, 0usize); 5];
-        for j in &r.jobs {
-            if let Some(jct) = j.jct() {
-                let b = bin_of(j.total_work);
-                sums[b].0 += jct;
-                sums[b].1 += 1;
-            }
-        }
-        sums
-    };
-    let g = jct_by_bin(&graphene);
-    let d = jct_by_bin(&decima);
-    println!("\n(a) normalized job duration (Decima / Graphene*), by total-work quintile:");
-    let mut rows = Vec::new();
-    for b in 0..5 {
-        if g[b].1 == 0 || d[b].1 == 0 {
-            continue;
-        }
-        let ratio = (d[b].0 / d[b].1 as f64) / (g[b].0 / g[b].1 as f64);
-        println!("  quintile {}: {:.2}", b + 1, ratio);
-        rows.push(format!("{},{ratio:.4}", b + 1));
-    }
-    write_csv(
-        "fig12a_duration_ratio",
-        "work_quintile,decima_over_graphene",
-        &rows,
-    );
-
-    // (b) per-class executor usage on the smallest-20% jobs.
-    let small_cut = sorted[sorted.len() / 5];
-    let class_use = |r: &EpisodeResult| -> Vec<f64> {
-        let mut acc = vec![0.0; 4];
-        for j in &r.jobs {
-            if j.total_work <= small_cut {
-                for (c, &b) in j.class_busy.iter().enumerate() {
-                    acc[c] += b;
-                }
-            }
-        }
-        acc
-    };
-    let gu = class_use(&graphene);
-    let du = class_use(&decima);
-    println!("\n(b) class busy-time on smallest-20% jobs (Decima / Graphene*):");
-    let mems = [0.25, 0.5, 0.75, 1.0];
-    let mut rows = Vec::new();
-    for c in 0..4 {
-        let ratio = du[c] / gu[c].max(1e-9);
-        println!("  memory {:.2}: {:.2}", mems[c], ratio);
-        rows.push(format!("{},{ratio:.4}", mems[c]));
-    }
-    write_csv(
-        "fig12b_class_usage",
-        "class_memory,decima_over_graphene",
-        &rows,
-    );
-    println!("\nPaper shape: Decima completes small jobs faster and uses ~39% more of");
-    println!("the largest executor class on the smallest-20% jobs.");
+    decima_bench::artifact_main("fig12")
 }

@@ -2,47 +2,6 @@
 //! and objective — (a) average JCT with costly executor motion, (b)
 //! average JCT with free motion, (c) makespan.
 
-use decima_bench::{run_episode, standard_trainer, train_with_progress, Args};
-use decima_policy::DecimaAgent;
-use decima_rl::{EnvFactory, TpchEnv};
-use decima_sim::Objective;
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 8);
-    let iters: usize = args.get("iters", 60);
-    let width: usize = args.get("width", 100);
-    let seq: u64 = args.get("seed", 21);
-
-    let cases: [(&str, f64, Objective); 3] = [
-        ("(a) avg JCT, costly motion", 1.0, Objective::AvgJct),
-        ("(b) avg JCT, free motion", 0.0, Objective::AvgJct),
-        ("(c) makespan objective", 1.0, Objective::Makespan),
-    ];
-
-    for (title, move_delay, objective) in cases {
-        let mut env = TpchEnv::batch(jobs_n, execs);
-        env.move_delay = move_delay;
-        env.sim.objective = objective;
-        println!("\nTraining: {title} ({iters} iterations)");
-        let mut trainer = standard_trainer(execs, None, 23);
-        train_with_progress(&mut trainer, &env, iters);
-
-        let (cluster, jobs, mut cfg) = env.build(seq);
-        cfg.record_gantt = true;
-        let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-        let r = run_episode(&cluster, &jobs, &cfg, &mut agent);
-        println!(
-            "--- {title}: avg JCT {:.1}s, makespan {:.1}s ---",
-            r.avg_jct().unwrap_or(f64::NAN),
-            r.makespan().unwrap_or(f64::NAN)
-        );
-        if let Some(g) = &r.gantt {
-            print!("{}", g.render_ascii(width));
-            println!("utilization {:.0}%", 100.0 * g.utilization());
-        }
-    }
-    println!("\nPaper shape: the makespan policy trades higher avg JCT for a shorter");
-    println!("makespan; free motion moves executors eagerly between jobs.");
+    decima_bench::artifact_main("fig13")
 }

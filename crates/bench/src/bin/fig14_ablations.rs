@@ -5,124 +5,6 @@
 //! embedding, w/o parallelism control, trained on batched arrivals, and
 //! w/o variance reduction (unfixed sequences).
 
-use decima_baselines::WeightedFairScheduler;
-use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
-use decima_nn::ParamStore;
-use decima_policy::{DecimaPolicy, ParallelismMode, PolicyConfig};
-use decima_rl::{Curriculum, EnvFactory, TpchEnv, TrainConfig, Trainer};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-fn variant_trainer(_execs: usize, cfg: PolicyConfig, fixed_seq: bool, seed: u64) -> Trainer {
-    let mut store = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let policy = DecimaPolicy::new(cfg, &mut store, &mut rng);
-    Trainer::new(
-        policy,
-        store,
-        TrainConfig {
-            num_rollouts: 8,
-            differential_reward: true,
-            input_dependent_baseline: fixed_seq,
-            curriculum: Some(Curriculum {
-                tau_init: 300.0,
-                tau_step: 40.0,
-                tau_max: 4000.0,
-            }),
-            entropy_start: 0.25,
-            entropy_end: 1e-3,
-            entropy_decay_iters: 60,
-            seed,
-            ..TrainConfig::default()
-        },
-    )
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 100);
-    let iters: usize = args.get("iters", 60);
-    // Mean IAT ≈ 24s gives ~85% load at task_scale 8 on 10 executors;
-    // larger IATs lower the load.
-    let loads: Vec<(f64, f64)> = vec![(0.55, 37.0), (0.70, 29.0), (0.85, 24.0)];
-    let eval_seeds: Vec<u64> = (7000..7004).collect();
-
-    let mut rows = Vec::new();
-    println!("Figure 14: ablations vs cluster load (avg JCT over completed jobs, seconds)");
-    println!(
-        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "load", "opt-wf", "decima", "no-gnn", "no-par-ctl", "batch-trn", "no-var-red"
-    );
-    for &(load, iat) in &loads {
-        let env = TpchEnv::stream(jobs_n, execs, iat);
-        // Heuristic reference.
-        let wf: f64 = eval_seeds
-            .iter()
-            .map(|&s| {
-                let (c, j, cfg) = env.build(s);
-                run_episode(&c, &j, &cfg, WeightedFairScheduler::new(-1.0))
-                    .avg_jct()
-                    .unwrap_or(f64::NAN)
-            })
-            .sum::<f64>()
-            / eval_seeds.len() as f64;
-
-        let train_and_eval =
-            |cfg: PolicyConfig, fixed_seq: bool, batch_train: bool, seed: u64| -> f64 {
-                let mut t = variant_trainer(execs, cfg, fixed_seq, seed);
-                if batch_train {
-                    let batch_env = TpchEnv::batch(20, execs);
-                    t.cfg.curriculum = None;
-                    t.cfg.differential_reward = false;
-                    train_with_progress(&mut t, &batch_env, iters);
-                } else {
-                    train_with_progress(&mut t, &env, iters);
-                }
-                eval_mean_jct(&t, &env, &eval_seeds)
-            };
-
-        let full = train_and_eval(PolicyConfig::small(execs), true, false, 31);
-        let no_gnn = train_and_eval(
-            PolicyConfig {
-                gnn: None,
-                ..PolicyConfig::small(execs)
-            },
-            true,
-            false,
-            33,
-        );
-        let no_par = train_and_eval(
-            PolicyConfig {
-                parallelism: ParallelismMode::Disabled,
-                ..PolicyConfig::small(execs)
-            },
-            true,
-            false,
-            35,
-        );
-        let batch_trained = train_and_eval(PolicyConfig::small(execs), true, true, 37);
-        let no_var = train_and_eval(PolicyConfig::small(execs), false, false, 39);
-
-        println!(
-            "{:<10} {:>12.1} {:>10.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
-            format!("{:.0}%", load * 100.0),
-            wf,
-            full,
-            no_gnn,
-            no_par,
-            batch_trained,
-            no_var
-        );
-        rows.push(format!(
-            "{load},{wf:.2},{full:.2},{no_gnn:.2},{no_par:.2},{batch_trained:.2},{no_var:.2}"
-        ));
-    }
-    write_csv(
-        "fig14_ablations",
-        "load,opt_wf,decima,no_gnn,no_par_ctl,batch_trained,no_var_red",
-        &rows,
-    );
-    println!("\nPaper shape: every ablation underperforms the tuned heuristic at high");
-    println!("load; parallelism control matters most, then the graph embedding.");
+    decima_bench::artifact_main("fig14")
 }

@@ -2,77 +2,6 @@
 //! job-level limit-as-input (Decima), per-limit one-hot outputs, and
 //! stage-level granularity.
 
-use decima_bench::{eval_mean_jct, write_csv, Args};
-use decima_nn::ParamStore;
-use decima_policy::{DecimaPolicy, ParallelismMode, PolicyConfig};
-use decima_rl::{TpchEnv, TrainConfig, Trainer};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 15);
-    let iters: usize = args.get("iters", 80);
-    let every: usize = args.get("eval-every", 10);
-
-    let env = TpchEnv::batch(jobs_n, execs);
-    let eval_seeds: Vec<u64> = (8000..8003).collect();
-    let modes = [
-        ("job-level (decima)", ParallelismMode::JobLevel),
-        ("one-hot limits", ParallelismMode::OneHot),
-        ("stage-level", ParallelismMode::StageLevel),
-    ];
-
-    let mut curves: Vec<Vec<(usize, f64)>> = Vec::new();
-    for &(name, mode) in &modes {
-        println!("\nTraining variant: {name}");
-        let mut store = ParamStore::new();
-        let mut rng = SmallRng::seed_from_u64(41);
-        let policy = DecimaPolicy::new(
-            PolicyConfig {
-                parallelism: mode,
-                ..PolicyConfig::small(execs)
-            },
-            &mut store,
-            &mut rng,
-        );
-        let mut t = Trainer::new(
-            policy,
-            store,
-            TrainConfig {
-                num_rollouts: 8,
-                entropy_start: 0.25,
-                entropy_end: 1e-3,
-                entropy_decay_iters: iters.max(1),
-                seed: 41,
-                ..TrainConfig::default()
-            },
-        );
-        let mut curve = vec![(0usize, eval_mean_jct(&t, &env, &eval_seeds))];
-        for block in 0..(iters / every) {
-            for _ in 0..every {
-                t.train_iteration(&env);
-            }
-            let jct = eval_mean_jct(&t, &env, &eval_seeds);
-            println!("  iter {:>4}: eval avg JCT {jct:.1}s", (block + 1) * every);
-            curve.push(((block + 1) * every, jct));
-        }
-        curves.push(curve);
-    }
-
-    let mut rows = Vec::new();
-    for i in 0..curves[0].len() {
-        rows.push(format!(
-            "{},{:.2},{:.2},{:.2}",
-            curves[0][i].0, curves[0][i].1, curves[1][i].1, curves[2][i].1
-        ));
-    }
-    write_csv(
-        "fig15a_learning_curve",
-        "iter,job_level,one_hot,stage_level",
-        &rows,
-    );
-    println!("\nPaper shape: the limit-as-input job-level encoding learns fastest;");
-    println!("one-hot output heads and stage-level granularity train slower.");
+    decima_bench::artifact_main("fig15a")
 }

@@ -1,65 +1,6 @@
 //! Figure 15b: CDF of Decima's scheduling-decision latency vs the
 //! interval between scheduling events.
 
-use decima_bench::{write_csv, Args};
-use decima_core::percentile;
-use decima_nn::ParamStore;
-use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
-use decima_rl::{EnvFactory, TpchEnv};
-use decima_sim::Simulator;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 60);
-
-    let env = TpchEnv::stream(jobs_n, execs, 28.0);
-    let (cluster, jobs, cfg) = env.build(9000);
-    let mut store = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(0);
-    let policy = DecimaPolicy::new(PolicyConfig::small(execs), &mut store, &mut rng);
-    let mut agent = DecimaAgent::sampler(policy, store, 1);
-    let result = Simulator::new(cluster, jobs, cfg).run(&mut agent);
-
-    let delays_ms: Vec<f64> = agent.decide_secs.iter().map(|s| s * 1e3).collect();
-    let mut intervals_ms: Vec<f64> = result
-        .actions
-        .windows(2)
-        .map(|w| (w[1].time - w[0].time) * 1e3)
-        .filter(|&d| d > 0.0)
-        .collect();
-    intervals_ms.sort_by(|a, b| a.total_cmp(b));
-
-    println!(
-        "Figure 15b: scheduling delay vs event interval ({} decisions)",
-        delays_ms.len()
-    );
-    for q in [0.5, 0.9, 0.95, 0.99] {
-        println!(
-            "  p{:>2.0}: decision {:>8.2} ms   event interval {:>10.1} ms",
-            q * 100.0,
-            percentile(&delays_ms, q),
-            percentile(&intervals_ms, q)
-        );
-    }
-    let ratio = percentile(&intervals_ms, 0.5) / percentile(&delays_ms, 0.5).max(1e-9);
-    println!("  median interval / median delay: {ratio:.0}x (paper: ~50x, <15 ms decisions)");
-
-    let mut sorted = delays_ms.clone();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let rows: Vec<String> = sorted
-        .iter()
-        .enumerate()
-        .map(|(i, d)| {
-            let f = (i + 1) as f64 / sorted.len() as f64;
-            let interval = intervals_ms
-                .get(i * intervals_ms.len() / sorted.len())
-                .copied()
-                .unwrap_or(f64::NAN);
-            format!("{f:.4},{d:.4},{interval:.2}")
-        })
-        .collect();
-    write_csv("fig15b_latency", "cdf,decision_ms,interval_ms", &rows);
+    decima_bench::artifact_main("fig15b")
 }

@@ -13,66 +13,6 @@
 //! (10 s), then L (10 s) must still run → 28 + ε·stuff. The optimal plan
 //! gives L one slot at t = 0 and overlaps both branches → 20 + ε.
 
-use decima_baselines::SjfCpScheduler;
-use decima_bench::{run_episode, standard_trainer, train_with_progress, Args};
-use decima_core::{ClusterSpec, JobBuilder, JobId, JobSpec, StageSpec};
-use decima_policy::DecimaAgent;
-use decima_rl::EnvFactory;
-use decima_sim::SimConfig;
-
-const EPS: f64 = 0.1;
-
-fn example_job() -> JobSpec {
-    let mut b = JobBuilder::new(JobId(0));
-    let l = b.stage(StageSpec::simple(1, 10.0));
-    let r1 = b.stage(StageSpec::simple(40, 1.0));
-    let r2 = b.stage(StageSpec::simple(5, 10.0));
-    let j = b.stage(StageSpec::simple(5, EPS));
-    b.edge(r1, r2);
-    b.edge(l, j);
-    b.edge(r2, j);
-    b.name("appendix-a").build().unwrap()
-}
-
-struct ExampleEnv;
-impl EnvFactory for ExampleEnv {
-    fn build(&self, _seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
-        (
-            ClusterSpec::homogeneous(5).with_move_delay(0.0),
-            vec![example_job()],
-            SimConfig::simplified(),
-        )
-    }
-}
-
 fn main() {
-    let args = Args::new();
-    let iters: usize = args.get("iters", 80);
-
-    let (cluster, jobs, cfg) = ExampleEnv.build(0);
-    let cp = run_episode(&cluster, &jobs, &cfg, SjfCpScheduler)
-        .makespan()
-        .unwrap();
-    println!(
-        "critical-path schedule: {cp:.2}s (paper: 28 + 3ε = {:.2}s)",
-        28.0 + 3.0 * EPS
-    );
-    println!(
-        "optimal plan:           {:.2}s (paper: 20 + 3ε)",
-        20.0 + 3.0 * EPS
-    );
-
-    println!("\nTraining Decima on this single DAG ({iters} iterations)...");
-    let mut trainer = standard_trainer(5, None, 47);
-    trainer.cfg.entropy_decay_iters = iters / 2;
-    train_with_progress(&mut trainer, &ExampleEnv, iters);
-    let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-    let learned = run_episode(&cluster, &jobs, &cfg, &mut agent)
-        .makespan()
-        .unwrap();
-    println!("\nDecima's learned schedule: {learned:.2}s");
-    println!(
-        "vs critical path: {:+.0}% (paper: optimal is 29% faster)",
-        100.0 * (learned - cp) / cp
-    );
+    decima_bench::artifact_main("fig16")
 }

@@ -7,69 +7,6 @@
 //! relative error per query in isolation and for a 22-query mix —
 //! the paper's bars are ≤5% (isolated) and ≤9% (mixed).
 
-use decima_baselines::WeightedFairScheduler;
-use decima_bench::{run_episode, write_csv, Args};
-use decima_core::{ClusterSpec, JobId, SimTime};
-use decima_sim::SimConfig;
-use decima_workload::{renumber, tpch_job_scaled};
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let reps: usize = args.get("reps", 10);
-    let noise: f64 = args.get("noise", 0.15);
-    let scale: f64 = args.get("task-scale", 4.0);
-
-    let cluster = ClusterSpec::homogeneous(execs);
-    let sim_cfg = SimConfig::default().with_seed(0);
-    println!("Figure 18a: single jobs in isolation (relative error, sim vs noisy 'real')");
-    let mut rows = Vec::new();
-    let mut errs = Vec::new();
-    for q in 1..=22u16 {
-        let jobs = vec![tpch_job_scaled(q, 20.0, JobId(0), SimTime::ZERO, scale)];
-        let sim = run_episode(&cluster, &jobs, &sim_cfg, WeightedFairScheduler::fair())
-            .avg_jct()
-            .unwrap();
-        let real_mean: f64 = (0..reps)
-            .map(|r| {
-                let cfg = SimConfig::default()
-                    .with_noise(noise)
-                    .with_seed(100 + r as u64);
-                run_episode(&cluster, &jobs, &cfg, WeightedFairScheduler::fair())
-                    .avg_jct()
-                    .unwrap()
-            })
-            .sum::<f64>()
-            / reps as f64;
-        let err = 100.0 * (sim - real_mean) / real_mean;
-        errs.push(err.abs());
-        println!("  q{q:<3} real {real_mean:>7.1}s  sim {sim:>7.1}s  err {err:>+6.1}%");
-        rows.push(format!("q{q},{real_mean:.2},{sim:.2},{err:.2}"));
-    }
-    let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
-    println!("mean |error| isolated: {mean_err:.1}% (paper: ≤5%)");
-    write_csv("fig18a_isolated", "query,real_mean,sim,err_pct", &rows);
-
-    println!("\nFigure 18b: 22-query mix on a shared cluster");
-    let jobs = renumber(
-        (1..=22u16)
-            .map(|q| tpch_job_scaled(q, 10.0, JobId(0), SimTime::ZERO, scale))
-            .collect(),
-    );
-    let sim = run_episode(&cluster, &jobs, &sim_cfg, WeightedFairScheduler::fair())
-        .avg_jct()
-        .unwrap();
-    let reals: Vec<f64> = (0..reps)
-        .map(|r| {
-            let cfg = SimConfig::default()
-                .with_noise(noise)
-                .with_seed(200 + r as u64);
-            run_episode(&cluster, &jobs, &cfg, WeightedFairScheduler::fair())
-                .avg_jct()
-                .unwrap()
-        })
-        .collect();
-    let real_mean = reals.iter().sum::<f64>() / reps as f64;
-    let err = 100.0 * (sim - real_mean) / real_mean;
-    println!("  mix: real {real_mean:.1}s  sim {sim:.1}s  err {err:+.1}% (paper: ≤9%)");
+    decima_bench::artifact_main("fig18")
 }

@@ -2,44 +2,6 @@
 //! two-level aggregation vs a standard single-aggregation GNN, trained
 //! supervised on random DAGs.
 
-use decima_bench::{write_csv, Args};
-use decima_gnn::{random_cp_example, CpExample, CpHarness};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 fn main() {
-    let args = Args::new();
-    let iters: usize = args.get("iters", 300);
-    let nodes: usize = args.get("nodes", 20);
-    let every: usize = args.get("eval-every", 25);
-
-    let mut rng = SmallRng::seed_from_u64(0);
-    let train: Vec<CpExample> = (0..64)
-        .map(|_| random_cp_example(nodes, &mut rng))
-        .collect();
-    let test: Vec<CpExample> = (0..100)
-        .map(|_| random_cp_example(nodes, &mut rng))
-        .collect();
-
-    let mut two = CpHarness::new(true, 7);
-    let mut one = CpHarness::new(false, 7);
-    println!("Figure 19: critical-path argmax accuracy on unseen {nodes}-node DAGs");
-    println!("{:>6} {:>14} {:>14}", "iter", "two-level", "single-level");
-    let mut rows = Vec::new();
-    for i in 0..=iters {
-        if i % every == 0 {
-            let a2 = two.accuracy(&test);
-            let a1 = one.accuracy(&test);
-            println!("{i:>6} {a2:>14.2} {a1:>14.2}");
-            rows.push(format!("{i},{a2:.4},{a1:.4}"));
-        }
-        if i < iters {
-            let lo = (i * 8) % (train.len() - 8);
-            two.train_step(&train[lo..lo + 8].to_vec());
-            one.train_step(&train[lo..lo + 8].to_vec());
-        }
-    }
-    write_csv("fig19_expressiveness", "iter,two_level,single_level", &rows);
-    println!("\nPaper shape: the two-level aggregation reaches near-perfect accuracy");
-    println!("(it can express the max over children); the single-level one plateaus.");
+    decima_bench::artifact_main("fig19")
 }

@@ -2,74 +2,6 @@
 //! orderings in the simplified environment (no waves, no inflation, free
 //! executor motion).
 
-use decima_baselines::{exhaustive_search, SjfCpScheduler, WeightedFairScheduler};
-use decima_bench::{run_episode, standard_trainer, train_with_progress, write_csv, Args};
-use decima_core::{ClusterSpec, JobSpec};
-use decima_policy::DecimaAgent;
-use decima_rl::{EnvFactory, TpchEnv};
-use decima_sim::SimConfig;
-
-struct SimplifiedEnv(TpchEnv);
-impl EnvFactory for SimplifiedEnv {
-    fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
-        let (c, jobs, _) = self.0.build(seq_seed);
-        (
-            c.with_move_delay(0.0),
-            jobs,
-            SimConfig::simplified().with_seed(seq_seed),
-        )
-    }
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 10);
-    let iters: usize = args.get("iters", 80);
-    let runs: usize = args.get("runs", 5);
-    let budget: usize = args.get("orderings", 2000);
-
-    let env = SimplifiedEnv(TpchEnv::batch(jobs_n, execs));
-    println!("Training Decima in the simplified environment ({iters} iterations)...");
-    let mut trainer = standard_trainer(execs, None, 53);
-    train_with_progress(&mut trainer, &env, iters);
-
-    println!("\nFigure 22: avg JCT on {runs} unseen 10-job batches (simplified sim)");
-    println!(
-        "{:>6} {:>12} {:>12} {:>14} {:>12}",
-        "seed", "opt-wf", "sjf-cp", "search", "decima"
-    );
-    let mut rows = Vec::new();
-    for seed in 9100..9100 + runs as u64 {
-        let (cluster, jobs, cfg) = env.build(seed);
-        let wf = run_episode(&cluster, &jobs, &cfg, WeightedFairScheduler::new(-1.0))
-            .avg_jct()
-            .unwrap();
-        let sjf = run_episode(&cluster, &jobs, &cfg, SjfCpScheduler)
-            .avg_jct()
-            .unwrap();
-        let search = exhaustive_search(&cluster, &jobs, &cfg, budget);
-        let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-        let decima = run_episode(&cluster, &jobs, &cfg, &mut agent)
-            .avg_jct()
-            .unwrap();
-        println!(
-            "{seed:>6} {wf:>12.1} {sjf:>12.1} {:>14.1} {decima:>12.1}   (search evaluated {} orderings{})",
-            search.avg_jct,
-            search.evaluated,
-            if search.exhaustive { ", exhaustive" } else { ", sampled" }
-        );
-        rows.push(format!(
-            "{seed},{wf:.2},{sjf:.2},{:.2},{decima:.2}",
-            search.avg_jct
-        ));
-    }
-    write_csv(
-        "fig22_optimality",
-        "seed,opt_wf,sjf_cp,search,decima",
-        &rows,
-    );
-    println!("\nPaper shape: SJF-CP beats tuned weighted-fair here (no real-cluster");
-    println!("complexity); the ordering search beats SJF-CP; Decima matches or");
-    println!("slightly beats the search (it re-prioritizes dynamically at runtime).");
+    decima_bench::artifact_main("fig22")
 }

@@ -2,86 +2,6 @@
 //! Decima trained without task-duration estimates still beats the tuned
 //! heuristic by exploiting DAG structure and task counts.
 
-use decima_baselines::WeightedFairScheduler;
-use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
-use decima_gnn::FeatureConfig;
-use decima_nn::ParamStore;
-use decima_policy::{DecimaPolicy, PolicyConfig};
-use decima_rl::{EnvFactory, TpchEnv, TrainConfig, Trainer};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-fn trainer_with(include_duration: bool, execs: usize, seed: u64) -> Trainer {
-    let mut store = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let policy = DecimaPolicy::new(
-        PolicyConfig {
-            feat: FeatureConfig {
-                include_duration,
-                ..FeatureConfig::default()
-            },
-            ..PolicyConfig::small(execs)
-        },
-        &mut store,
-        &mut rng,
-    );
-    Trainer::new(
-        policy,
-        store,
-        TrainConfig {
-            num_rollouts: 8,
-            entropy_start: 0.25,
-            entropy_end: 1e-3,
-            entropy_decay_iters: 60,
-            seed,
-            ..TrainConfig::default()
-        },
-    )
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 20);
-    let iters: usize = args.get("iters", 80);
-
-    let env = TpchEnv::batch(jobs_n, execs);
-    let eval_seeds: Vec<u64> = (9500..9506).collect();
-
-    let wf: f64 = eval_seeds
-        .iter()
-        .map(|&s| {
-            let (c, j, cfg) = env.build(s);
-            run_episode(&c, &j, &cfg, WeightedFairScheduler::new(-1.0))
-                .avg_jct()
-                .unwrap()
-        })
-        .sum::<f64>()
-        / eval_seeds.len() as f64;
-
-    println!("Training Decima WITH task-duration features...");
-    let mut full = trainer_with(true, execs, 61);
-    train_with_progress(&mut full, &env, iters);
-    let full_jct = eval_mean_jct(&full, &env, &eval_seeds);
-
-    println!("Training Decima WITHOUT task-duration features (Appendix J)...");
-    let mut blind = trainer_with(false, execs, 63);
-    train_with_progress(&mut blind, &env, iters);
-    let blind_jct = eval_mean_jct(&blind, &env, &eval_seeds);
-
-    println!("\nFigure 23: avg JCT on unseen batches");
-    println!("  opt-weighted-fair:        {wf:.1}s");
-    println!("  decima (full features):   {full_jct:.1}s");
-    println!("  decima (no durations):    {blind_jct:.1}s");
-    write_csv(
-        "fig23_incomplete_info",
-        "scheduler,avg_jct",
-        &[
-            format!("opt_wf,{wf:.2}"),
-            format!("decima_full,{full_jct:.2}"),
-            format!("decima_no_duration,{blind_jct:.2}"),
-        ],
-    );
-    println!("\nPaper shape: the duration-blind policy is worse than full Decima but");
-    println!("still competitive with the best heuristic.");
+    decima_bench::artifact_main("fig23")
 }

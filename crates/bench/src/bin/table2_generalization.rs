@@ -5,140 +5,6 @@
 //! (task_scale 8, 10 executors): paper's 45 s / 75 s IATs become 24 s /
 //! 40 s at the same offered loads.
 
-use decima_baselines::WeightedFairScheduler;
-use decima_bench::{eval_mean_jct, run_episode, train_with_progress, write_csv, Args};
-use decima_core::{ClusterSpec, JobSpec};
-use decima_gnn::FeatureConfig;
-use decima_nn::ParamStore;
-use decima_policy::{DecimaPolicy, PolicyConfig};
-use decima_rl::{Curriculum, EnvFactory, TpchEnv, TrainConfig, Trainer};
-use decima_sim::SimConfig;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// Draws each episode's IAT uniformly from a range (the "mixed" row).
-struct MixedEnv {
-    base: TpchEnv,
-    lo: f64,
-    hi: f64,
-    hint: bool,
-}
-impl EnvFactory for MixedEnv {
-    fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
-        let mut rng = SmallRng::seed_from_u64(seq_seed ^ 0xa11a);
-        let iat = rng.gen_range(self.lo..=self.hi);
-        let mut env = self.base.clone();
-        env.arrivals = decima_workload::ArrivalProcess::Poisson { mean_iat: iat };
-        env.build(seq_seed)
-    }
-}
-
-fn mk_trainer(execs: usize, hint: Option<f64>, seed: u64) -> Trainer {
-    let mut store = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let policy = DecimaPolicy::new(
-        PolicyConfig {
-            feat: FeatureConfig {
-                iat_hint: hint,
-                ..FeatureConfig::default()
-            },
-            ..PolicyConfig::small(execs)
-        },
-        &mut store,
-        &mut rng,
-    );
-    Trainer::new(
-        policy,
-        store,
-        TrainConfig {
-            num_rollouts: 8,
-            differential_reward: true,
-            curriculum: Some(Curriculum {
-                tau_init: 300.0,
-                tau_step: 40.0,
-                tau_max: 4000.0,
-            }),
-            entropy_start: 0.25,
-            entropy_end: 1e-3,
-            entropy_decay_iters: 60,
-            seed,
-            ..TrainConfig::default()
-        },
-    )
-}
-
 fn main() {
-    let args = Args::new();
-    let execs: usize = args.get("execs", 10);
-    let jobs_n: usize = args.get("jobs", 100);
-    let iters: usize = args.get("iters", 60);
-    let test_iat: f64 = args.get("test-iat", 24.0);
-    let anti_iat: f64 = args.get("anti-iat", 40.0);
-
-    let test_env = TpchEnv::stream(jobs_n, execs, test_iat);
-    let eval_seeds: Vec<u64> = (9700..9704).collect();
-    let mut rows = Vec::new();
-
-    let wf: f64 = eval_seeds
-        .iter()
-        .map(|&s| {
-            let (c, j, cfg) = test_env.build(s);
-            run_episode(&c, &j, &cfg, WeightedFairScheduler::new(-1.0))
-                .avg_jct()
-                .unwrap_or(f64::NAN)
-        })
-        .sum::<f64>()
-        / eval_seeds.len() as f64;
-    println!("opt-weighted-fair (best heuristic): {wf:.1}s");
-    rows.push(format!("opt_weighted_fair,{wf:.2}"));
-
-    let mut case = |label: &str, env: &dyn EnvFactory, hint: Option<f64>, seed: u64| {
-        println!("\nTraining: {label}");
-        let mut t = mk_trainer(execs, hint, seed);
-        train_with_progress(&mut t, env, iters);
-        // Hinted policies observe the *test* IAT at evaluation time.
-        if hint.is_some() {
-            t.policy.cfg.feat.iat_hint = Some(test_iat);
-        }
-        let jct = eval_mean_jct(&t, &test_env, &eval_seeds);
-        println!("  → test avg JCT {jct:.1}s");
-        rows.push(format!("{},{jct:.2}", label.replace(' ', "_")));
-    };
-
-    case("trained on test workload", &test_env, None, 71);
-    case(
-        "trained on anti-skewed workload",
-        &TpchEnv::stream(jobs_n, execs, anti_iat),
-        None,
-        73,
-    );
-    let mixed = MixedEnv {
-        base: TpchEnv::stream(jobs_n, execs, test_iat),
-        lo: test_iat * 0.9,
-        hi: anti_iat,
-        hint: false,
-    };
-    case("trained on mixed workloads", &mixed, None, 75);
-    let mixed_hint = MixedEnv {
-        hint: true,
-        ..MixedEnv {
-            base: TpchEnv::stream(jobs_n, execs, test_iat),
-            lo: test_iat * 0.9,
-            hi: anti_iat,
-            hint: true,
-        }
-    };
-    // The hint passed during training tracks each episode's IAT only
-    // approximately (we pass the mixture midpoint); the signal the paper
-    // uses is the observed interarrival gap feature.
-    case(
-        "mixed + IAT hint feature",
-        &mixed_hint,
-        Some((test_iat + anti_iat) / 2.0),
-        77,
-    );
-    let _ = mixed.hint;
-
-    write_csv("table2_generalization", "setup,avg_jct", &rows);
-    println!("\nPaper shape: test-trained < mixed+hint < mixed < heuristic < anti-skewed.");
+    decima_bench::artifact_main("table2")
 }

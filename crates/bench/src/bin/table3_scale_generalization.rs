@@ -2,76 +2,6 @@
 //! with many fewer jobs or executors still schedule the full-size test
 //! setting well.
 
-use decima_bench::{eval_mean_jct, train_with_progress, write_csv, Args};
-use decima_nn::ParamStore;
-use decima_policy::{DecimaPolicy, PolicyConfig};
-use decima_rl::{AlibabaEnv, Curriculum, EnvFactory, TrainConfig, Trainer};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-fn mk_trainer(execs: usize, seed: u64) -> Trainer {
-    let mut store = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let policy = DecimaPolicy::new(
-        PolicyConfig {
-            num_classes: 4,
-            ..PolicyConfig::small(execs)
-        },
-        &mut store,
-        &mut rng,
-    );
-    Trainer::new(
-        policy,
-        store,
-        TrainConfig {
-            num_rollouts: 8,
-            differential_reward: true,
-            curriculum: Some(Curriculum {
-                tau_init: 300.0,
-                tau_step: 40.0,
-                tau_max: 4000.0,
-            }),
-            entropy_start: 0.25,
-            entropy_end: 1e-3,
-            entropy_decay_iters: 60,
-            seed,
-            ..TrainConfig::default()
-        },
-    )
-}
-
 fn main() {
-    let args = Args::new();
-    let test_execs: usize = args.get("execs", 20);
-    let test_jobs: usize = args.get("jobs", 90);
-    let iters: usize = args.get("iters", 60);
-    let iat: f64 = args.get("iat", 12.0);
-
-    let test_env = AlibabaEnv::small(test_jobs, test_execs, iat);
-    let eval_seeds: Vec<u64> = (9800..9803).collect();
-    let mut rows = Vec::new();
-    println!("Table 3: scale generalization (Alibaba-like, test = {test_jobs} jobs / {test_execs} executors)");
-
-    let mut case = |label: &str, train_env: &dyn EnvFactory, seed: u64| {
-        println!("\nTraining: {label}");
-        let mut t = mk_trainer(test_execs, seed);
-        train_with_progress(&mut t, train_env, iters);
-        let jct = eval_mean_jct(&t, &test_env, &eval_seeds);
-        println!("  → test avg JCT {jct:.1}s");
-        rows.push(format!("{},{jct:.2}", label.replace(' ', "_")));
-    };
-
-    case("trained with test setting", &test_env, 81);
-    // 6× fewer concurrent jobs (paper: 15×): shorter episodes, lighter load.
-    let few_jobs = AlibabaEnv::small(test_jobs / 6, test_execs, iat * 2.0);
-    case("trained with 6x fewer jobs", &few_jobs, 83);
-    // Note: the executor-scarce agent trains on a *smaller cluster* but is
-    // evaluated on the full one; the policy's limit head normalizes by
-    // total executors, which is what transfers.
-    let few_execs = AlibabaEnv::small(test_jobs, test_execs / 4, iat);
-    case("trained with 4x fewer executors", &few_execs, 85);
-
-    write_csv("table3_scale_generalization", "setup,avg_jct", &rows);
-    println!("\nPaper shape: both scaled-down trainings land within ~10% of the");
-    println!("full-scale training (executor scaling generalizes more easily).");
+    decima_bench::artifact_main("table3")
 }

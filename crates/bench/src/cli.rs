@@ -1,0 +1,214 @@
+//! Command-line entry points: the unified `decima-exp` runner and the
+//! thin per-figure wrappers.
+//!
+//! ```text
+//! decima-exp --list
+//! decima-exp --scenario fig09a
+//! decima-exp --scenario fig09a --set execs=30 --seeds 0..40 --threads 8 --json
+//! ```
+//!
+//! Each former figure binary is `artifact_main("<name>")`: it accepts
+//! the same `--set`/`--seeds`/`--threads` flags plus the legacy
+//! per-binary style (`--execs 30 --runs 5`), fetches its scenario from
+//! the registry, and runs it through the shared runner.
+
+use crate::registry::ScenarioRegistry;
+use crate::runner::{run_scenario, RunOptions, Scenario};
+use crate::Args;
+
+/// Flags consumed by the runner itself; everything else is treated as a
+/// scenario override.
+const RESERVED: &[&str] = &["scenario", "list", "json", "threads", "seeds", "help"];
+
+fn usage() {
+    println!("decima-exp — unified experiment runner for the Decima reproduction");
+    println!();
+    println!("USAGE:");
+    println!("  decima-exp --list");
+    println!("  decima-exp --scenario <name> [--set key=value]... [--seeds a..b]");
+    println!("             [--threads N] [--json]");
+    println!();
+    println!("FLAGS:");
+    println!("  --list            list registered scenarios and exit");
+    println!("  --scenario NAME   which scenario to run (see --list)");
+    println!("  --set KEY=VALUE   override a spec field or parameter (repeatable)");
+    println!("  --seeds A..B      evaluation seed range (or a bare count)");
+    println!("  --threads N       worker threads (default: available parallelism)");
+    println!("  --json            also print the structured JSON result to stdout");
+    println!();
+    println!("Results: terminal report, out/<scenario>.csv, out/<scenario>.json");
+}
+
+fn list(reg: &ScenarioRegistry) {
+    println!("{} registered scenarios:\n", reg.len());
+    println!("{:<10} {:<22} title", "name", "paper");
+    for sc in reg.iter() {
+        println!(
+            "{:<10} {:<22} {}",
+            sc.spec.name, sc.spec.paper_ref, sc.spec.title
+        );
+    }
+    println!("\nRun one with: decima-exp --scenario <name>");
+}
+
+/// Applies CLI arguments (both `--set k=v` and legacy `--key value`
+/// overrides) to a scenario fetched from the registry, returning the
+/// run options alongside.
+fn configure(sc: &Scenario, args: &Args) -> Result<(Scenario, RunOptions), String> {
+    let mut sc = sc.clone();
+    for (key, value) in args
+        .legacy_overrides(RESERVED)
+        .into_iter()
+        .chain(args.sets()?)
+    {
+        sc.spec.set(&key, &value)?;
+    }
+    if let Some(range) = args.value("seeds") {
+        sc.spec.seeds = sc.spec.seeds.parse(range)?;
+    }
+    let mut opts = RunOptions::default();
+    if let Some(threads) = args.value("threads") {
+        opts.threads = threads
+            .parse::<usize>()
+            .map_err(|_| format!("--threads needs a positive integer, got '{threads}'"))?
+            .max(1);
+    }
+    opts.dump_json = args.has("json");
+    Ok((sc, opts))
+}
+
+fn run(name: &str, args: &Args) -> Result<(), String> {
+    let reg = ScenarioRegistry::standard();
+    let sc = reg
+        .get(name)
+        .ok_or_else(|| format!("unknown scenario '{name}' (try --list)"))?;
+    let (sc, opts) = configure(sc, args)?;
+    run_scenario(&sc, &opts);
+    Ok(())
+}
+
+/// Entry point of the `decima-exp` binary.
+pub fn exp_main() {
+    let args = Args::new();
+    if args.has("help") {
+        usage();
+        return;
+    }
+    if args.has("list") {
+        list(&ScenarioRegistry::standard());
+        return;
+    }
+    let Some(name) = args.value("scenario").map(str::to_string) else {
+        usage();
+        std::process::exit(2);
+    };
+    if let Err(e) = run(&name, &args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Entry point of a thin per-figure wrapper binary: runs `name` with
+/// the process arguments as overrides.
+pub fn artifact_main(name: &str) {
+    let args = Args::new();
+    if args.has("help") {
+        println!("wrapper for `decima-exp --scenario {name}`\n");
+        usage();
+        return;
+    }
+    if let Err(e) = run(name, &args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Args {
+        Args::from_vec(parts.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn set_flags_parse() {
+        let args = argv(&["--set", "execs=30", "--set", "iters=2"]);
+        assert_eq!(
+            args.sets().unwrap(),
+            vec![
+                ("execs".to_string(), "30".to_string()),
+                ("iters".to_string(), "2".to_string())
+            ]
+        );
+        assert!(argv(&["--set"]).sets().is_err());
+        assert!(argv(&["--set", "no-equals"]).sets().is_err());
+    }
+
+    #[test]
+    fn legacy_overrides_fold_into_sets() {
+        let args = argv(&[
+            "--execs",
+            "30",
+            "--tpch-only",
+            "--threads",
+            "4",
+            "--set",
+            "jobs=5",
+            "--json",
+        ]);
+        let pairs = args.legacy_overrides(RESERVED);
+        assert_eq!(
+            pairs,
+            vec![
+                ("execs".to_string(), "30".to_string()),
+                ("tpch-only".to_string(), "true".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn configure_applies_everything() {
+        let reg = ScenarioRegistry::standard();
+        let sc = reg.get("fig09a").unwrap();
+        let args = argv(&[
+            "--execs",
+            "30",
+            "--set",
+            "iters=2",
+            "--seeds",
+            "0..40",
+            "--threads",
+            "3",
+            "--json",
+        ]);
+        let (sc, opts) = configure(sc, &args).unwrap();
+        assert_eq!(sc.spec.workload.as_ref().unwrap().executors, 30);
+        assert_eq!(sc.spec.seeds.seeds().len(), 40);
+        assert_eq!(sc.spec.seeds.start, 0);
+        assert_eq!(opts.threads, 3);
+        assert!(opts.dump_json);
+        match &sc.spec.lineup.last().unwrap().sched {
+            crate::scenario::SchedulerSpec::Decima { train } => assert_eq!(train.iters, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_runs_flag_reshapes_seed_plan() {
+        let reg = ScenarioRegistry::standard();
+        let sc = reg.get("fig09a").unwrap();
+        let (sc, _) = configure(sc, &argv(&["--runs", "5"])).unwrap();
+        assert_eq!(sc.spec.seeds.count, 5);
+        assert_eq!(sc.spec.seeds.start, 1000);
+    }
+
+    #[test]
+    fn configure_rejects_bad_input() {
+        let reg = ScenarioRegistry::standard();
+        let sc = reg.get("fig09a").unwrap();
+        assert!(configure(sc, &argv(&["--seeds", "bad"])).is_err());
+        assert!(configure(sc, &argv(&["--execs", "abc"])).is_err());
+        assert!(configure(sc, &argv(&["--threads", "x"])).is_err());
+    }
+}

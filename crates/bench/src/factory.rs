@@ -1,0 +1,278 @@
+//! The scheduler factory: string names / [`SchedulerSpec`]s → boxed
+//! [`Scheduler`]s, plus shared trainer construction from a [`TrainSpec`].
+//!
+//! Every scheduler the paper compares — the seven §7.1 baselines, the
+//! random policy, and trained/untrained Decima with arbitrary
+//! `PolicyConfig` overrides — is constructible here, so experiments
+//! never hand-roll scheduler setup.
+
+use crate::scenario::{PolicySpec, SchedulerSpec, TrainSpec};
+use decima_baselines::{
+    FifoScheduler, GrapheneScheduler, RandomScheduler, SjfCpScheduler, TetrisScheduler,
+    WeightedFairScheduler,
+};
+use decima_nn::ParamStore;
+use decima_policy::{DecimaAgent, DecimaPolicy, ParallelismMode, PolicyConfig};
+use decima_rl::{Curriculum, TrainConfig, Trainer};
+use decima_sim::Scheduler;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A trained policy snapshot: what a `Decima` lineup entry evaluates.
+#[derive(Clone)]
+pub struct TrainedPolicy {
+    /// Policy architecture.
+    pub policy: DecimaPolicy,
+    /// Parameter values.
+    pub store: ParamStore,
+}
+
+impl TrainedPolicy {
+    /// Snapshots a trainer's current policy.
+    pub fn of(trainer: &Trainer) -> Self {
+        TrainedPolicy {
+            policy: trainer.policy.clone(),
+            store: trainer.store.clone(),
+        }
+    }
+
+    /// A fresh greedy evaluation agent over this snapshot.
+    pub fn greedy_agent(&self) -> DecimaAgent {
+        DecimaAgent::greedy(self.policy.clone(), self.store.clone())
+    }
+}
+
+/// Names the factory accepts, in lineup-conventional order.
+pub const SCHEDULER_NAMES: &[&str] = &[
+    "fifo",
+    "sjf-cp",
+    "fair",
+    "naive-weighted-fair",
+    "weighted-fair",
+    "opt-weighted-fair",
+    "tetris",
+    "graphene",
+    "random",
+    "decima",
+    "decima-untrained",
+];
+
+/// Resolves a factory name (optionally with a `:arg` suffix, e.g.
+/// `weighted-fair:-0.5` or `random:7`) to a scheduler spec.
+pub fn scheduler_spec_by_name(name: &str) -> Option<SchedulerSpec> {
+    let (base, arg) = match name.split_once(':') {
+        Some((b, a)) => (b, Some(a)),
+        None => (name, None),
+    };
+    let num = |default: f64| arg.and_then(|a| a.parse::<f64>().ok()).unwrap_or(default);
+    Some(match base {
+        "fifo" => SchedulerSpec::Fifo,
+        "sjf-cp" => SchedulerSpec::SjfCp,
+        "fair" => SchedulerSpec::Fair,
+        "naive-weighted-fair" => SchedulerSpec::NaiveWeightedFair,
+        "weighted-fair" | "opt-weighted-fair" => SchedulerSpec::WeightedFair { alpha: num(-1.0) },
+        "tetris" => SchedulerSpec::Tetris,
+        "graphene" => SchedulerSpec::Graphene,
+        "random" => SchedulerSpec::Random {
+            seed: num(0.0) as u64,
+        },
+        "decima" => SchedulerSpec::Decima {
+            train: TrainSpec::standard(80, 11),
+        },
+        "decima-untrained" => SchedulerSpec::DecimaUntrained {
+            policy: PolicySpec::default(),
+            sample_seed: None,
+        },
+        _ => return None,
+    })
+}
+
+/// Parses a [`PolicySpec::parallelism`] key.
+pub fn parallelism_mode(key: &str) -> Result<ParallelismMode, String> {
+    match key {
+        "job-level" => Ok(ParallelismMode::JobLevel),
+        "stage-level" => Ok(ParallelismMode::StageLevel),
+        "one-hot" => Ok(ParallelismMode::OneHot),
+        "disabled" => Ok(ParallelismMode::Disabled),
+        other => Err(format!("unknown parallelism mode '{other}'")),
+    }
+}
+
+impl PolicySpec {
+    /// Materializes the policy configuration for a cluster size.
+    pub fn to_config(&self, executors: usize) -> PolicyConfig {
+        let mut cfg = PolicyConfig::small(executors);
+        if !self.gnn {
+            cfg.gnn = None;
+        }
+        cfg.parallelism = parallelism_mode(&self.parallelism)
+            .unwrap_or_else(|e| panic!("invalid policy spec: {e}"));
+        cfg.num_classes = self.num_classes;
+        cfg.feat.include_duration = self.include_duration;
+        cfg.feat.iat_hint = self.iat_hint;
+        cfg
+    }
+}
+
+/// Builds a trainer from a recipe (policy initialized from the recipe's
+/// seed — bit-identical to the historical per-binary constructions).
+pub fn build_trainer(train: &TrainSpec, executors: usize) -> Trainer {
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(train.seed);
+    let policy = DecimaPolicy::new(train.policy.to_config(executors), &mut store, &mut rng);
+    Trainer::new(
+        policy,
+        store,
+        TrainConfig {
+            num_rollouts: train.num_rollouts,
+            lr: train.lr,
+            entropy_start: train.entropy_start,
+            entropy_end: train.entropy_end,
+            entropy_decay_iters: train.entropy_decay_iters,
+            differential_reward: train.differential_reward,
+            input_dependent_baseline: train.input_dependent_baseline,
+            curriculum: train.curriculum.map(|c| Curriculum {
+                tau_init: c.tau_init,
+                tau_step: c.tau_step,
+                tau_max: c.tau_max,
+            }),
+            seed: train.seed,
+            ..TrainConfig::default()
+        },
+    )
+}
+
+/// Constructs a boxed scheduler from its spec.
+///
+/// * `executors` sizes untrained Decima policies.
+/// * `trained` supplies the parameters for `Decima` entries (the runner
+///   trains first, then hands the snapshot here). A `Decima` spec without
+///   a snapshot falls back to an untrained policy.
+/// * `TunedWeightedFair` must be resolved to a concrete `WeightedFair`
+///   by the runner first; unresolved it falls back to α = −1 (the
+///   paper's near-optimal exponent).
+pub fn make_scheduler(
+    spec: &SchedulerSpec,
+    executors: usize,
+    trained: Option<&TrainedPolicy>,
+) -> Box<dyn Scheduler + Send> {
+    match spec {
+        SchedulerSpec::Fifo => Box::new(FifoScheduler),
+        SchedulerSpec::SjfCp => Box::new(SjfCpScheduler),
+        SchedulerSpec::Fair => Box::new(WeightedFairScheduler::fair()),
+        SchedulerSpec::NaiveWeightedFair => Box::new(WeightedFairScheduler::naive()),
+        SchedulerSpec::WeightedFair { alpha } => Box::new(WeightedFairScheduler::new(*alpha)),
+        SchedulerSpec::TunedWeightedFair { .. } => Box::new(WeightedFairScheduler::new(-1.0)),
+        SchedulerSpec::Tetris => Box::new(TetrisScheduler),
+        SchedulerSpec::Graphene => Box::new(GrapheneScheduler::default()),
+        SchedulerSpec::Random { seed } => Box::new(RandomScheduler::new(*seed)),
+        SchedulerSpec::Decima { .. } => match trained {
+            Some(t) => Box::new(t.greedy_agent()),
+            None => Box::new(untrained_agent(&PolicySpec::default(), executors, None)),
+        },
+        SchedulerSpec::DecimaUntrained {
+            policy,
+            sample_seed,
+        } => Box::new(untrained_agent(policy, executors, *sample_seed)),
+    }
+}
+
+/// A freshly-initialized (untrained) Decima agent: greedy by default,
+/// sampling when `sample_seed` is given. Parameters are drawn with RNG
+/// seed 0, matching the historical untrained-policy experiments.
+pub fn untrained_agent(
+    policy: &PolicySpec,
+    executors: usize,
+    sample_seed: Option<u64>,
+) -> DecimaAgent {
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let p = DecimaPolicy::new(policy.to_config(executors), &mut store, &mut rng);
+    match sample_seed {
+        Some(seed) => DecimaAgent::sampler(p, store, seed),
+        None => DecimaAgent::greedy(p, store),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decima_core::ClusterSpec;
+    use decima_sim::{SimConfig, Simulator};
+    use decima_workload::tpch_batch;
+
+    #[test]
+    fn every_name_resolves_and_constructs() {
+        for name in SCHEDULER_NAMES {
+            let spec = scheduler_spec_by_name(name)
+                .unwrap_or_else(|| panic!("name '{name}' did not resolve"));
+            let _sched = make_scheduler(&spec, 5, None);
+        }
+        assert!(scheduler_spec_by_name("not-a-scheduler").is_none());
+    }
+
+    #[test]
+    fn name_args_parse() {
+        match scheduler_spec_by_name("weighted-fair:-0.5") {
+            Some(SchedulerSpec::WeightedFair { alpha }) => assert_eq!(alpha, -0.5),
+            other => panic!("{other:?}"),
+        }
+        match scheduler_spec_by_name("random:7") {
+            Some(SchedulerSpec::Random { seed }) => assert_eq!(seed, 7),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn factory_schedulers_complete_an_episode() {
+        let jobs: Vec<_> = tpch_batch(2, 1)
+            .into_iter()
+            .map(|mut j| {
+                for s in &mut j.stages {
+                    s.num_tasks = (s.num_tasks / 8).max(1);
+                }
+                j
+            })
+            .collect();
+        let cluster = ClusterSpec::homogeneous(4).with_move_delay(1.0);
+        for name in ["fifo", "sjf-cp", "fair", "tetris", "graphene"] {
+            let spec = scheduler_spec_by_name(name).unwrap();
+            let sched = make_scheduler(&spec, 4, None);
+            let r = Simulator::new(cluster.clone(), jobs.clone(), SimConfig::default()).run(sched);
+            assert_eq!(r.completed(), 2, "{name} left jobs unfinished");
+        }
+    }
+
+    #[test]
+    fn parallelism_modes_parse() {
+        assert_eq!(
+            parallelism_mode("job-level").unwrap(),
+            ParallelismMode::JobLevel
+        );
+        assert_eq!(
+            parallelism_mode("stage-level").unwrap(),
+            ParallelismMode::StageLevel
+        );
+        assert_eq!(
+            parallelism_mode("one-hot").unwrap(),
+            ParallelismMode::OneHot
+        );
+        assert_eq!(
+            parallelism_mode("disabled").unwrap(),
+            ParallelismMode::Disabled
+        );
+        assert!(parallelism_mode("bogus").is_err());
+    }
+
+    #[test]
+    fn trainer_matches_standard_recipe() {
+        let t = build_trainer(&TrainSpec::standard(10, 11), 6);
+        assert_eq!(t.cfg.num_rollouts, 8);
+        assert_eq!(t.cfg.lr, 2e-3);
+        assert_eq!(t.cfg.entropy_start, 0.08);
+        assert!(t.cfg.curriculum.is_none());
+        let t2 = build_trainer(&TrainSpec::tuned(10, 81), 6);
+        assert!(t2.cfg.differential_reward);
+        assert!(t2.cfg.curriculum.is_some());
+    }
+}

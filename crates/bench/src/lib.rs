@@ -1,10 +1,40 @@
 //! # decima-bench
 //!
-//! Shared harness for the figure/table reproduction binaries: scheduler
-//! comparisons, CSV/terminal reporting, a standard scaled-down training
-//! recipe, and a tiny argument parser. One binary per paper artifact
-//! lives in `src/bin/` (see `DESIGN.md`'s experiment index); Criterion
+//! The experiment layer of the reproduction, built around a declarative
+//! scenario API:
+//!
+//! * [`scenario`] — [`ScenarioSpec`](scenario::ScenarioSpec): a
+//!   serializable description of one experiment (workload, simulator
+//!   knobs, seed plan, scheduler lineup, training recipes), built with
+//!   the fluent [`ScenarioBuilder`](scenario::ScenarioBuilder).
+//! * [`factory`] — string name / spec → boxed scheduler, covering all
+//!   seven baselines plus trained/untrained Decima.
+//! * [`registry`] — every paper artifact (`fig02` … `table3`) registers
+//!   its spec in the [`ScenarioRegistry`].
+//! * [`runner`] — one unified runner that lists, runs, and sweeps any
+//!   registered scenario with seed-parallel evaluation.
+//! * [`report`] / [`json`] — terminal tables, CSVs, and the structured
+//!   `out/<scenario>.json` result document.
+//!
+//! The `decima-exp` binary is the front door
+//! (`cargo run -p decima-bench --bin decima-exp -- --list`); the
+//! per-figure binaries in `src/bin/` are thin wrappers that fetch their
+//! scenario from the registry and call the same runner. Criterion
 //! micro-benchmarks live in `benches/`.
+
+pub mod cli;
+pub mod factory;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod scenarios;
+
+pub use cli::{artifact_main, exp_main};
+pub use factory::{build_trainer, make_scheduler, scheduler_spec_by_name, TrainedPolicy};
+pub use registry::ScenarioRegistry;
+pub use runner::{par_map, run_scenario, RunOptions, Scenario};
 
 use decima_core::{ClusterSpec, JobSpec, Summary};
 use decima_nn::ParamStore;
@@ -151,26 +181,94 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments.
     pub fn new() -> Self {
-        Args {
-            raw: std::env::args().skip(1).collect(),
-        }
+        Args::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Builds from an explicit argument vector (tests, embedding).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
     }
 
     /// The value after `--name`, parsed, or `default`.
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The raw string value after `--name`.
+    pub fn value(&self, name: &str) -> Option<&str> {
         let key = format!("--{name}");
         self.raw
             .iter()
             .position(|a| a == &key)
             .and_then(|i| self.raw.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+            .map(String::as_str)
     }
 
     /// True when `--name` is present (with or without a value).
     pub fn has(&self, name: &str) -> bool {
         let key = format!("--{name}");
         self.raw.iter().any(|a| a == &key)
+    }
+
+    /// All `--set key=value` overrides, in order of appearance.
+    pub fn sets(&self) -> Result<Vec<(String, String)>, String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.raw.len() {
+            if self.raw[i] == "--set" {
+                let kv = self
+                    .raw
+                    .get(i + 1)
+                    .ok_or_else(|| "--set needs a key=value argument".to_string())?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set '{kv}' is not of the form key=value"))?;
+                out.push((k.to_string(), v.to_string()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every `--key [value]` pair that is not a reserved runner flag —
+    /// the legacy per-binary override style (`--execs 30 --runs 5`),
+    /// folded into the same key=value stream as `--set`. A flag followed
+    /// by another flag (or nothing) maps to `key=true`.
+    pub fn legacy_overrides(&self, reserved: &[&str]) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.raw.len() {
+            let arg = &self.raw[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                if key == "set" {
+                    i += 2;
+                    continue;
+                }
+                if reserved.contains(&key) {
+                    // Reserved flags may consume a value.
+                    let takes_value = self.raw.get(i + 1).is_some_and(|v| !v.starts_with("--"));
+                    i += if takes_value { 2 } else { 1 };
+                    continue;
+                }
+                match self.raw.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        out.push((key.to_string(), v.clone()));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push((key.to_string(), "true".to_string()));
+                        i += 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,408 @@
+//! The unified experiment runner.
+//!
+//! [`run_scenario`] executes any registered scenario: the generic
+//! declarative path ([`run_comparison`]) tunes baselines, trains Decima
+//! entries, evaluates the whole lineup over the seed plan **in
+//! parallel** (scoped threads, deterministic per-seed results, stable
+//! ordering), prints the familiar terminal report, and writes both the
+//! CSV and the structured JSON; custom scenarios plug in a run function
+//! for figure-specific analyses and inherit the same reporting.
+
+use crate::factory::{build_trainer, make_scheduler, TrainedPolicy};
+use crate::report::{write_json, ScenarioReport, SeriesReport};
+use crate::scenario::{ReportKind, ScenarioSpec, SchedulerSpec};
+use crate::{print_comparison, run_episode, train_with_progress, write_csv};
+use decima_baselines::tune_alpha;
+use decima_rl::SpecEnv;
+use decima_sim::EpisodeResult;
+use std::time::Instant;
+
+/// Execution options common to every scenario.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Worker threads for seed-parallel evaluation.
+    pub threads: usize,
+    /// Also print the JSON document to stdout.
+    pub dump_json: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            dump_json: false,
+        }
+    }
+}
+
+/// A custom run function: receives the (override-applied) spec and the
+/// options, prints its figure-specific analysis, and returns the
+/// structured results.
+pub type CustomFn = fn(&ScenarioSpec, &RunOptions) -> ScenarioReport;
+
+/// How a scenario executes.
+#[derive(Clone)]
+pub enum RunKind {
+    /// Fully declarative: the generic comparison protocol.
+    Comparison,
+    /// Figure-specific analysis on top of the declarative spec.
+    Custom(CustomFn),
+}
+
+/// A registered scenario: its declarative spec plus how to run it.
+#[derive(Clone)]
+pub struct Scenario {
+    /// The declarative description (echoed into the JSON output).
+    pub spec: ScenarioSpec,
+    /// Execution strategy.
+    pub run: RunKind,
+}
+
+/// Runs a scenario end-to-end: executes, prints the paper-shape notes,
+/// stamps wall-clock time, and writes `out/<name>.json`.
+pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> ScenarioReport {
+    let t0 = Instant::now();
+    let mut report = match &sc.run {
+        RunKind::Comparison => run_comparison(&sc.spec, opts),
+        RunKind::Custom(f) => f(&sc.spec, opts),
+    };
+    if !sc.spec.notes.is_empty() {
+        println!();
+        for line in &sc.spec.notes {
+            println!("{line}");
+        }
+    }
+    report.wall_secs = t0.elapsed().as_secs_f64();
+    let doc = report.to_json(&sc.spec);
+    write_json(&sc.spec.name, &doc);
+    if opts.dump_json {
+        println!("{}", doc.render());
+    }
+    report
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order. Each item is processed exactly
+/// once; with deterministic `f` the output is identical to a sequential
+/// map (this is what keeps parallel seed loops reproducible).
+pub fn par_map<I: Sync, T: Send>(
+    items: &[I],
+    threads: usize,
+    f: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("worker filled slot"))
+        .collect()
+}
+
+/// The evaluation environment a comparison spec describes.
+pub fn spec_env(spec: &ScenarioSpec) -> SpecEnv {
+    SpecEnv {
+        workload: spec
+            .workload
+            .clone()
+            .unwrap_or_else(|| panic!("scenario '{}' has no workload", spec.name)),
+        sim: spec.sim.to_config(),
+    }
+}
+
+/// Evaluates one scheduler spec over the seeds, one fresh scheduler per
+/// seed, in parallel.
+pub fn eval_series(
+    label: &str,
+    csv: &str,
+    sched: &SchedulerSpec,
+    env: &SpecEnv,
+    seeds: &[u64],
+    trained: Option<&TrainedPolicy>,
+    threads: usize,
+) -> SeriesReport {
+    let executors = env.workload.executors;
+    let results: Vec<EpisodeResult> = par_map(seeds, threads, |&seed| {
+        use decima_rl::EnvFactory as _;
+        let (cluster, jobs, cfg) = env.build(seed);
+        let sched = make_scheduler(sched, executors, trained);
+        run_episode(&cluster, &jobs, &cfg, sched)
+    });
+    SeriesReport {
+        label: label.to_string(),
+        csv: csv.to_string(),
+        avg_jcts: results
+            .iter()
+            .map(|r| r.avg_jct().unwrap_or(f64::NAN))
+            .collect(),
+        unfinished: results.iter().map(EpisodeResult::unfinished).sum(),
+    }
+}
+
+/// Sweeps the weighted-fair exponent α on held-out seeds (§7.1),
+/// evaluating each candidate's seed set in parallel.
+pub fn tune_weighted_fair(env: &SpecEnv, tune_seeds: &[u64], threads: usize) -> f64 {
+    let (alpha, _) = tune_alpha(|a| {
+        eval_series(
+            "tune",
+            "tune",
+            &SchedulerSpec::WeightedFair { alpha: a },
+            env,
+            tune_seeds,
+            None,
+            threads,
+        )
+        .avg_jcts
+        .iter()
+        // A seed with no completed job (NaN) disqualifies the
+        // candidate — dropping it would make failure look cheap.
+        .map(|v| if v.is_finite() { *v } else { f64::INFINITY })
+        .sum::<f64>()
+    });
+    alpha
+}
+
+/// Trains a `Decima` lineup entry and snapshots the result. Training
+/// runs on the entry's own workload override when present (the
+/// generalization experiments), otherwise on the evaluation environment;
+/// the policy is always sized for the evaluation cluster.
+pub fn train_decima_entry(
+    label: &str,
+    train: &crate::scenario::TrainSpec,
+    env: &SpecEnv,
+) -> TrainedPolicy {
+    println!("Training {label} ({} iterations)...", train.iters);
+    let mut trainer = build_trainer(train, env.workload.executors);
+    let train_env = match &train.workload {
+        Some(w) => SpecEnv {
+            workload: w.clone(),
+            sim: env.sim.clone(),
+        },
+        None => env.clone(),
+    };
+    train_with_progress(&mut trainer, &train_env, train.iters);
+    if let Some(hint) = train.eval_iat_hint {
+        // Hinted policies observe the *test* IAT at evaluation time.
+        trainer.policy.cfg.feat.iat_hint = Some(hint);
+    }
+    TrainedPolicy::of(&trainer)
+}
+
+/// The generic declarative path: resolve tuning, train Decima entries,
+/// evaluate the lineup over the seed plan, report per the spec's
+/// [`ReportKind`].
+pub fn run_comparison(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
+    let env = spec_env(spec);
+    let seeds = spec.seeds.seeds();
+    let mut report = ScenarioReport::new();
+
+    for entry in &spec.lineup {
+        let series = match &entry.sched {
+            SchedulerSpec::TunedWeightedFair {
+                tune_start,
+                tune_count,
+            } => {
+                let tune_seeds: Vec<u64> = (*tune_start..tune_start + *tune_count as u64).collect();
+                let alpha = tune_weighted_fair(&env, &tune_seeds, opts.threads);
+                println!("Tuned weighted-fair α = {alpha:.1} (paper: optimum near -1)");
+                // Record the swept value so JSON consumers don't have to
+                // parse the terminal line.
+                report.push_extra(
+                    format!("tuned_alpha_{}", entry.csv_name()),
+                    crate::json::Json::Num(alpha),
+                );
+                eval_series(
+                    &entry.label,
+                    &entry.csv_name(),
+                    &SchedulerSpec::WeightedFair { alpha },
+                    &env,
+                    &seeds,
+                    None,
+                    opts.threads,
+                )
+            }
+            SchedulerSpec::Decima { train } => {
+                let snapshot = train_decima_entry(&entry.label, train, &env);
+                eval_series(
+                    &entry.label,
+                    &entry.csv_name(),
+                    &entry.sched,
+                    &env,
+                    &seeds,
+                    Some(&snapshot),
+                    opts.threads,
+                )
+            }
+            other => eval_series(
+                &entry.label,
+                &entry.csv_name(),
+                other,
+                &env,
+                &seeds,
+                None,
+                opts.threads,
+            ),
+        };
+        report.push_series(series);
+    }
+
+    print_and_write(spec, &mut report);
+    report
+}
+
+/// Prints the terminal report and writes the CSV for a comparison run.
+fn print_and_write(spec: &ScenarioSpec, report: &mut ScenarioReport) {
+    match spec.report {
+        ReportKind::Table | ReportKind::CdfCsv => {
+            let legacy: Vec<_> = report.series.iter().map(SeriesReport::as_series).collect();
+            print_comparison(&spec.title, &legacy);
+        }
+        ReportKind::MeanUnfinished => {
+            println!("\n{}", spec.title);
+            for s in &report.series {
+                println!(
+                    "{:<22} avg JCT {:>8.1}s   unfinished {:>4} (across {} runs)",
+                    s.label,
+                    s.mean(),
+                    s.unfinished,
+                    s.avg_jcts.len()
+                );
+            }
+        }
+        ReportKind::MeanCsv => {
+            println!("\n{}", spec.title);
+            for s in &report.series {
+                println!("{:<34} avg JCT {:>8.1}s", s.label, s.mean());
+            }
+        }
+    }
+
+    let path = match spec.report {
+        ReportKind::CdfCsv => {
+            // One sorted column per scheduler: `cdf,<name>,<name>,…`.
+            let runs = spec.seeds.count;
+            let sorted: Vec<Vec<f64>> = report
+                .series
+                .iter()
+                .map(|s| {
+                    let mut v = s.avg_jcts.clone();
+                    v.sort_by(|a, b| a.total_cmp(b));
+                    v
+                })
+                .collect();
+            let mut rows = Vec::with_capacity(runs);
+            for i in 0..runs {
+                let frac = (i + 1) as f64 / runs.max(1) as f64;
+                let mut row = format!("{frac:.3}");
+                for col in &sorted {
+                    match col.get(i) {
+                        Some(v) => row += &format!(",{v:.2}"),
+                        None => row += ",",
+                    }
+                }
+                rows.push(row);
+            }
+            let header = std::iter::once("cdf".to_string())
+                .chain(report.series.iter().map(|s| s.csv.clone()))
+                .collect::<Vec<_>>()
+                .join(",");
+            write_csv(&spec.name, &header, &rows)
+        }
+        ReportKind::Table => {
+            let rows: Vec<String> = report
+                .series
+                .iter()
+                .map(|s| {
+                    let sum = s.summary();
+                    format!(
+                        "{},{:.2},{:.2},{:.2},{}",
+                        s.csv, sum.mean, sum.p50, sum.p95, sum.n
+                    )
+                })
+                .collect();
+            write_csv(&spec.name, "scheduler,mean,p50,p95,runs", &rows)
+        }
+        ReportKind::MeanUnfinished => {
+            let rows: Vec<String> = report
+                .series
+                .iter()
+                .map(|s| format!("{},{:.2},{}", s.csv, s.mean(), s.unfinished))
+                .collect();
+            write_csv(&spec.name, "scheduler,avg_jct,unfinished", &rows)
+        }
+        ReportKind::MeanCsv => {
+            let rows: Vec<String> = report
+                .series
+                .iter()
+                .map(|s| format!("{},{:.2}", s.csv, s.mean()))
+                .collect();
+            write_csv(&spec.name, "setup,avg_jct", &rows)
+        }
+    };
+    report.push_csv(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_runs_everything() {
+        let items: Vec<u64> = (0..37).collect();
+        for threads in [1, 3, 8, 64] {
+            let out = par_map(&items, threads, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+        assert!(par_map::<u64, u64>(&[], 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_episode_eval() {
+        use crate::scenario::ScenarioBuilder;
+        use decima_rl::EnvFactory as _;
+        use decima_workload::WorkloadSpec;
+        let spec = ScenarioBuilder::new("t", "t")
+            .workload(WorkloadSpec::tpch_batch(2, 4))
+            .seeds(100, 4)
+            .sched(SchedulerSpec::Fifo)
+            .build();
+        let env = spec_env(&spec);
+        let seeds = spec.seeds.seeds();
+        let seq: Vec<f64> = seeds
+            .iter()
+            .map(|&s| {
+                let (c, j, cfg) = env.build(s);
+                run_episode(&c, &j, &cfg, make_scheduler(&SchedulerSpec::Fifo, 4, None))
+                    .avg_jct()
+                    .unwrap()
+            })
+            .collect();
+        for threads in [1, 2, 4] {
+            let s = eval_series(
+                "fifo",
+                "fifo",
+                &SchedulerSpec::Fifo,
+                &env,
+                &seeds,
+                None,
+                threads,
+            );
+            assert_eq!(s.avg_jcts, seq, "threads={threads}");
+        }
+    }
+}

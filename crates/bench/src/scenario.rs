@@ -1,0 +1,1278 @@
+//! Declarative experiment descriptions.
+//!
+//! A [`ScenarioSpec`] captures everything one paper artifact needs —
+//! workload and cluster, simulator knobs, seed plan, scheduler lineup,
+//! and training recipes — as plain serializable data. Specs are built
+//! with the fluent [`ScenarioBuilder`], registered in the
+//! [`crate::registry::ScenarioRegistry`], executed by
+//! [`crate::runner::run_scenario`], and echoed verbatim into each
+//! run's `out/<scenario>.json` so results stay self-describing.
+
+use crate::json::Json;
+use decima_sim::{Objective, SimConfig};
+use decima_workload::{AlibabaConfig, ArrivalProcess, WorkloadSource, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// A scalar experiment parameter (the open-ended part of a spec that
+/// custom scenarios read at run time).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A number.
+    Num(f64),
+    /// A free-form string.
+    Text(String),
+    /// A boolean flag.
+    Flag(bool),
+}
+
+impl ParamValue {
+    /// Parses a CLI override: bool literals, then numbers, else text.
+    pub fn parse(s: &str) -> ParamValue {
+        match s {
+            "true" => ParamValue::Flag(true),
+            "false" => ParamValue::Flag(false),
+            _ => s
+                .parse::<f64>()
+                .map(ParamValue::Num)
+                .unwrap_or_else(|_| ParamValue::Text(s.to_string())),
+        }
+    }
+}
+
+/// The evaluation seeds: `count` consecutive seeds from `start`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedPlan {
+    /// First seed.
+    pub start: u64,
+    /// Number of seeds.
+    pub count: usize,
+}
+
+impl SeedPlan {
+    /// The concrete seed list.
+    pub fn seeds(&self) -> Vec<u64> {
+        (self.start..self.start + self.count as u64).collect()
+    }
+
+    /// Parses `"a..b"` (half-open range) or a bare count (keeps `start`).
+    pub fn parse(&self, text: &str) -> Result<SeedPlan, String> {
+        if let Some((a, b)) = text.split_once("..") {
+            let start: u64 = a.trim().parse().map_err(|_| bad_range(text))?;
+            let end: u64 = b.trim().parse().map_err(|_| bad_range(text))?;
+            if end < start {
+                return Err(bad_range(text));
+            }
+            Ok(SeedPlan {
+                start,
+                count: (end - start) as usize,
+            })
+        } else {
+            let count: usize = text.trim().parse().map_err(|_| bad_range(text))?;
+            Ok(SeedPlan {
+                start: self.start,
+                count,
+            })
+        }
+    }
+}
+
+fn bad_range(text: &str) -> String {
+    format!("invalid seed range '{text}' (expected 'start..end' or a count)")
+}
+
+/// Simulator knobs a scenario overrides on top of the default (or
+/// simplified) configuration. The per-episode RNG seed is always derived
+/// from the sequence seed by the runner.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimSpec {
+    /// Start from `SimConfig::simplified()` instead of the default.
+    pub simplified: bool,
+    /// Scheduling objective.
+    pub objective: Objective,
+    /// Log-normal task-duration noise sigma override.
+    pub noise: Option<f64>,
+    /// Episode horizon override (seconds).
+    pub time_limit: Option<f64>,
+    /// Record Gantt charts.
+    pub record_gantt: bool,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        SimSpec {
+            simplified: false,
+            objective: Objective::AvgJct,
+            noise: None,
+            time_limit: None,
+            record_gantt: false,
+        }
+    }
+}
+
+impl SimSpec {
+    /// Materializes the simulator configuration template.
+    pub fn to_config(&self) -> SimConfig {
+        let mut cfg = if self.simplified {
+            SimConfig::simplified()
+        } else {
+            SimConfig::default()
+        };
+        cfg.objective = self.objective;
+        if let Some(noise) = self.noise {
+            cfg.noise = noise;
+        }
+        cfg.time_limit = self.time_limit;
+        cfg.record_gantt = self.record_gantt;
+        cfg
+    }
+}
+
+/// Episode-horizon curriculum parameters (§5.3 challenge #1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CurriculumSpec {
+    /// Initial mean horizon (seconds).
+    pub tau_init: f64,
+    /// Additive growth per iteration.
+    pub tau_step: f64,
+    /// Cap on the mean horizon.
+    pub tau_max: f64,
+}
+
+impl CurriculumSpec {
+    /// The curriculum every continuous-arrival experiment uses.
+    pub fn standard() -> Self {
+        CurriculumSpec {
+            tau_init: 300.0,
+            tau_step: 40.0,
+            tau_max: 4000.0,
+        }
+    }
+}
+
+/// Policy-architecture overrides on top of `PolicyConfig::small`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// Use the graph neural network (off reproduces the "w/o graph
+    /// embedding" ablation).
+    pub gnn: bool,
+    /// Parallelism-control mode, as a string key: `job-level`,
+    /// `stage-level`, `one-hot`, or `disabled`.
+    pub parallelism: String,
+    /// Executor classes (>1 enables the class head).
+    pub num_classes: usize,
+    /// Include task-duration features (off for Appendix J).
+    pub include_duration: bool,
+    /// Interarrival-time hint feature (Table 2).
+    pub iat_hint: Option<f64>,
+}
+
+impl Default for PolicySpec {
+    fn default() -> Self {
+        PolicySpec {
+            gnn: true,
+            parallelism: "job-level".to_string(),
+            num_classes: 1,
+            include_duration: true,
+            iat_hint: None,
+        }
+    }
+}
+
+impl PolicySpec {
+    /// A four-class multi-resource policy (§7.3 experiments).
+    pub fn multires() -> Self {
+        PolicySpec {
+            num_classes: 4,
+            ..PolicySpec::default()
+        }
+    }
+}
+
+/// A complete training recipe: hyperparameters, policy overrides, and an
+/// optional train-time workload (when it differs from the evaluation
+/// workload — generalization experiments).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainSpec {
+    /// Training iterations.
+    pub iters: usize,
+    /// Master seed (policy init and rollout sampling).
+    pub seed: u64,
+    /// Rollouts per iteration.
+    pub num_rollouts: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Entropy-bonus weight at iteration 0.
+    pub entropy_start: f64,
+    /// Entropy-bonus weight after decay.
+    pub entropy_end: f64,
+    /// Iterations over which the entropy weight decays.
+    pub entropy_decay_iters: usize,
+    /// Average-reward (differential) formulation.
+    pub differential_reward: bool,
+    /// Fix one arrival sequence per iteration (input-dependent baseline).
+    pub input_dependent_baseline: bool,
+    /// Episode-horizon curriculum.
+    pub curriculum: Option<CurriculumSpec>,
+    /// Policy-architecture overrides.
+    pub policy: PolicySpec,
+    /// Train on a different workload than the evaluation workload.
+    pub workload: Option<WorkloadSpec>,
+    /// Override the policy's IAT-hint feature at evaluation time
+    /// (Table 2's hinted rows observe the *test* IAT).
+    pub eval_iat_hint: Option<f64>,
+}
+
+impl TrainSpec {
+    /// The standard scaled-down batched-arrival recipe
+    /// (`standard_trainer` historically): uniform-initialized small
+    /// policy, entropy-annealed REINFORCE.
+    pub fn standard(iters: usize, seed: u64) -> Self {
+        TrainSpec {
+            iters,
+            seed,
+            num_rollouts: 8,
+            lr: 2e-3,
+            entropy_start: 0.08,
+            entropy_end: 1e-3,
+            entropy_decay_iters: 50,
+            differential_reward: false,
+            input_dependent_baseline: true,
+            curriculum: None,
+            policy: PolicySpec::default(),
+            workload: None,
+            eval_iat_hint: None,
+        }
+    }
+
+    /// The continuous-arrival recipe: standard plus differential rewards
+    /// and the horizon curriculum.
+    pub fn stream(iters: usize, seed: u64) -> Self {
+        TrainSpec {
+            differential_reward: true,
+            curriculum: Some(CurriculumSpec::standard()),
+            ..TrainSpec::standard(iters, seed)
+        }
+    }
+
+    /// The generalization/multi-resource recipe: hotter entropy schedule
+    /// at the default learning rate, with differential rewards and the
+    /// curriculum.
+    pub fn tuned(iters: usize, seed: u64) -> Self {
+        TrainSpec {
+            iters,
+            seed,
+            num_rollouts: 8,
+            lr: 1e-3,
+            entropy_start: 0.25,
+            entropy_end: 1e-3,
+            entropy_decay_iters: 60,
+            differential_reward: true,
+            input_dependent_baseline: true,
+            curriculum: Some(CurriculumSpec::standard()),
+            policy: PolicySpec::default(),
+            workload: None,
+            eval_iat_hint: None,
+        }
+    }
+}
+
+/// One entry of the scheduler factory's vocabulary: which scheduler to
+/// construct, with its parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerSpec {
+    /// Spark's default FIFO.
+    Fifo,
+    /// Shortest-job-first along the critical path.
+    SjfCp,
+    /// Simple fair sharing.
+    Fair,
+    /// Naive weighted fair (shares ∝ total work).
+    NaiveWeightedFair,
+    /// Weighted fair with a fixed exponent.
+    WeightedFair {
+        /// Share exponent α.
+        alpha: f64,
+    },
+    /// Weighted fair with α swept on held-out seeds (§7.1).
+    TunedWeightedFair {
+        /// First tuning seed.
+        tune_start: u64,
+        /// Number of tuning seeds.
+        tune_count: usize,
+    },
+    /// Multi-resource packing (Tetris).
+    Tetris,
+    /// Graphene* with default thresholds.
+    Graphene,
+    /// Uniform random actions.
+    Random {
+        /// Action-sampling seed.
+        seed: u64,
+    },
+    /// Decima, trained with the given recipe before evaluation.
+    Decima {
+        /// Training recipe.
+        train: TrainSpec,
+    },
+    /// Decima with freshly-initialized (untrained) parameters.
+    DecimaUntrained {
+        /// Policy overrides.
+        policy: PolicySpec,
+        /// Sample actions with this seed instead of greedy argmax.
+        sample_seed: Option<u64>,
+    },
+}
+
+impl SchedulerSpec {
+    /// The default display label.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerSpec::Fifo => "fifo".into(),
+            SchedulerSpec::SjfCp => "sjf-cp".into(),
+            SchedulerSpec::Fair => "fair".into(),
+            SchedulerSpec::NaiveWeightedFair => "naive-weighted-fair".into(),
+            SchedulerSpec::WeightedFair { .. } | SchedulerSpec::TunedWeightedFair { .. } => {
+                "opt-weighted-fair".into()
+            }
+            SchedulerSpec::Tetris => "tetris".into(),
+            SchedulerSpec::Graphene => "graphene*".into(),
+            SchedulerSpec::Random { .. } => "random".into(),
+            SchedulerSpec::Decima { .. } => "decima".into(),
+            SchedulerSpec::DecimaUntrained { .. } => "decima-untrained".into(),
+        }
+    }
+}
+
+/// A labelled lineup slot: the scheduler plus its table/CSV names.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LineupEntry {
+    /// Display label (table rows, progress lines).
+    pub label: String,
+    /// CSV column/row identifier (defaults to the sanitized label).
+    pub csv: Option<String>,
+    /// What to construct.
+    pub sched: SchedulerSpec,
+}
+
+impl LineupEntry {
+    /// The CSV identifier: the explicit one, or the label with
+    /// non-alphanumeric runs collapsed to `_`.
+    pub fn csv_name(&self) -> String {
+        self.csv.clone().unwrap_or_else(|| sanitize(&self.label))
+    }
+}
+
+/// Collapses a label to a CSV/JSON-friendly identifier.
+pub fn sanitize(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut prev_us = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            prev_us = false;
+        } else if !prev_us && !out.is_empty() {
+            out.push('_');
+            prev_us = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// How the generic comparison runner reports its results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportKind {
+    /// Comparison table (mean/p50/p95) plus a per-scheduler summary CSV.
+    Table,
+    /// Comparison table plus a CDF CSV (one sorted column per scheduler).
+    CdfCsv,
+    /// Per-scheduler mean JCT and unfinished-job count (streaming runs).
+    MeanUnfinished,
+    /// One `label,mean` CSV row per scheduler (generalization tables).
+    MeanCsv,
+}
+
+/// A complete declarative experiment description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Registry key (`fig09a`, `table2`, …).
+    pub name: String,
+    /// Human title printed above results.
+    pub title: String,
+    /// Where in the paper the artifact lives.
+    pub paper_ref: String,
+    /// Evaluation workload and cluster (absent for scenarios that do not
+    /// schedule jobs, e.g. the supervised GNN comparison of Figure 19).
+    pub workload: Option<WorkloadSpec>,
+    /// Simulator knobs.
+    pub sim: SimSpec,
+    /// Evaluation seed plan.
+    pub seeds: SeedPlan,
+    /// Scheduler lineup, in display order.
+    pub lineup: Vec<LineupEntry>,
+    /// Report shape for the generic comparison runner.
+    pub report: ReportKind,
+    /// Free-form scalar parameters (custom-scenario knobs; all
+    /// overridable with `--set key=value`).
+    pub params: Vec<(String, ParamValue)>,
+    /// "Paper shape" reminder lines printed after the results.
+    pub notes: Vec<String>,
+}
+
+impl ScenarioSpec {
+    /// Total executors of the evaluation cluster (0 without a workload).
+    pub fn executors(&self) -> usize {
+        self.workload.as_ref().map_or(0, |w| w.executors)
+    }
+
+    /// A numeric parameter, or `default` when absent/non-numeric.
+    pub fn num_param(&self, key: &str, default: f64) -> f64 {
+        match self.param(key) {
+            Some(ParamValue::Num(n)) => *n,
+            _ => default,
+        }
+    }
+
+    /// A numeric parameter rounded to usize.
+    pub fn usize_param(&self, key: &str, default: usize) -> usize {
+        self.num_param(key, default as f64).round().max(0.0) as usize
+    }
+
+    /// A boolean parameter, or `default` when absent.
+    pub fn flag_param(&self, key: &str, default: bool) -> bool {
+        match self.param(key) {
+            Some(ParamValue::Flag(b)) => *b,
+            Some(ParamValue::Num(n)) => *n != 0.0,
+            _ => default,
+        }
+    }
+
+    fn param(&self, key: &str) -> Option<&ParamValue> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Applies one `--set key=value` override. Well-known keys update the
+    /// corresponding structured field; anything else lands in `params`.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let num = || -> Result<f64, String> {
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("'{key}' needs a numeric value, got '{value}'"))
+        };
+        match key {
+            "execs" | "executors" => {
+                let n = num()?.round() as usize;
+                if let Some(w) = &mut self.workload {
+                    w.executors = n;
+                }
+            }
+            "jobs" => {
+                let n = num()?.round() as usize;
+                if let Some(w) = &mut self.workload {
+                    w.set_num_jobs(n);
+                }
+            }
+            "iat" => {
+                let iat = num()?;
+                if let Some(w) = &mut self.workload {
+                    w.set_mean_iat(iat);
+                }
+                // Also visible as a param, so custom scenarios with
+                // secondary environments (fig11) can honor it.
+                self.upsert_param(key, ParamValue::Num(iat));
+            }
+            "task-scale" => {
+                let s = num()?;
+                if let Some(w) = &mut self.workload {
+                    w.set_task_scale(s);
+                }
+            }
+            "move-delay" => {
+                let d = num()?;
+                if let Some(w) = &mut self.workload {
+                    w.move_delay = d;
+                }
+            }
+            // Both accept a bare count ("5") or a range ("0..40").
+            "runs" | "seeds" => self.seeds = self.seeds.parse(value)?,
+            "seed-start" => self.seeds.start = num()?.round() as u64,
+            "iters" => {
+                let iters = num()?.round() as usize;
+                for entry in &mut self.lineup {
+                    if let SchedulerSpec::Decima { train } = &mut entry.sched {
+                        train.iters = iters;
+                    }
+                }
+                self.upsert_param(key, ParamValue::Num(iters as f64));
+            }
+            _ => self.upsert_param(key, ParamValue::parse(value)),
+        }
+        Ok(())
+    }
+
+    fn upsert_param(&mut self, key: &str, value: ParamValue) {
+        if let Some(slot) = self.params.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.params.push((key.to_string(), value));
+        }
+    }
+
+    /// Serializes the spec.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("title", Json::str(&self.title)),
+            ("paper_ref", Json::str(&self.paper_ref)),
+            (
+                "workload",
+                self.workload.as_ref().map_or(Json::Null, workload_json),
+            ),
+            ("sim", sim_json(&self.sim)),
+            (
+                "seeds",
+                Json::obj([
+                    ("start", Json::Num(self.seeds.start as f64)),
+                    ("count", Json::Num(self.seeds.count as f64)),
+                ]),
+            ),
+            (
+                "lineup",
+                Json::Arr(self.lineup.iter().map(lineup_json).collect()),
+            ),
+            ("report", Json::str(report_key(self.report))),
+            (
+                "params",
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| {
+                            (
+                                k.clone(),
+                                match v {
+                                    ParamValue::Num(n) => Json::Num(*n),
+                                    ParamValue::Text(t) => Json::str(t),
+                                    ParamValue::Flag(b) => Json::Bool(*b),
+                                },
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes a spec produced by [`ScenarioSpec::to_json`].
+    pub fn from_json(v: &Json) -> Result<ScenarioSpec, String> {
+        let workload = match v.get("workload") {
+            None | Some(Json::Null) => None,
+            Some(w) => Some(workload_from_json(w)?),
+        };
+        let seeds = v.get("seeds").ok_or("missing 'seeds'")?;
+        let lineup = v
+            .get("lineup")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'lineup'")?
+            .iter()
+            .map(lineup_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let params = match v.get("params") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    let value = match v {
+                        Json::Num(n) => ParamValue::Num(*n),
+                        Json::Str(s) => ParamValue::Text(s.clone()),
+                        Json::Bool(b) => ParamValue::Flag(*b),
+                        _ => return Err(format!("param '{k}' must be scalar")),
+                    };
+                    Ok((k.clone(), value))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => Vec::new(),
+        };
+        Ok(ScenarioSpec {
+            name: req_str(v, "name")?,
+            title: req_str(v, "title")?,
+            paper_ref: req_str(v, "paper_ref")?,
+            workload,
+            sim: sim_from_json(v.get("sim").ok_or("missing 'sim'")?)?,
+            seeds: SeedPlan {
+                start: req_u64(seeds, "start")?,
+                count: req_usize(seeds, "count")?,
+            },
+            lineup,
+            report: report_from_key(&req_str(v, "report")?)?,
+            params,
+            notes: v
+                .get("notes")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|n| n.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers for the component types.
+// ---------------------------------------------------------------------------
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string '{key}'"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number '{key}'"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer '{key}'"))
+}
+
+fn req_usize(v: &Json, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("missing integer '{key}'"))
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing bool '{key}'"))
+}
+
+fn opt_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn report_key(r: ReportKind) -> &'static str {
+    match r {
+        ReportKind::Table => "table",
+        ReportKind::CdfCsv => "cdf",
+        ReportKind::MeanUnfinished => "mean-unfinished",
+        ReportKind::MeanCsv => "mean",
+    }
+}
+
+fn report_from_key(key: &str) -> Result<ReportKind, String> {
+    match key {
+        "table" => Ok(ReportKind::Table),
+        "cdf" => Ok(ReportKind::CdfCsv),
+        "mean-unfinished" => Ok(ReportKind::MeanUnfinished),
+        "mean" => Ok(ReportKind::MeanCsv),
+        other => Err(format!("unknown report kind '{other}'")),
+    }
+}
+
+fn sim_json(s: &SimSpec) -> Json {
+    Json::obj([
+        ("simplified", Json::Bool(s.simplified)),
+        (
+            "objective",
+            Json::str(match s.objective {
+                Objective::AvgJct => "avg-jct",
+                Objective::Makespan => "makespan",
+            }),
+        ),
+        ("noise", s.noise.map_or(Json::Null, Json::Num)),
+        ("time_limit", s.time_limit.map_or(Json::Null, Json::Num)),
+        ("record_gantt", Json::Bool(s.record_gantt)),
+    ])
+}
+
+fn sim_from_json(v: &Json) -> Result<SimSpec, String> {
+    Ok(SimSpec {
+        simplified: req_bool(v, "simplified")?,
+        objective: match req_str(v, "objective")?.as_str() {
+            "avg-jct" => Objective::AvgJct,
+            "makespan" => Objective::Makespan,
+            other => return Err(format!("unknown objective '{other}'")),
+        },
+        noise: opt_f64(v, "noise"),
+        time_limit: opt_f64(v, "time_limit"),
+        record_gantt: req_bool(v, "record_gantt")?,
+    })
+}
+
+fn arrivals_json(a: &ArrivalProcess) -> Json {
+    match a {
+        ArrivalProcess::Batch => Json::obj([("type", Json::str("batch"))]),
+        ArrivalProcess::Poisson { mean_iat } => Json::obj([
+            ("type", Json::str("poisson")),
+            ("mean_iat", Json::Num(*mean_iat)),
+        ]),
+    }
+}
+
+fn arrivals_from_json(v: &Json) -> Result<ArrivalProcess, String> {
+    match req_str(v, "type")?.as_str() {
+        "batch" => Ok(ArrivalProcess::Batch),
+        "poisson" => Ok(ArrivalProcess::Poisson {
+            mean_iat: req_f64(v, "mean_iat")?,
+        }),
+        other => Err(format!("unknown arrival process '{other}'")),
+    }
+}
+
+/// Serializes a workload spec (public: the runner echoes train-time
+/// workload overrides too).
+pub fn workload_json(w: &WorkloadSpec) -> Json {
+    let source = match &w.source {
+        WorkloadSource::Tpch {
+            num_jobs,
+            arrivals,
+            task_scale,
+            random_memory,
+        } => Json::obj([
+            ("type", Json::str("tpch")),
+            ("num_jobs", Json::Num(*num_jobs as f64)),
+            ("arrivals", arrivals_json(arrivals)),
+            ("task_scale", Json::Num(*task_scale)),
+            ("random_memory", Json::Bool(*random_memory)),
+        ]),
+        WorkloadSource::TpchMixedIat {
+            num_jobs,
+            lo_iat,
+            hi_iat,
+            task_scale,
+        } => Json::obj([
+            ("type", Json::str("tpch-mixed-iat")),
+            ("num_jobs", Json::Num(*num_jobs as f64)),
+            ("lo_iat", Json::Num(*lo_iat)),
+            ("hi_iat", Json::Num(*hi_iat)),
+            ("task_scale", Json::Num(*task_scale)),
+        ]),
+        WorkloadSource::Alibaba {
+            num_jobs,
+            mean_iat,
+            gen,
+        } => Json::obj([
+            ("type", Json::str("alibaba")),
+            ("num_jobs", Json::Num(*num_jobs as f64)),
+            ("mean_iat", Json::Num(*mean_iat)),
+            (
+                "gen",
+                Json::obj([
+                    ("max_stages", Json::Num(gen.max_stages as f64)),
+                    ("small_job_fraction", Json::Num(gen.small_job_fraction)),
+                    (
+                        "task_count_lognorm",
+                        Json::nums([gen.task_count_lognorm.0, gen.task_count_lognorm.1]),
+                    ),
+                    (
+                        "task_dur_lognorm",
+                        Json::nums([gen.task_dur_lognorm.0, gen.task_dur_lognorm.1]),
+                    ),
+                    ("max_tasks", Json::Num(gen.max_tasks as f64)),
+                    ("with_memory", Json::Bool(gen.with_memory)),
+                    ("first_wave_factor", Json::Num(gen.first_wave_factor)),
+                ]),
+            ),
+        ]),
+        WorkloadSource::SingleTpch {
+            query,
+            gb,
+            task_scale,
+        } => Json::obj([
+            ("type", Json::str("single-tpch")),
+            ("query", Json::Num(*query as f64)),
+            ("gb", Json::Num(*gb)),
+            ("task_scale", Json::Num(*task_scale)),
+        ]),
+        WorkloadSource::TpchSuite { gb, task_scale } => Json::obj([
+            ("type", Json::str("tpch-suite")),
+            ("gb", Json::Num(*gb)),
+            ("task_scale", Json::Num(*task_scale)),
+        ]),
+        WorkloadSource::AppendixDag => Json::obj([("type", Json::str("appendix-dag"))]),
+    };
+    Json::obj([
+        ("source", source),
+        ("executors", Json::Num(w.executors as f64)),
+        ("move_delay", Json::Num(w.move_delay)),
+    ])
+}
+
+/// Deserializes a workload spec.
+pub fn workload_from_json(v: &Json) -> Result<WorkloadSpec, String> {
+    let s = v.get("source").ok_or("missing 'source'")?;
+    let source = match req_str(s, "type")?.as_str() {
+        "tpch" => WorkloadSource::Tpch {
+            num_jobs: req_usize(s, "num_jobs")?,
+            arrivals: arrivals_from_json(s.get("arrivals").ok_or("missing 'arrivals'")?)?,
+            task_scale: req_f64(s, "task_scale")?,
+            random_memory: req_bool(s, "random_memory")?,
+        },
+        "tpch-mixed-iat" => WorkloadSource::TpchMixedIat {
+            num_jobs: req_usize(s, "num_jobs")?,
+            lo_iat: req_f64(s, "lo_iat")?,
+            hi_iat: req_f64(s, "hi_iat")?,
+            task_scale: req_f64(s, "task_scale")?,
+        },
+        "alibaba" => {
+            let g = s.get("gen").ok_or("missing 'gen'")?;
+            let pair = |key: &str| -> Result<(f64, f64), String> {
+                let arr = g
+                    .get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("missing pair '{key}'"))?;
+                match arr {
+                    [a, b] => Ok((
+                        a.as_f64().ok_or_else(|| format!("bad '{key}'"))?,
+                        b.as_f64().ok_or_else(|| format!("bad '{key}'"))?,
+                    )),
+                    _ => Err(format!("pair '{key}' must have two elements")),
+                }
+            };
+            WorkloadSource::Alibaba {
+                num_jobs: req_usize(s, "num_jobs")?,
+                mean_iat: req_f64(s, "mean_iat")?,
+                gen: AlibabaConfig {
+                    max_stages: req_usize(g, "max_stages")?,
+                    small_job_fraction: req_f64(g, "small_job_fraction")?,
+                    task_count_lognorm: pair("task_count_lognorm")?,
+                    task_dur_lognorm: pair("task_dur_lognorm")?,
+                    max_tasks: req_u64(g, "max_tasks")? as u32,
+                    with_memory: req_bool(g, "with_memory")?,
+                    first_wave_factor: req_f64(g, "first_wave_factor")?,
+                },
+            }
+        }
+        "single-tpch" => WorkloadSource::SingleTpch {
+            query: req_u64(s, "query")? as u16,
+            gb: req_f64(s, "gb")?,
+            task_scale: req_f64(s, "task_scale")?,
+        },
+        "tpch-suite" => WorkloadSource::TpchSuite {
+            gb: req_f64(s, "gb")?,
+            task_scale: req_f64(s, "task_scale")?,
+        },
+        "appendix-dag" => WorkloadSource::AppendixDag,
+        other => return Err(format!("unknown workload source '{other}'")),
+    };
+    Ok(WorkloadSpec {
+        source,
+        executors: req_usize(v, "executors")?,
+        move_delay: req_f64(v, "move_delay")?,
+    })
+}
+
+fn policy_json(p: &PolicySpec) -> Json {
+    Json::obj([
+        ("gnn", Json::Bool(p.gnn)),
+        ("parallelism", Json::str(&p.parallelism)),
+        ("num_classes", Json::Num(p.num_classes as f64)),
+        ("include_duration", Json::Bool(p.include_duration)),
+        ("iat_hint", p.iat_hint.map_or(Json::Null, Json::Num)),
+    ])
+}
+
+fn policy_from_json(v: &Json) -> Result<PolicySpec, String> {
+    Ok(PolicySpec {
+        gnn: req_bool(v, "gnn")?,
+        parallelism: req_str(v, "parallelism")?,
+        num_classes: req_usize(v, "num_classes")?,
+        include_duration: req_bool(v, "include_duration")?,
+        iat_hint: opt_f64(v, "iat_hint"),
+    })
+}
+
+fn train_json(t: &TrainSpec) -> Json {
+    Json::obj([
+        ("iters", Json::Num(t.iters as f64)),
+        ("seed", Json::Num(t.seed as f64)),
+        ("num_rollouts", Json::Num(t.num_rollouts as f64)),
+        ("lr", Json::Num(t.lr)),
+        ("entropy_start", Json::Num(t.entropy_start)),
+        ("entropy_end", Json::Num(t.entropy_end)),
+        (
+            "entropy_decay_iters",
+            Json::Num(t.entropy_decay_iters as f64),
+        ),
+        ("differential_reward", Json::Bool(t.differential_reward)),
+        (
+            "input_dependent_baseline",
+            Json::Bool(t.input_dependent_baseline),
+        ),
+        (
+            "curriculum",
+            t.curriculum.as_ref().map_or(Json::Null, |c| {
+                Json::obj([
+                    ("tau_init", Json::Num(c.tau_init)),
+                    ("tau_step", Json::Num(c.tau_step)),
+                    ("tau_max", Json::Num(c.tau_max)),
+                ])
+            }),
+        ),
+        ("policy", policy_json(&t.policy)),
+        (
+            "workload",
+            t.workload.as_ref().map_or(Json::Null, workload_json),
+        ),
+        (
+            "eval_iat_hint",
+            t.eval_iat_hint.map_or(Json::Null, Json::Num),
+        ),
+    ])
+}
+
+fn train_from_json(v: &Json) -> Result<TrainSpec, String> {
+    let curriculum = match v.get("curriculum") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(CurriculumSpec {
+            tau_init: req_f64(c, "tau_init")?,
+            tau_step: req_f64(c, "tau_step")?,
+            tau_max: req_f64(c, "tau_max")?,
+        }),
+    };
+    let workload = match v.get("workload") {
+        None | Some(Json::Null) => None,
+        Some(w) => Some(workload_from_json(w)?),
+    };
+    Ok(TrainSpec {
+        iters: req_usize(v, "iters")?,
+        seed: req_u64(v, "seed")?,
+        num_rollouts: req_usize(v, "num_rollouts")?,
+        lr: req_f64(v, "lr")?,
+        entropy_start: req_f64(v, "entropy_start")?,
+        entropy_end: req_f64(v, "entropy_end")?,
+        entropy_decay_iters: req_usize(v, "entropy_decay_iters")?,
+        differential_reward: req_bool(v, "differential_reward")?,
+        input_dependent_baseline: req_bool(v, "input_dependent_baseline")?,
+        curriculum,
+        policy: policy_from_json(v.get("policy").ok_or("missing 'policy'")?)?,
+        workload,
+        eval_iat_hint: opt_f64(v, "eval_iat_hint"),
+    })
+}
+
+fn sched_json(s: &SchedulerSpec) -> Json {
+    match s {
+        SchedulerSpec::Fifo => Json::obj([("type", Json::str("fifo"))]),
+        SchedulerSpec::SjfCp => Json::obj([("type", Json::str("sjf-cp"))]),
+        SchedulerSpec::Fair => Json::obj([("type", Json::str("fair"))]),
+        SchedulerSpec::NaiveWeightedFair => Json::obj([("type", Json::str("naive-weighted-fair"))]),
+        SchedulerSpec::WeightedFair { alpha } => Json::obj([
+            ("type", Json::str("weighted-fair")),
+            ("alpha", Json::Num(*alpha)),
+        ]),
+        SchedulerSpec::TunedWeightedFair {
+            tune_start,
+            tune_count,
+        } => Json::obj([
+            ("type", Json::str("tuned-weighted-fair")),
+            ("tune_start", Json::Num(*tune_start as f64)),
+            ("tune_count", Json::Num(*tune_count as f64)),
+        ]),
+        SchedulerSpec::Tetris => Json::obj([("type", Json::str("tetris"))]),
+        SchedulerSpec::Graphene => Json::obj([("type", Json::str("graphene"))]),
+        SchedulerSpec::Random { seed } => Json::obj([
+            ("type", Json::str("random")),
+            ("seed", Json::Num(*seed as f64)),
+        ]),
+        SchedulerSpec::Decima { train } => {
+            Json::obj([("type", Json::str("decima")), ("train", train_json(train))])
+        }
+        SchedulerSpec::DecimaUntrained {
+            policy,
+            sample_seed,
+        } => Json::obj([
+            ("type", Json::str("decima-untrained")),
+            ("policy", policy_json(policy)),
+            (
+                "sample_seed",
+                sample_seed.map_or(Json::Null, |s| Json::Num(s as f64)),
+            ),
+        ]),
+    }
+}
+
+fn sched_from_json(v: &Json) -> Result<SchedulerSpec, String> {
+    Ok(match req_str(v, "type")?.as_str() {
+        "fifo" => SchedulerSpec::Fifo,
+        "sjf-cp" => SchedulerSpec::SjfCp,
+        "fair" => SchedulerSpec::Fair,
+        "naive-weighted-fair" => SchedulerSpec::NaiveWeightedFair,
+        "weighted-fair" => SchedulerSpec::WeightedFair {
+            alpha: req_f64(v, "alpha")?,
+        },
+        "tuned-weighted-fair" => SchedulerSpec::TunedWeightedFair {
+            tune_start: req_u64(v, "tune_start")?,
+            tune_count: req_usize(v, "tune_count")?,
+        },
+        "tetris" => SchedulerSpec::Tetris,
+        "graphene" => SchedulerSpec::Graphene,
+        "random" => SchedulerSpec::Random {
+            seed: req_u64(v, "seed")?,
+        },
+        "decima" => SchedulerSpec::Decima {
+            train: train_from_json(v.get("train").ok_or("missing 'train'")?)?,
+        },
+        "decima-untrained" => SchedulerSpec::DecimaUntrained {
+            policy: policy_from_json(v.get("policy").ok_or("missing 'policy'")?)?,
+            sample_seed: v.get("sample_seed").and_then(Json::as_u64),
+        },
+        other => return Err(format!("unknown scheduler '{other}'")),
+    })
+}
+
+fn lineup_json(e: &LineupEntry) -> Json {
+    Json::obj([
+        ("label", Json::str(&e.label)),
+        (
+            "csv",
+            e.csv.as_ref().map_or(Json::Null, |c| Json::str(c.clone())),
+        ),
+        ("scheduler", sched_json(&e.sched)),
+    ])
+}
+
+fn lineup_from_json(v: &Json) -> Result<LineupEntry, String> {
+    Ok(LineupEntry {
+        label: req_str(v, "label")?,
+        csv: v.get("csv").and_then(Json::as_str).map(str::to_string),
+        sched: sched_from_json(v.get("scheduler").ok_or("missing 'scheduler'")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Fluent construction of a [`ScenarioSpec`]. A typical registration:
+///
+/// ```ignore
+/// ScenarioBuilder::new("fig09a", "Figure 9a: batched arrivals, avg JCT over runs")
+///     .paper_ref("§7.2, Fig. 9a")
+///     .workload(WorkloadSpec::tpch_batch(20, 15))
+///     .seeds(1000, 20)
+///     .entry("fifo", SchedulerSpec::Fifo)
+///     .decima(TrainSpec::standard(80, 11))
+///     .report(ReportKind::CdfCsv)
+///     .build()
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Starts a spec with the given registry key and display title.
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                name: name.into(),
+                title: title.into(),
+                paper_ref: String::new(),
+                workload: None,
+                sim: SimSpec::default(),
+                seeds: SeedPlan { start: 0, count: 1 },
+                lineup: Vec::new(),
+                report: ReportKind::Table,
+                params: Vec::new(),
+                notes: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the paper reference string.
+    pub fn paper_ref(mut self, r: impl Into<String>) -> Self {
+        self.spec.paper_ref = r.into();
+        self
+    }
+
+    /// Sets the evaluation workload.
+    pub fn workload(mut self, w: WorkloadSpec) -> Self {
+        self.spec.workload = Some(w);
+        self
+    }
+
+    /// Edits the simulator knobs in place.
+    pub fn sim(mut self, f: impl FnOnce(&mut SimSpec)) -> Self {
+        f(&mut self.spec.sim);
+        self
+    }
+
+    /// Sets the seed plan.
+    pub fn seeds(mut self, start: u64, count: usize) -> Self {
+        self.spec.seeds = SeedPlan { start, count };
+        self
+    }
+
+    /// Appends a lineup entry with the scheduler's default label.
+    pub fn sched(self, sched: SchedulerSpec) -> Self {
+        let label = sched.label();
+        self.entry(label, sched)
+    }
+
+    /// Appends a labelled lineup entry.
+    pub fn entry(mut self, label: impl Into<String>, sched: SchedulerSpec) -> Self {
+        self.spec.lineup.push(LineupEntry {
+            label: label.into(),
+            csv: None,
+            sched,
+        });
+        self
+    }
+
+    /// Appends a lineup entry with an explicit CSV identifier.
+    pub fn entry_csv(
+        mut self,
+        label: impl Into<String>,
+        csv: impl Into<String>,
+        sched: SchedulerSpec,
+    ) -> Self {
+        self.spec.lineup.push(LineupEntry {
+            label: label.into(),
+            csv: Some(csv.into()),
+            sched,
+        });
+        self
+    }
+
+    /// Appends a trained-Decima entry labelled `decima`.
+    pub fn decima(self, train: TrainSpec) -> Self {
+        self.entry("decima", SchedulerSpec::Decima { train })
+    }
+
+    /// Sets the report shape.
+    pub fn report(mut self, r: ReportKind) -> Self {
+        self.spec.report = r;
+        self
+    }
+
+    /// Adds a numeric parameter.
+    pub fn param(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.spec.params.push((key.into(), ParamValue::Num(value)));
+        self
+    }
+
+    /// Adds a boolean parameter.
+    pub fn flag(mut self, key: impl Into<String>, value: bool) -> Self {
+        self.spec.params.push((key.into(), ParamValue::Flag(value)));
+        self
+    }
+
+    /// Adds a "paper shape" note line.
+    pub fn note(mut self, line: impl Into<String>) -> Self {
+        self.spec.notes.push(line.into());
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> ScenarioSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioBuilder::new("demo", "Demo scenario")
+            .paper_ref("§0")
+            .workload(WorkloadSpec::tpch_batch(4, 6))
+            .seeds(100, 3)
+            .sched(SchedulerSpec::Fifo)
+            .entry_csv(
+                "opt-weighted-fair",
+                "opt_wf",
+                SchedulerSpec::TunedWeightedFair {
+                    tune_start: 2000,
+                    tune_count: 10,
+                },
+            )
+            .decima(TrainSpec::standard(5, 11))
+            .report(ReportKind::CdfCsv)
+            .param("iters", 5.0)
+            .flag("verbose", false)
+            .note("paper shape: everything works")
+            .build()
+    }
+
+    #[test]
+    fn spec_json_round_trip() {
+        let spec = demo_spec();
+        let text = spec.to_json().render();
+        let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn seed_plan_parsing() {
+        let plan = SeedPlan {
+            start: 10,
+            count: 5,
+        };
+        assert_eq!(
+            plan.parse("0..40").unwrap(),
+            SeedPlan {
+                start: 0,
+                count: 40
+            }
+        );
+        assert_eq!(
+            plan.parse("7").unwrap(),
+            SeedPlan {
+                start: 10,
+                count: 7
+            }
+        );
+        assert!(plan.parse("9..3").is_err());
+        assert!(plan.parse("x..y").is_err());
+        assert_eq!(plan.seeds(), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn set_overrides_structured_fields() {
+        let mut spec = demo_spec();
+        spec.set("execs", "30").unwrap();
+        spec.set("jobs", "8").unwrap();
+        spec.set("runs", "12").unwrap();
+        spec.set("iters", "9").unwrap();
+        spec.set("custom-knob", "2.5").unwrap();
+        spec.set("flaggy", "true").unwrap();
+        assert_eq!(spec.workload.as_ref().unwrap().executors, 30);
+        assert_eq!(spec.workload.as_ref().unwrap().num_jobs(), 8);
+        assert_eq!(spec.seeds.count, 12);
+        match &spec.lineup[2].sched {
+            SchedulerSpec::Decima { train } => assert_eq!(train.iters, 9),
+            _ => unreachable!(),
+        }
+        assert_eq!(spec.num_param("custom-knob", 0.0), 2.5);
+        assert!(spec.flag_param("flaggy", false));
+        assert!(spec.set("execs", "abc").is_err());
+    }
+
+    #[test]
+    fn sanitize_labels() {
+        assert_eq!(sanitize("opt-weighted-fair"), "opt_weighted_fair");
+        assert_eq!(sanitize("Q9 @ 2 GB"), "q9_2_gb");
+        assert_eq!(sanitize("graphene*"), "graphene");
+    }
+
+    #[test]
+    fn csv_name_prefers_explicit() {
+        let spec = demo_spec();
+        assert_eq!(spec.lineup[0].csv_name(), "fifo");
+        assert_eq!(spec.lineup[1].csv_name(), "opt_wf");
+    }
+}

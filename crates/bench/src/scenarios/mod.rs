@@ -1,0 +1,29 @@
+//! Custom run functions for scenarios whose figure-specific analyses go
+//! beyond the generic comparison protocol (Gantt renders, sweeps,
+//! time-series, supervised probes, …).
+//!
+//! Each function receives the override-applied [`ScenarioSpec`] and
+//! the run options, prints the same analysis the historical standalone
+//! binary printed, and returns a
+//! [`ScenarioReport`](crate::report::ScenarioReport) so the unified
+//! runner can emit the structured JSON alongside.
+
+pub mod ablation;
+pub mod appendix;
+pub mod motivation;
+pub mod multires;
+pub mod tpch;
+
+use crate::scenario::{ScenarioSpec, SchedulerSpec, TrainSpec};
+
+/// The first trained-Decima recipe in the lineup (the conventional place
+/// scenarios keep their training hyperparameters).
+pub(crate) fn first_train(spec: &ScenarioSpec) -> TrainSpec {
+    spec.lineup
+        .iter()
+        .find_map(|e| match &e.sched {
+            SchedulerSpec::Decima { train } => Some(train.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("scenario '{}' has no Decima lineup entry", spec.name))
+}

@@ -1,0 +1,241 @@
+//! Motivation figures: parallelism curves (Fig. 2), schedule
+//! visualizations (Fig. 3), and reward variance (Fig. 7).
+
+use super::first_train;
+use crate::factory::{build_trainer, TrainedPolicy};
+use crate::json::Json;
+use crate::report::{ScenarioReport, SeriesReport};
+use crate::runner::{par_map, spec_env, RunOptions};
+use crate::scenario::ScenarioSpec;
+use crate::{run_episode, train_with_progress, write_csv};
+use decima_baselines::{FifoScheduler, RandomScheduler, SjfCpScheduler, WeightedFairScheduler};
+use decima_core::{ClusterSpec, JobId, SimTime};
+use decima_rl::EnvFactory as _;
+use decima_sim::{Action, EpisodeResult, Observation, Scheduler, SimConfig, Simulator};
+use decima_workload::tpch_job;
+
+/// Gives every executor to the only job (a user running one query).
+struct Greedy;
+impl Scheduler for Greedy {
+    fn decide(&mut self, obs: &Observation) -> Option<Action> {
+        let &(j, s) = obs.schedulable.first()?;
+        Some(Action::new(obs.jobs[j].id, s, obs.total_executors))
+    }
+}
+
+fn runtime(query: u16, gb: f64, execs: usize) -> f64 {
+    let job = tpch_job(query, gb, JobId(0), SimTime::ZERO);
+    let cluster = ClusterSpec::homogeneous(execs).with_move_delay(0.0);
+    let cfg = SimConfig {
+        first_wave: false,
+        noise: 0.0,
+        ..SimConfig::default()
+    };
+    run_episode(&cluster, &[job], &cfg, Greedy)
+        .avg_jct()
+        .expect("single job completes")
+}
+
+fn sweet_spot(curve: &[(usize, f64)]) -> usize {
+    // First parallelism whose runtime is within 5% of the curve minimum.
+    let min = curve.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+    curve
+        .iter()
+        .find(|&&(_, r)| r <= 1.05 * min)
+        .map(|&(p, _)| p)
+        .unwrap_or(0)
+}
+
+/// Figure 2: job runtime vs. degree of parallelism.
+pub fn run_fig02(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
+    let max_p = spec.usize_param("max-parallelism", 100);
+    let cases = [(2u16, 100.0), (9, 100.0), (9, 2.0)];
+
+    println!("Figure 2: runtime vs. degree of parallelism");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "p", "Q2-100G", "Q9-100G", "Q9-2G"
+    );
+    let ps: Vec<usize> = (1..=max_p).filter(|p| *p <= 10 || p % 5 == 0).collect();
+    // Each grid point is an independent single-job episode — sweep them
+    // on the worker pool.
+    let grid: Vec<[f64; 3]> = par_map(&ps, opts.threads, |&p| {
+        [
+            runtime(cases[0].0, cases[0].1, p),
+            runtime(cases[1].0, cases[1].1, p),
+            runtime(cases[2].0, cases[2].1, p),
+        ]
+    });
+    let mut curves: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cases.len()];
+    let mut rows = Vec::new();
+    for (&p, rs) in ps.iter().zip(&grid) {
+        let mut row = format!("{p}");
+        let mut line = format!("{p:>6}");
+        for (i, &r) in rs.iter().enumerate() {
+            curves[i].push((p, r));
+            line += &format!(" {r:>14.1}");
+            row += &format!(",{r:.3}");
+        }
+        println!("{line}");
+        rows.push(row);
+    }
+    let mut report = ScenarioReport::new();
+    report.push_csv(write_csv(
+        "fig02_parallelism",
+        "p,q2_100g,q9_100g,q9_2g",
+        &rows,
+    ));
+
+    println!("\nSweet spots (within 5% of best):");
+    let keys = ["q2_100g", "q9_100g", "q9_2g"];
+    let mut spots = Vec::new();
+    for (i, &(q, gb)) in cases.iter().enumerate() {
+        let spot = sweet_spot(&curves[i]);
+        println!("  Q{q}@{gb}GB: {spot} executors");
+        spots.push((keys[i].to_string(), Json::Num(spot as f64)));
+    }
+    report.push_extra("sweet_spots", Json::Obj(spots));
+    report.push_extra(
+        "curves",
+        Json::Obj(
+            keys.iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    (
+                        k.to_string(),
+                        Json::Arr(
+                            curves[i]
+                                .iter()
+                                .map(|&(p, r)| Json::nums([p as f64, r]))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        ),
+    );
+    report
+}
+
+fn show(name: &str, r: &EpisodeResult, width: usize) {
+    println!(
+        "\n--- {name}: avg JCT {:.1}s, makespan {:.1}s ---",
+        r.avg_jct().unwrap_or(f64::NAN),
+        r.makespan().unwrap_or(f64::NAN)
+    );
+    if let Some(g) = &r.gantt {
+        print!("{}", g.render_ascii(width));
+    }
+}
+
+/// Figure 3: executor-occupancy visualizations with average JCT.
+pub fn run_fig03(spec: &ScenarioSpec, _opts: &RunOptions) -> ScenarioReport {
+    let width = spec.usize_param("width", 100);
+    let seq_seed = spec.num_param("seed", 7.0) as u64;
+    let train = first_train(spec);
+    let env = spec_env(spec);
+
+    let (cluster, jobs, _) = env.build(seq_seed);
+    let cfg = SimConfig::default().with_seed(1).with_gantt();
+
+    let fifo = run_episode(&cluster, &jobs, &cfg, FifoScheduler);
+    let sjf = run_episode(&cluster, &jobs, &cfg, SjfCpScheduler);
+    let fair = run_episode(&cluster, &jobs, &cfg, WeightedFairScheduler::fair());
+
+    println!(
+        "Training Decima on the batch environment ({} iterations)...",
+        train.iters
+    );
+    let mut trainer = build_trainer(&train, env.workload.executors);
+    train_with_progress(&mut trainer, &env, train.iters);
+    let mut agent = TrainedPolicy::of(&trainer).greedy_agent();
+    let decima = run_episode(&cluster, &jobs, &cfg, &mut agent);
+
+    show("FIFO", &fifo, width);
+    show("SJF", &sjf, width);
+    show("Fair", &fair, width);
+    show("Decima", &decima, width);
+
+    let f = fifo.avg_jct().unwrap();
+    let d = decima.avg_jct().unwrap();
+    let fr = fair.avg_jct().unwrap();
+    println!(
+        "\nDecima vs FIFO: {:+.0}%   Decima vs Fair: {:+.0}%",
+        100.0 * (d - f) / f,
+        100.0 * (d - fr) / fr
+    );
+
+    let mut report = ScenarioReport::new();
+    for (label, csv, r) in [
+        ("fifo", "fifo", &fifo),
+        ("sjf-cp", "sjf_cp", &sjf),
+        ("fair", "fair", &fair),
+        ("decima", "decima", &decima),
+    ] {
+        report.push_series(SeriesReport {
+            label: label.into(),
+            csv: csv.into(),
+            avg_jcts: vec![r.avg_jct().unwrap_or(f64::NAN)],
+            unfinished: r.unfinished(),
+        });
+        report.push_extra(
+            format!("{csv}_makespan"),
+            Json::Num(r.makespan().unwrap_or(f64::NAN)),
+        );
+    }
+    report
+}
+
+/// Figure 7: reward variance caused by stochastic job arrivals.
+pub fn run_fig07(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
+    let n = spec.usize_param("samples", 20);
+    let env = spec_env(spec);
+
+    let episode_return = |seq_seed: u64, action_seed: u64| -> f64 {
+        let (cluster, jobs, cfg) = env.build(seq_seed);
+        let r = Simulator::new(cluster, jobs, cfg).run(RandomScheduler::new(action_seed));
+        -r.total_penalty()
+    };
+
+    let samples: Vec<u64> = (0..n as u64).collect();
+    // Across-sequence spread (same action seed).
+    let across: Vec<f64> = par_map(&samples, opts.threads, |&s| episode_return(s, 0));
+    // Within-sequence spread (same arrivals, different action seeds).
+    let within: Vec<f64> = par_map(&samples, opts.threads, |&a| episode_return(0, a));
+
+    let stats = |v: &[f64]| {
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        let sd = (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt();
+        (m, sd)
+    };
+    let (ma, sa) = stats(&across);
+    let (mw, sw) = stats(&within);
+
+    println!("Figure 7: return variance from the arrival process");
+    println!("  across arrival sequences: mean {ma:.0}, std {sa:.0}");
+    println!("  within one sequence:      mean {mw:.0}, std {sw:.0}");
+    let ratio = (sa / sw.max(1e-9)).powi(2);
+    println!("  variance ratio (across/within): {ratio:.1}x — the input process dominates");
+    let rows: Vec<String> = across
+        .iter()
+        .zip(&within)
+        .enumerate()
+        .map(|(i, (a, w))| format!("{i},{a:.2},{w:.2}"))
+        .collect();
+    let mut report = ScenarioReport::new();
+    report.push_csv(write_csv(
+        "fig07_reward_variance",
+        "sample,across_seq,within_seq",
+        &rows,
+    ));
+    report.push_extra(
+        "across",
+        Json::obj([("mean", Json::Num(ma)), ("std", Json::Num(sa))]),
+    );
+    report.push_extra(
+        "within",
+        Json::obj([("mean", Json::Num(mw)), ("std", Json::Num(sw))]),
+    );
+    report.push_extra("variance_ratio", Json::Num(ratio));
+    report
+}

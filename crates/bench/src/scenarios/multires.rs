@@ -1,0 +1,267 @@
+//! §7.3 multi-resource experiments: packing comparison (Fig. 11) and
+//! the job-size breakdown vs Graphene* (Fig. 12).
+
+use crate::factory::{build_trainer, TrainedPolicy};
+use crate::json::Json;
+use crate::report::{ScenarioReport, SeriesReport};
+use crate::runner::{par_map, spec_env, RunOptions};
+use crate::scenario::{ScenarioSpec, SchedulerSpec, TrainSpec};
+use crate::{run_episode, train_with_progress, write_csv};
+use decima_baselines::{tune_graphene, GrapheneScheduler, TetrisScheduler, WeightedFairScheduler};
+use decima_rl::{EnvFactory, SpecEnv};
+use decima_sim::{EpisodeResult, Scheduler};
+use decima_workload::{ArrivalProcess, WorkloadSource, WorkloadSpec};
+
+/// The training recipes of the two Figure 11 sub-experiments, kept in
+/// the lineup (first = Alibaba, second = TPC-H with memory).
+fn lineup_trains(spec: &ScenarioSpec) -> Vec<TrainSpec> {
+    spec.lineup
+        .iter()
+        .filter_map(|e| match &e.sched {
+            SchedulerSpec::Decima { train } => Some(train.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn eval_all(
+    name: &str,
+    env: &SpecEnv,
+    seeds: &[u64],
+    trained: &TrainedPolicy,
+    threads: usize,
+    rows: &mut Vec<String>,
+    report: &mut ScenarioReport,
+) {
+    println!("\n== Figure 11 ({name}) ==");
+    let mut per_sched = |sched_name: &str, rs: &[EpisodeResult]| -> f64 {
+        let jcts: Vec<f64> = rs.iter().filter_map(EpisodeResult::avg_jct).collect();
+        let mean = jcts.iter().sum::<f64>() / jcts.len().max(1) as f64;
+        let unf: usize = rs.iter().map(EpisodeResult::unfinished).sum();
+        println!("{sched_name:<22} avg JCT {mean:>8.1}s  unfinished {unf}");
+        rows.push(format!("{name},{sched_name},{mean:.2},{unf}"));
+        report.push_series(SeriesReport {
+            label: format!("{name}:{sched_name}"),
+            csv: format!("{name}_{}", crate::scenario::sanitize(sched_name)),
+            avg_jcts: rs.iter().map(|r| r.avg_jct().unwrap_or(f64::NAN)).collect(),
+            unfinished: unf,
+        });
+        mean
+    };
+
+    let run = |mk: &(dyn Fn() -> Box<dyn Scheduler + Send> + Sync)| -> Vec<EpisodeResult> {
+        par_map(seeds, threads, |&s| {
+            let (c, j, cfg) = env.build(s);
+            run_episode(&c, &j, &cfg, mk())
+        })
+    };
+    per_sched(
+        "opt-weighted-fair",
+        &run(&|| Box::new(WeightedFairScheduler::new(-1.0))),
+    );
+    per_sched("tetris", &run(&|| Box::new(TetrisScheduler)));
+
+    // Tune Graphene* on one held-out seed (App. F grid search).
+    let (g, _) = tune_graphene(|g| {
+        let (c, j, cfg) = env.build(seeds[0] ^ 0xdead);
+        run_episode(&c, &j, &cfg, g.clone())
+            .avg_jct()
+            .unwrap_or(f64::INFINITY)
+    });
+    println!(
+        "(graphene* tuned: work_frac {:.1}, mem {:.2}, α {:.1})",
+        g.work_frac_threshold, g.mem_threshold, g.alpha
+    );
+    let graphene = per_sched(
+        "graphene*",
+        &run(&{
+            let g = g.clone();
+            move || Box::new(g.clone()) as Box<dyn Scheduler + Send>
+        }),
+    );
+
+    let decima_rs: Vec<EpisodeResult> = par_map(seeds, threads, |&s| {
+        let (c, j, cfg) = env.build(s);
+        let mut agent = trained.greedy_agent();
+        run_episode(&c, &j, &cfg, &mut agent)
+    });
+    let decima = per_sched("decima", &decima_rs);
+    println!(
+        "decima vs graphene*: {:+.0}% (paper: -32% on the trace, -43% on TPC-H)",
+        100.0 * (decima - graphene) / graphene
+    );
+}
+
+/// Figure 11: Decima vs opt-weighted-fair, Tetris, and Graphene* on the
+/// Alibaba-like trace replay and TPC-H with random memory demands.
+pub fn run_fig11(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
+    let seeds = spec.seeds.seeds();
+    let trains = lineup_trains(spec);
+    let mut rows = Vec::new();
+    let mut report = ScenarioReport::new();
+
+    if !spec.flag_param("tpch-only", false) {
+        let env = spec_env(spec);
+        println!("Training Decima on the Alibaba-like multi-resource environment...");
+        let mut trainer = build_trainer(&trains[0], env.workload.executors);
+        train_with_progress(&mut trainer, &env, trains[0].iters);
+        eval_all(
+            "alibaba",
+            &env,
+            &seeds,
+            &TrainedPolicy::of(&trainer),
+            opts.threads,
+            &mut rows,
+            &mut report,
+        );
+    }
+    if !spec.flag_param("alibaba-only", false) {
+        // TPC-H with random memory demands (Figure 11b). Job count
+        // follows the main (Alibaba) workload unless overridden, so
+        // `--set jobs=N` scales both sub-experiments together.
+        let default_jobs = spec.workload.as_ref().map_or(80, WorkloadSpec::num_jobs);
+        let executors = spec.executors();
+        let env = SpecEnv {
+            workload: WorkloadSpec {
+                source: WorkloadSource::Tpch {
+                    num_jobs: spec.usize_param("tpch-jobs", default_jobs),
+                    arrivals: ArrivalProcess::Poisson {
+                        // `--set iat=…` historically applied to both
+                        // sub-experiments; `tpch-iat` overrides it here.
+                        mean_iat: spec.num_param("tpch-iat", spec.num_param("iat", 28.0)),
+                    },
+                    task_scale: 8.0,
+                    random_memory: true,
+                },
+                executors,
+                move_delay: 1.0,
+            },
+            sim: spec.sim.to_config(),
+        };
+        println!("\nTraining Decima on the TPC-H multi-resource environment...");
+        let mut trainer = build_trainer(&trains[1], executors);
+        train_with_progress(&mut trainer, &env, trains[1].iters);
+        eval_all(
+            "tpch-mem",
+            &env,
+            &seeds,
+            &TrainedPolicy::of(&trainer),
+            opts.threads,
+            &mut rows,
+            &mut report,
+        );
+    }
+    report.push_csv(write_csv(
+        "fig11_multires",
+        "workload,scheduler,avg_jct,unfinished",
+        &rows,
+    ));
+    report
+}
+
+/// Figure 12: Decima vs Graphene* broken down by job size — duration
+/// ratio per total-work bin and per-class executor usage on the
+/// smallest-20% jobs.
+pub fn run_fig12(spec: &ScenarioSpec, _opts: &RunOptions) -> ScenarioReport {
+    let seed = spec.num_param("seed", 6000.0) as u64;
+    let train = super::first_train(spec);
+    let env = spec_env(spec);
+
+    println!(
+        "Training Decima (multi-resource, {} iterations)...",
+        train.iters
+    );
+    let mut trainer = build_trainer(&train, env.workload.executors);
+    train_with_progress(&mut trainer, &env, train.iters);
+
+    let (cluster, jobs, cfg) = env.build(seed);
+    let graphene = run_episode(&cluster, &jobs, &cfg, GrapheneScheduler::default());
+    let mut agent = TrainedPolicy::of(&trainer).greedy_agent();
+    let decima = run_episode(&cluster, &jobs, &cfg, &mut agent);
+
+    let mut report = ScenarioReport::new();
+
+    // (a) duration ratio per work bin.
+    let works: Vec<f64> = jobs.iter().map(|j| j.total_work()).collect();
+    let mut sorted = works.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let edges: Vec<f64> = (1..5).map(|q| sorted[q * sorted.len() / 5]).collect();
+    let bin_of = |w: f64| edges.iter().filter(|&&e| w > e).count();
+
+    let jct_by_bin = |r: &EpisodeResult| -> Vec<(f64, usize)> {
+        let mut sums = vec![(0.0, 0usize); 5];
+        for j in &r.jobs {
+            if let Some(jct) = j.jct() {
+                let b = bin_of(j.total_work);
+                sums[b].0 += jct;
+                sums[b].1 += 1;
+            }
+        }
+        sums
+    };
+    let g = jct_by_bin(&graphene);
+    let d = jct_by_bin(&decima);
+    println!("\n(a) normalized job duration (Decima / Graphene*), by total-work quintile:");
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for b in 0..5 {
+        if g[b].1 == 0 || d[b].1 == 0 {
+            continue;
+        }
+        let ratio = (d[b].0 / d[b].1 as f64) / (g[b].0 / g[b].1 as f64);
+        println!("  quintile {}: {:.2}", b + 1, ratio);
+        rows.push(format!("{},{ratio:.4}", b + 1));
+        ratios.push(Json::nums([(b + 1) as f64, ratio]));
+    }
+    report.push_csv(write_csv(
+        "fig12a_duration_ratio",
+        "work_quintile,decima_over_graphene",
+        &rows,
+    ));
+    report.push_extra("duration_ratio_by_quintile", Json::Arr(ratios));
+
+    // (b) per-class executor usage on the smallest-20% jobs.
+    let small_cut = sorted[sorted.len() / 5];
+    let class_use = |r: &EpisodeResult| -> Vec<f64> {
+        let mut acc = vec![0.0; 4];
+        for j in &r.jobs {
+            if j.total_work <= small_cut {
+                for (c, &b) in j.class_busy.iter().enumerate() {
+                    acc[c] += b;
+                }
+            }
+        }
+        acc
+    };
+    let gu = class_use(&graphene);
+    let du = class_use(&decima);
+    println!("\n(b) class busy-time on smallest-20% jobs (Decima / Graphene*):");
+    let mems = [0.25, 0.5, 0.75, 1.0];
+    let mut rows = Vec::new();
+    let mut usage = Vec::new();
+    for c in 0..4 {
+        let ratio = du[c] / gu[c].max(1e-9);
+        println!("  memory {:.2}: {:.2}", mems[c], ratio);
+        rows.push(format!("{},{ratio:.4}", mems[c]));
+        usage.push(Json::nums([mems[c], ratio]));
+    }
+    report.push_csv(write_csv(
+        "fig12b_class_usage",
+        "class_memory,decima_over_graphene",
+        &rows,
+    ));
+    report.push_extra("class_usage_ratio", Json::Arr(usage));
+
+    for (label, csv, r) in [
+        ("graphene*", "graphene", &graphene),
+        ("decima", "decima", &decima),
+    ] {
+        report.push_series(SeriesReport {
+            label: label.into(),
+            csv: csv.into(),
+            avg_jcts: vec![r.avg_jct().unwrap_or(f64::NAN)],
+            unfinished: r.unfinished(),
+        });
+    }
+    report
+}

@@ -1,0 +1,147 @@
+//! §7.2 time-series analysis (Fig. 10). The headline TPC-H comparisons
+//! (Fig. 9a/9b) run fully declaratively through the generic runner.
+
+use super::first_train;
+use crate::factory::{build_trainer, TrainedPolicy};
+use crate::json::Json;
+use crate::report::{ScenarioReport, SeriesReport};
+use crate::runner::{spec_env, RunOptions};
+use crate::scenario::ScenarioSpec;
+use crate::{run_episode, train_with_progress, write_csv};
+use decima_baselines::WeightedFairScheduler;
+use decima_rl::EnvFactory as _;
+use decima_sim::EpisodeResult;
+
+/// Figure 10: concurrent job count over time, per-job JCT vs size,
+/// executor share for small jobs, and total-work inflation — Decima vs
+/// the tuned weighted-fair heuristic.
+pub fn run_fig10(spec: &ScenarioSpec, _opts: &RunOptions) -> ScenarioReport {
+    let seed = spec.num_param("seed", 4000.0) as u64;
+    let train = first_train(spec);
+    let env = spec_env(spec);
+
+    println!("Training Decima ({} iterations)...", train.iters);
+    let mut trainer = build_trainer(&train, env.workload.executors);
+    train_with_progress(&mut trainer, &env, train.iters);
+
+    let (cluster, jobs, cfg) = env.build(seed);
+    let heuristic = run_episode(&cluster, &jobs, &cfg, WeightedFairScheduler::new(-1.0));
+    let mut agent = TrainedPolicy::of(&trainer).greedy_agent();
+    let decima = run_episode(&cluster, &jobs, &cfg, &mut agent);
+
+    let mut report = ScenarioReport::new();
+
+    // (a) concurrent jobs over time.
+    let ser = |r: &EpisodeResult| r.concurrency_series();
+    let (hs, ds) = (ser(&heuristic), ser(&decima));
+    let peak = |s: &[(f64, usize)]| s.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    println!(
+        "\n(a) concurrent jobs: peak heuristic {}, peak decima {}",
+        peak(&hs),
+        peak(&ds)
+    );
+    let rows: Vec<String> = hs
+        .iter()
+        .map(|&(t, c)| format!("heuristic,{t:.1},{c}"))
+        .chain(ds.iter().map(|&(t, c)| format!("decima,{t:.1},{c}")))
+        .collect();
+    report.push_csv(write_csv(
+        "fig10a_concurrency",
+        "scheduler,time,jobs_in_system",
+        &rows,
+    ));
+
+    // (b)+(c) per-job JCT vs completion time and size.
+    let per_job = |r: &EpisodeResult, tag: &str| -> Vec<String> {
+        r.jobs
+            .iter()
+            .filter_map(|j| {
+                j.jct().map(|jct| {
+                    format!(
+                        "{tag},{},{:.1},{:.1},{:.1},{:.1},{}",
+                        j.id,
+                        j.arrival.as_secs(),
+                        jct,
+                        j.total_work,
+                        j.executed_work,
+                        j.peak_alloc
+                    )
+                })
+            })
+            .collect()
+    };
+    let mut rows = per_job(&heuristic, "heuristic");
+    rows.extend(per_job(&decima, "decima"));
+    report.push_csv(write_csv(
+        "fig10cde_jobs",
+        "scheduler,job,arrival,jct,total_work,executed_work,peak_alloc",
+        &rows,
+    ));
+
+    // (d) executor share on small jobs; (e) work inflation.
+    let small_cut = {
+        let mut works: Vec<f64> = jobs.iter().map(|j| j.total_work()).collect();
+        works.sort_by(|a, b| a.total_cmp(b));
+        works[works.len() / 5] // smallest 20%
+    };
+    let stats = |r: &EpisodeResult| -> (f64, f64) {
+        let mut alloc_small = 0.0_f64;
+        let mut n_small = 0.0_f64;
+        let mut inflation = 0.0_f64;
+        let mut n_done = 0.0_f64;
+        for j in &r.jobs {
+            if j.completion.is_none() {
+                continue;
+            }
+            n_done += 1.0;
+            inflation += j.executed_work / j.total_work.max(1e-9);
+            if j.total_work <= small_cut {
+                alloc_small += j.peak_alloc as f64;
+                n_small += 1.0;
+            }
+        }
+        (alloc_small / n_small.max(1.0), inflation / n_done.max(1.0))
+    };
+    let (h_alloc, h_infl) = stats(&heuristic);
+    let (d_alloc, d_infl) = stats(&decima);
+    println!(
+        "(d) mean peak executors on smallest-20% jobs: heuristic {h_alloc:.1}, decima {d_alloc:.1}"
+    );
+    println!(
+        "(e) mean work inflation (executed/static): heuristic {h_infl:.2}, decima {d_infl:.2}"
+    );
+    println!(
+        "\navg JCT: heuristic {:.1}s vs decima {:.1}s ({:+.0}%)",
+        heuristic.avg_jct().unwrap_or(f64::NAN),
+        decima.avg_jct().unwrap_or(f64::NAN),
+        100.0 * (decima.avg_jct().unwrap_or(0.0) - heuristic.avg_jct().unwrap_or(0.0))
+            / heuristic.avg_jct().unwrap_or(1.0)
+    );
+
+    for (label, csv, r, alloc, infl) in [
+        (
+            "opt-weighted-fair",
+            "heuristic",
+            &heuristic,
+            h_alloc,
+            h_infl,
+        ),
+        ("decima", "decima", &decima, d_alloc, d_infl),
+    ] {
+        report.push_series(SeriesReport {
+            label: label.into(),
+            csv: csv.into(),
+            avg_jcts: vec![r.avg_jct().unwrap_or(f64::NAN)],
+            unfinished: r.unfinished(),
+        });
+        report.push_extra(
+            format!("{csv}_stats"),
+            Json::obj([
+                ("peak_concurrency", Json::Num(peak(&ser(r)) as f64)),
+                ("small_job_peak_alloc", Json::Num(alloc)),
+                ("work_inflation", Json::Num(infl)),
+            ]),
+        );
+    }
+    report
+}

@@ -1,0 +1,93 @@
+//! Guards the contract between the binary wrappers and the registry:
+//! every `src/bin/fig*`/`table*` artifact must have a registered
+//! scenario, and every registered scenario's runner prerequisites must
+//! hold.
+
+use decima_bench::registry::ScenarioRegistry;
+use decima_bench::runner::RunKind;
+use decima_bench::scenario::SchedulerSpec;
+use std::path::Path;
+
+/// The scenario name a wrapper binary runs: its file stem up to the
+/// first `_` (`fig09a_batched` → `fig09a`, `table2_generalization` →
+/// `table2`).
+fn scenario_of(stem: &str) -> String {
+    stem.split('_').next().unwrap_or(stem).to_string()
+}
+
+#[test]
+fn every_figure_binary_has_a_registered_scenario() {
+    let bin_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let reg = ScenarioRegistry::standard();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&bin_dir).expect("src/bin exists") {
+        let path = entry.expect("dir entry").path();
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if !(stem.starts_with("fig") || stem.starts_with("table")) {
+            continue;
+        }
+        let name = scenario_of(stem);
+        assert!(
+            reg.get(&name).is_some(),
+            "binary '{stem}' has no registered scenario '{name}'"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 19, "only {checked} figure/table binaries found");
+}
+
+#[test]
+fn list_shows_at_least_nineteen_scenarios() {
+    let reg = ScenarioRegistry::standard();
+    assert!(
+        reg.names().len() >= 19,
+        "registry lists only {} scenarios",
+        reg.names().len()
+    );
+}
+
+#[test]
+fn comparison_scenarios_have_workload_and_lineup() {
+    for sc in ScenarioRegistry::standard().iter() {
+        if matches!(sc.run, RunKind::Comparison) {
+            assert!(
+                sc.spec.workload.is_some(),
+                "comparison scenario '{}' needs a workload",
+                sc.spec.name
+            );
+            assert!(
+                !sc.spec.lineup.is_empty(),
+                "comparison scenario '{}' needs a lineup",
+                sc.spec.name
+            );
+            assert!(
+                sc.spec.seeds.count > 0,
+                "comparison scenario '{}' needs seeds",
+                sc.spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn lineup_schedulers_all_construct() {
+    // Every scheduler referenced by any registered scenario must come
+    // out of the factory (untrained stand-ins for Decima entries).
+    for sc in ScenarioRegistry::standard().iter() {
+        for entry in &sc.spec.lineup {
+            // Training is expensive; swap Decima entries for their
+            // untrained form, which exercises the same construction.
+            let spec = match &entry.sched {
+                SchedulerSpec::Decima { train } => SchedulerSpec::DecimaUntrained {
+                    policy: train.policy.clone(),
+                    sample_seed: None,
+                },
+                other => other.clone(),
+            };
+            let executors = sc.spec.executors().max(2);
+            let _sched = decima_bench::make_scheduler(&spec, executors, None);
+        }
+    }
+}

@@ -7,16 +7,48 @@
 
 use decima_core::{ClusterSpec, JobSpec};
 use decima_sim::SimConfig;
-use decima_workload::{alibaba_stream_cfg, tpch_job_scaled, AlibabaConfig};
-use decima_workload::{sample_query, ArrivalProcess};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use decima_workload::{AlibabaConfig, ArrivalProcess, WorkloadSource, WorkloadSpec};
+
+/// Salt XORed into the sequence seed to derive the simulator's own RNG
+/// seed, so workload sampling and simulator noise draw from decorrelated
+/// streams.
+pub const SIM_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Builds a deterministic episode from a sequence seed.
 pub trait EnvFactory: Sync {
     /// Materializes the episode for `seq_seed`. The trainer may override
     /// `SimConfig::time_limit` with the curriculum horizon afterwards.
     fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig);
+}
+
+/// The generic environment: any [`WorkloadSpec`] plus a simulator
+/// configuration template. All concrete env types reduce to this.
+#[derive(Clone, Debug)]
+pub struct SpecEnv {
+    /// Workload and cluster description.
+    pub workload: WorkloadSpec,
+    /// Template for the simulator configuration (the per-episode seed is
+    /// derived from the sequence seed).
+    pub sim: SimConfig,
+}
+
+impl SpecEnv {
+    /// Wraps a workload with the default simulator configuration.
+    pub fn new(workload: WorkloadSpec) -> Self {
+        SpecEnv {
+            workload,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl EnvFactory for SpecEnv {
+    fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
+        let (cluster, jobs) = self.workload.build(seq_seed);
+        let mut sim = self.sim.clone();
+        sim.seed = seq_seed ^ SIM_SEED_SALT;
+        (cluster, jobs, sim)
+    }
 }
 
 /// A TPC-H environment: `num_jobs` jobs, batched or Poisson arrivals, on
@@ -63,22 +95,29 @@ impl TpchEnv {
     }
 }
 
+impl TpchEnv {
+    /// The equivalent declarative workload description.
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            source: WorkloadSource::Tpch {
+                num_jobs: self.num_jobs,
+                arrivals: self.arrivals,
+                task_scale: self.task_scale,
+                random_memory: false,
+            },
+            executors: self.executors,
+            move_delay: self.move_delay,
+        }
+    }
+}
+
 impl EnvFactory for TpchEnv {
     fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
-        let mut rng = SmallRng::seed_from_u64(seq_seed);
-        let arrivals = self.arrivals.sample(self.num_jobs, &mut rng);
-        let jobs: Vec<JobSpec> = arrivals
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let (q, s) = sample_query(&mut rng);
-                tpch_job_scaled(q, s, decima_core::JobId(i as u32), t, self.task_scale)
-            })
-            .collect();
-        let cluster = ClusterSpec::homogeneous(self.executors).with_move_delay(self.move_delay);
-        let mut sim = self.sim.clone();
-        sim.seed = seq_seed ^ 0x9e37_79b9_7f4a_7c15;
-        (cluster, jobs, sim)
+        SpecEnv {
+            workload: self.workload_spec(),
+            sim: self.sim.clone(),
+        }
+        .build(seq_seed)
     }
 }
 
@@ -117,13 +156,28 @@ impl AlibabaEnv {
     }
 }
 
+impl AlibabaEnv {
+    /// The equivalent declarative workload description.
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            source: WorkloadSource::Alibaba {
+                num_jobs: self.num_jobs,
+                mean_iat: self.mean_iat,
+                gen: self.gen.clone(),
+            },
+            executors: self.executors,
+            move_delay: self.move_delay,
+        }
+    }
+}
+
 impl EnvFactory for AlibabaEnv {
     fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
-        let jobs = alibaba_stream_cfg(&self.gen, self.num_jobs, self.mean_iat, seq_seed);
-        let cluster = ClusterSpec::four_class(self.executors).with_move_delay(self.move_delay);
-        let mut sim = self.sim.clone();
-        sim.seed = seq_seed ^ 0x9e37_79b9_7f4a_7c15;
-        (cluster, jobs, sim)
+        SpecEnv {
+            workload: self.workload_spec(),
+            sim: self.sim.clone(),
+        }
+        .build(seq_seed)
     }
 }
 

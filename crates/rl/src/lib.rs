@@ -13,5 +13,5 @@ pub mod env;
 pub mod trainer;
 
 pub use baseline::{returns_to_go, time_aligned_baselines, MovingAvg, ReturnSeries};
-pub use env::{AlibabaEnv, EnvFactory, TpchEnv};
+pub use env::{AlibabaEnv, EnvFactory, SpecEnv, TpchEnv, SIM_SEED_SALT};
 pub use trainer::{Curriculum, IterStats, TrainConfig, Trainer};

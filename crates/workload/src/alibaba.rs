@@ -22,7 +22,7 @@ use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
 
 /// Tunable parameters of the synthesizer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AlibabaConfig {
     /// Maximum number of stages per job.
     pub max_stages: usize,

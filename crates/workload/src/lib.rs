@@ -16,12 +16,16 @@
 
 pub mod alibaba;
 pub mod arrivals;
+pub mod spec;
 pub mod tpch;
 
 pub use alibaba::{alibaba_job, AlibabaConfig};
 pub use arrivals::{
     alibaba_stream, alibaba_stream_cfg, offered_load, renumber, tpch_batch, tpch_stream,
     tpch_stream_with_memory, ArrivalProcess,
+};
+pub use spec::{
+    appendix_dag_job, WorkloadSource, WorkloadSpec, APPENDIX_DAG_EPS, APPENDIX_DAG_SLOTS,
 };
 pub use tpch::{
     sample_query, tpch_job, tpch_job_scaled, with_random_memory, FIRST_WAVE_FACTOR, INPUT_SIZES_GB,
