@@ -1,18 +1,24 @@
-//! Criterion micro-benchmarks:
+//! Criterion micro-benchmarks for the decision hot path (see
+//! `docs/PERF.md` for the cost model these track):
 //!
-//! * `policy_decide` — one scheduling decision end to end (GNN forward +
-//!   action heads), the quantity behind Figure 15b's <15 ms claim.
-//! * `gnn_forward` / `gnn_backward` — encoder passes over a realistic
-//!   multi-job state.
-//! * `sim_episode` — simulator throughput: one full batched episode under
-//!   a heuristic scheduler.
+//! * `obs_incremental_*` / `obs_rebuilt_*` — observation build on a busy
+//!   mid-episode cluster at three sizes: the incremental path vs the
+//!   rebuild-from-scratch reference it replaced.
+//! * `encode_cached` / `encode_uncached` — GNN encoder forward with the
+//!   per-episode `GraphStructure` cache warm vs rebuilt per pass.
+//! * `policy_decide` — one scheduling decision end to end (observation
+//!   features + GNN forward + action heads), the quantity behind Figure
+//!   15b's <15 ms claim. `policy_decide_paper_size` uses the paper's
+//!   32/16-hidden, 16-dim configuration.
+//! * `episode_1k_decisions_*` — full heuristic episodes (~1k decisions
+//!   and up) at three cluster sizes: simulator throughput end to end.
 //! * `autodiff_matmul_chain` — the tape's core op path.
-//! * `baseline_decide` — the heuristics' decision cost for comparison.
+//! * `baseline_decide_*` — the heuristics' decision cost for comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use decima_baselines::{SjfCpScheduler, WeightedFairScheduler};
 use decima_core::ClusterSpec;
-use decima_gnn::{FeatureConfig, GnnConfig, GnnEncoder};
+use decima_gnn::{FeatureConfig, GnnConfig, GnnEncoder, GraphCache};
 use decima_nn::{ParamStore, Tape, Tensor};
 use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
 use decima_rl::{EnvFactory, TpchEnv};
@@ -21,35 +27,56 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-/// Captures a mid-episode observation with plenty of jobs in flight.
-fn capture_observation(jobs_n: usize, execs: usize) -> Observation {
-    struct Capture {
-        want_jobs: usize,
-        best: Option<Observation>,
+/// The three pinned cluster sizes: (jobs, executors).
+const SIZES: &[(&str, usize, usize)] = &[
+    ("10jobs_15execs", 10, 15),
+    ("30jobs_40execs", 30, 40),
+    ("100jobs_80execs", 100, 80),
+];
+
+/// Greedy fair scheduler that drives episodes forward for state capture.
+struct Driver;
+impl Scheduler for Driver {
+    fn decide(&mut self, obs: &Observation) -> Option<decima_sim::Action> {
+        let &(j, s) = obs.schedulable.first()?;
+        Some(decima_sim::Action::new(obs.jobs[j].id, s, 2))
     }
-    impl Scheduler for Capture {
-        fn decide(&mut self, obs: &Observation) -> Option<decima_sim::Action> {
-            if obs.num_jobs() >= self.want_jobs
-                && self
-                    .best
-                    .as_ref()
-                    .is_none_or(|b| obs.num_jobs() > b.num_jobs())
-            {
-                self.best = Some(obs.clone());
-            }
-            // Schedule fairly so the episode progresses.
-            let &(j, s) = obs.schedulable.first()?;
-            Some(decima_sim::Action::new(obs.jobs[j].id, s, 2))
-        }
-    }
+}
+
+/// Drives a simulator to a busy mid-episode state (events processed, all
+/// arrivals in, work in flight) and returns it for state inspection.
+fn busy_simulator(jobs_n: usize, execs: usize) -> Simulator {
     let env = TpchEnv::batch(jobs_n, execs);
     let (cluster, jobs, cfg) = env.build(7);
-    let mut cap = Capture {
-        want_jobs: jobs_n / 2,
-        best: None,
-    };
-    let _ = Simulator::new(cluster, jobs, cfg).run(&mut cap);
-    cap.best.expect("captured a busy observation")
+    let mut sim = Simulator::new(cluster, jobs, cfg);
+    let mut driver = Driver;
+    // Enough events to pass all arrivals and fill the cluster.
+    let budget = (jobs_n * 20) as u64;
+    assert!(
+        sim.drive(&mut driver, budget),
+        "episode exhausted too early"
+    );
+    sim
+}
+
+/// Captures a mid-episode observation with plenty of jobs in flight.
+fn capture_observation(jobs_n: usize, execs: usize) -> Observation {
+    let sim = busy_simulator(jobs_n, execs);
+    let obs = sim.observation();
+    assert!(obs.num_jobs() > 0, "captured an empty observation");
+    obs
+}
+
+fn bench_observation(c: &mut Criterion) {
+    for &(label, jobs_n, execs) in SIZES {
+        let sim = busy_simulator(jobs_n, execs);
+        c.bench_function(&format!("obs_incremental_{label}"), |b| {
+            b.iter(|| black_box(sim.observation()))
+        });
+        c.bench_function(&format!("obs_rebuilt_{label}"), |b| {
+            b.iter(|| black_box(sim.observation_rebuilt()))
+        });
+    }
 }
 
 fn bench_policy(c: &mut Criterion) {
@@ -74,17 +101,29 @@ fn bench_policy(c: &mut Criterion) {
 fn bench_gnn(c: &mut Criterion) {
     let obs = capture_observation(10, 15);
     let fc = FeatureConfig::default();
-    let graph = fc.graph_input(&obs);
     let mut store = ParamStore::new();
     let mut rng = SmallRng::seed_from_u64(0);
     let enc = GnnEncoder::new(GnnConfig::small(decima_gnn::FEAT_DIM), &mut store, &mut rng);
 
-    c.bench_function("gnn_forward", |b| {
+    // Warm structure cache: the per-decision steady state.
+    let mut cache = GraphCache::default();
+    c.bench_function("encode_cached", |b| {
         b.iter(|| {
+            let graph = fc.graph_input_cached(&obs, &mut cache);
             let mut tape = Tape::new();
             black_box(enc.forward(&mut tape, &store, black_box(&graph)))
         })
     });
+    // Structure rebuilt every pass: what every decision paid before.
+    c.bench_function("encode_uncached", |b| {
+        b.iter(|| {
+            let graph = fc.graph_input(&obs);
+            let mut tape = Tape::new();
+            black_box(enc.forward(&mut tape, &store, black_box(&graph)))
+        })
+    });
+
+    let graph = fc.graph_input(&obs);
     c.bench_function("gnn_forward_backward", |b| {
         b.iter(|| {
             let mut tape = Tape::new();
@@ -98,14 +137,16 @@ fn bench_gnn(c: &mut Criterion) {
     });
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let env = TpchEnv::batch(10, 15);
-    c.bench_function("sim_episode_sjf_10jobs", |b| {
-        b.iter(|| {
-            let (cluster, jobs, cfg) = env.build(7);
-            black_box(Simulator::new(cluster, jobs, cfg).run(SjfCpScheduler))
-        })
-    });
+fn bench_episodes(c: &mut Criterion) {
+    for &(label, jobs_n, execs) in SIZES {
+        let env = TpchEnv::batch(jobs_n, execs);
+        c.bench_function(&format!("episode_1k_decisions_{label}"), |b| {
+            b.iter(|| {
+                let (cluster, jobs, cfg) = env.build(7);
+                black_box(Simulator::new(cluster, jobs, cfg).run(SjfCpScheduler))
+            })
+        });
+    }
 }
 
 fn bench_autodiff(c: &mut Criterion) {
@@ -147,9 +188,10 @@ fn bench_baselines(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_observation,
     bench_policy,
     bench_gnn,
-    bench_sim,
+    bench_episodes,
     bench_autodiff,
     bench_baselines
 );

@@ -18,7 +18,18 @@ use crate::Args;
 
 /// Flags consumed by the runner itself; everything else is treated as a
 /// scenario override.
-const RESERVED: &[&str] = &["scenario", "list", "json", "threads", "seeds", "help"];
+const RESERVED: &[&str] = &[
+    "scenario",
+    "list",
+    "json",
+    "threads",
+    "seeds",
+    "help",
+    "bench",
+    "quick",
+    "check",
+    "bench-out",
+];
 
 fn usage() {
     println!("decima-exp — unified experiment runner for the Decima reproduction");
@@ -27,6 +38,8 @@ fn usage() {
     println!("  decima-exp --list");
     println!("  decima-exp --scenario <name> [--set key=value]... [--seeds a..b]");
     println!("             [--threads N] [--json]");
+    println!("  decima-exp --bench [--quick] [--check <baseline.json>]");
+    println!("             [--bench-out <path>]");
     println!();
     println!("FLAGS:");
     println!("  --list            list registered scenarios and exit");
@@ -35,6 +48,10 @@ fn usage() {
     println!("  --seeds A..B      evaluation seed range (or a bare count)");
     println!("  --threads N       worker threads (default: available parallelism)");
     println!("  --json            also print the structured JSON result to stdout");
+    println!("  --bench           run the pinned hot-path benchmark (docs/PERF.md)");
+    println!("  --quick           one episode per bench component (CI smoke)");
+    println!("  --check PATH      fail if decisions/sec regresses >30% vs PATH");
+    println!("  --bench-out PATH  where --bench writes its result (BENCH_sim.json)");
     println!();
     println!("Results: terminal report, out/<scenario>.csv, out/<scenario>.json");
 }
@@ -96,6 +113,14 @@ pub fn exp_main() {
     }
     if args.has("list") {
         list(&ScenarioRegistry::standard());
+        return;
+    }
+    if args.has("bench") {
+        let out = args.value("bench-out").unwrap_or("BENCH_sim.json");
+        if let Err(e) = crate::perf::bench_main(args.has("quick"), args.value("check"), out) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
         return;
     }
     let Some(name) = args.value("scenario").map(str::to_string) else {

@@ -140,45 +140,37 @@ impl GnnEncoder {
         let x = tape.input(g.features.clone());
         let p = self.prep.forward(tape, store, x);
 
-        // Bottom-up sweep, one batch per level. `computed` holds, per
-        // level, the block TensorId and the global indices of its rows;
-        // `row_of[v]` is v's row in the concatenation of all blocks.
-        let mut blocks: Vec<TensorId> = Vec::with_capacity(g.levels.len());
-        let mut order: Vec<usize> = Vec::with_capacity(n);
-        let mut row_of = vec![usize::MAX; n];
-        for level_nodes in &g.levels {
-            debug_assert!(!level_nodes.is_empty(), "levels are dense");
-            let nv = level_nodes.len();
-            let p_rows = tape.gather_rows(p, level_nodes.clone());
+        // Bottom-up sweep, one batch per level, following the
+        // precomputed evaluation plan: node lists, child-row gathers, and
+        // the 0/1 segment matrices all come from the cached
+        // `GraphStructure` instead of being rebuilt per pass.
+        let s = &g.structure;
+        let mut blocks: Vec<TensorId> = Vec::with_capacity(s.levels.len());
+        for plan in &s.levels {
+            debug_assert!(!plan.nodes.is_empty(), "levels are dense");
+            let nv = plan.nodes.len();
+            let p_rows = tape.gather_rows(p, plan.nodes.clone());
 
-            // Gather all child embeddings of this level's nodes from the
-            // already-computed blocks.
-            let total_children: usize = level_nodes.iter().map(|&v| g.children_of(v).len()).sum();
-            let e_level = if total_children == 0 {
+            let e_level = if plan.child_rows.is_empty() {
                 // All leaves: message is the zero vector, so
-                // e = g(0) + p (or just p in single-level mode).
+                // e = g(0) + p (or just p in single-level mode). g(0) is
+                // one row — compute it once and broadcast, instead of
+                // running the MLP over every leaf.
                 if self.cfg.two_level {
-                    let zeros = tape.input(Tensor::zeros(nv, d));
-                    let gz = self.g_node.forward(tape, store, zeros);
-                    tape.add(gz, p_rows)
+                    let zero = tape.input(Tensor::zeros(1, d));
+                    let gz = self.g_node.forward(tape, store, zero);
+                    let gz_rows = tape.gather_rows(gz, vec![0; nv]);
+                    tape.add(gz_rows, p_rows)
                 } else {
                     p_rows
                 }
             } else {
-                let mut child_rows: Vec<usize> = Vec::with_capacity(total_children);
-                let mut seg = Tensor::zeros(nv, total_children);
-                for (i, &v) in level_nodes.iter().enumerate() {
-                    for &c in g.children_of(v) {
-                        seg.set(i, child_rows.len(), 1.0);
-                        let row = row_of[c];
-                        debug_assert_ne!(row, usize::MAX, "child computed before parent");
-                        child_rows.push(row);
-                    }
-                }
+                // Gather all child embeddings of this level's nodes from
+                // the already-computed blocks.
                 let prev = tape.concat_rows(&blocks);
-                let gathered = tape.gather_rows(prev, child_rows);
+                let gathered = tape.gather_rows(prev, plan.child_rows.clone());
                 let fmsg = self.f_node.forward(tape, store, gathered);
-                let seg_in = tape.input(seg);
+                let seg_in = tape.input(plan.seg.clone());
                 let summed = tape.matmul(seg_in, fmsg);
                 let aggregated = if self.cfg.two_level {
                     self.g_node.forward(tape, store, summed)
@@ -187,32 +179,20 @@ impl GnnEncoder {
                 };
                 tape.add(aggregated, p_rows)
             };
-
-            for &v in level_nodes {
-                row_of[v] = order.len();
-                order.push(v);
-            }
             blocks.push(e_level);
         }
 
-        // Restore original node order: perm[i] = row of node i.
+        // Restore original node order: perm[v] = row of node v.
         let all = if blocks.len() == 1 {
             blocks[0]
         } else {
             tape.concat_rows(&blocks)
         };
-        let perm: Vec<usize> = (0..n).map(|v| row_of[v]).collect();
-        let nodes = tape.gather_rows(all, perm);
+        let nodes = tape.gather_rows(all, s.perm.clone());
 
         // Job summaries: y_i = g2(Σ_{v ∈ G_i} f2(e_v)).
         let fj = self.f_job.forward(tape, store, nodes);
-        let mut sj = Tensor::zeros(g.num_jobs(), n);
-        for (ji, job) in g.jobs.iter().enumerate() {
-            for v in job.node_offset..job.node_offset + job.num_nodes {
-                sj.set(ji, v, 1.0);
-            }
-        }
-        let sj = tape.input(sj);
+        let sj = tape.input(s.job_seg.clone());
         let job_sum = tape.matmul(sj, fj);
         let jobs = if self.cfg.two_level {
             self.g_job.forward(tape, store, job_sum)

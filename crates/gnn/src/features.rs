@@ -13,10 +13,11 @@
 //! `include_duration = false`, which zeroes features (ii) and the derived
 //! work term while keeping everything else.
 
-use crate::graph::GraphInput;
+use crate::graph::{GraphInput, GraphStructure};
 use decima_nn::Tensor;
 use decima_sim::Observation;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Fixed feature width handed to the GNN.
 pub const FEAT_DIM: usize = 7;
@@ -68,26 +69,74 @@ impl FeatureConfig {
         out[6] = self.iat_hint.map_or(0.0, |iat| iat / 100.0);
     }
 
-    /// Builds the batched [`GraphInput`] for every active job in `obs`.
+    /// Builds the batched [`GraphInput`] for every active job in `obs`,
+    /// computing the graph structure fresh. Hot paths should use
+    /// [`FeatureConfig::graph_input_cached`] instead.
     pub fn graph_input(&self, obs: &Observation) -> GraphInput {
-        let dags: Vec<_> = obs.jobs.iter().map(|j| &j.spec.dag).collect();
-        let feats: Vec<Tensor> = obs
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(ji, job)| {
-                let mut t = Tensor::zeros(job.nodes.len(), FEAT_DIM);
-                let mut row = [0.0; FEAT_DIM];
-                for v in 0..job.nodes.len() {
-                    self.node_row(obs, ji, v, &mut row);
-                    for (c, &x) in row.iter().enumerate() {
-                        t.set(v, c, x);
-                    }
+        let mut cache = GraphCache::default();
+        self.graph_input_cached(obs, &mut cache)
+    }
+
+    /// Builds the [`GraphInput`] for `obs`, reusing `cache`'s
+    /// [`GraphStructure`] when the active-job set is unchanged since the
+    /// last call. Only the feature matrix is recomputed per decision.
+    pub fn graph_input_cached(&self, obs: &Observation, cache: &mut GraphCache) -> GraphInput {
+        let structure = cache.structure_for(obs);
+        let mut features = Tensor::zeros(structure.num_nodes, FEAT_DIM);
+        let mut row = [0.0; FEAT_DIM];
+        for (ji, (job, jg)) in obs.jobs.iter().zip(&structure.jobs).enumerate() {
+            for v in 0..job.nodes.len() {
+                self.node_row(obs, ji, v, &mut row);
+                for (c, &x) in row.iter().enumerate() {
+                    features.set(jg.node_offset + v, c, x);
                 }
-                t
-            })
-            .collect();
-        GraphInput::new(&dags, &feats)
+            }
+        }
+        GraphInput::with_structure(structure, features)
+    }
+}
+
+/// Caches the static [`GraphStructure`] across the decisions of one
+/// episode.
+///
+/// DAG shapes never change mid-episode, so the structure only needs
+/// rebuilding when the *set* of active jobs changes (arrival/finish).
+/// The cache keys on the identity of each job's shared spec (`Arc`
+/// pointer) plus its node count, and must be [`cleared`](GraphCache::clear)
+/// at episode boundaries (fresh episodes may reuse addresses).
+#[derive(Default)]
+pub struct GraphCache {
+    key: Vec<(usize, usize)>,
+    structure: Option<Arc<GraphStructure>>,
+}
+
+impl GraphCache {
+    /// Drops the cached structure (call between episodes).
+    pub fn clear(&mut self) {
+        self.key.clear();
+        self.structure = None;
+    }
+
+    /// The structure for `obs`'s active jobs, rebuilt only when the job
+    /// set changed since the previous call.
+    pub fn structure_for(&mut self, obs: &Observation) -> Arc<GraphStructure> {
+        let matches =
+            self.structure.is_some()
+                && self.key.len() == obs.jobs.len()
+                && self.key.iter().zip(&obs.jobs).all(|(&(ptr, n), j)| {
+                    ptr == Arc::as_ptr(&j.spec) as usize && n == j.nodes.len()
+                });
+        if !matches {
+            self.key.clear();
+            self.key.extend(
+                obs.jobs
+                    .iter()
+                    .map(|j| (Arc::as_ptr(&j.spec) as usize, j.nodes.len())),
+            );
+            let dags: Vec<_> = obs.jobs.iter().map(|j| &j.spec.dag).collect();
+            self.structure = Some(Arc::new(GraphStructure::new(&dags)));
+        }
+        Arc::clone(self.structure.as_ref().expect("structure just ensured"))
     }
 }
 

@@ -1,10 +1,20 @@
 //! Graph-input plumbing: a batched, level-grouped view of every active
 //! job's DAG, ready for bottom-up message passing.
+//!
+//! The expensive part of a batch — child lists in global indices, the
+//! depth-levelled evaluation plan, and the constant 0/1 segment matrices
+//! (child → parent, node → job) — depends only on the DAG *shapes*,
+//! which never change mid-episode. It is therefore factored into
+//! [`GraphStructure`], shared behind an `Arc` and cached across the
+//! thousands of decisions of an episode (see `GraphCache` in
+//! `features.rs`); a [`GraphInput`] is that structure plus the per-decision
+//! feature matrix.
 
 use decima_core::DagTopology;
 use decima_nn::Tensor;
+use std::sync::Arc;
 
-/// One job's topology inside a [`GraphInput`] batch.
+/// One job's topology inside a [`GraphStructure`] batch.
 #[derive(Clone, Debug)]
 pub struct JobGraph {
     /// Index of the job's first node in the global node numbering.
@@ -17,37 +27,46 @@ pub struct JobGraph {
     pub level: Vec<u32>,
 }
 
-/// A batch of job DAGs plus per-node feature rows.
+/// The precomputed evaluation plan for one depth level of the bottom-up
+/// sweep.
 #[derive(Clone, Debug)]
-pub struct GraphInput {
-    /// `[total_nodes, feat_dim]` feature matrix, nodes grouped by job.
-    pub features: Tensor,
-    /// Per-job topology views.
-    pub jobs: Vec<JobGraph>,
-    /// Global node indices grouped by level, ascending (level 0 first).
-    pub levels: Vec<Vec<usize>>,
+pub struct LevelPlan {
+    /// Global node indices at this level, ascending.
+    pub nodes: Vec<usize>,
+    /// For every child message consumed at this level: the child's row in
+    /// the concatenation of all previously-computed level blocks. Empty
+    /// when the whole level is leaves.
+    pub child_rows: Vec<usize>,
+    /// `[nodes.len(), child_rows.len()]` 0/1 segment-sum matrix
+    /// aggregating child messages per parent.
+    pub seg: Tensor,
 }
 
-impl GraphInput {
-    /// Builds a batch from per-job `(topology, feature rows)` pairs.
-    ///
-    /// `feats[j]` must be a `[jobs[j].len(), feat_dim]` tensor.
-    pub fn new(dags: &[&DagTopology], feats: &[Tensor]) -> Self {
-        assert_eq!(dags.len(), feats.len(), "one feature block per job");
-        let feat_dim = feats.first().map_or(0, Tensor::cols);
+/// The static (per-episode) structure of a batch of job DAGs: everything
+/// the encoder needs that does not change between decisions.
+#[derive(Clone, Debug)]
+pub struct GraphStructure {
+    /// Per-job topology views.
+    pub jobs: Vec<JobGraph>,
+    /// Bottom-up evaluation plan, level 0 (leaves) first.
+    pub levels: Vec<LevelPlan>,
+    /// Total node count across jobs.
+    pub num_nodes: usize,
+    /// `perm[v]` = row of global node `v` in the concatenation of the
+    /// level blocks (restores original node order after the sweep).
+    pub perm: Vec<usize>,
+    /// `[num_jobs, num_nodes]` 0/1 node → job segment-sum matrix.
+    pub job_seg: Tensor,
+}
+
+impl GraphStructure {
+    /// Precomputes the batch structure for the given DAGs.
+    pub fn new(dags: &[&DagTopology]) -> Self {
         let total: usize = dags.iter().map(|d| d.len()).sum();
-        let mut features = Tensor::zeros(total, feat_dim);
         let mut jobs = Vec::with_capacity(dags.len());
         let mut max_level = 0u32;
         let mut offset = 0usize;
-        for (dag, f) in dags.iter().zip(feats) {
-            assert_eq!(f.rows(), dag.len(), "feature rows mismatch");
-            assert_eq!(f.cols(), feat_dim, "feature dim mismatch");
-            for v in 0..dag.len() {
-                for c in 0..feat_dim {
-                    features.set(offset + v, c, f.get(v, c));
-                }
-            }
+        for dag in dags {
             let children = (0..dag.len())
                 .map(|v| {
                     dag.children(v)
@@ -67,22 +86,70 @@ impl GraphInput {
             offset += dag.len();
         }
 
-        let mut levels = vec![Vec::new(); max_level as usize + 1];
+        let mut level_nodes = vec![
+            Vec::new();
+            if total == 0 {
+                0
+            } else {
+                max_level as usize + 1
+            }
+        ];
         for j in &jobs {
             for v in 0..j.num_nodes {
-                levels[j.level[v] as usize].push(j.node_offset + v);
+                level_nodes[j.level[v] as usize].push(j.node_offset + v);
             }
         }
-        GraphInput {
-            features,
+
+        // Flat global child lists, then the row numbering of the
+        // level-block concatenation and one segment matrix per level over
+        // the rows of its children.
+        let mut children_global: Vec<&[usize]> = Vec::with_capacity(total);
+        for j in &jobs {
+            for v in 0..j.num_nodes {
+                children_global.push(&j.children[v]);
+            }
+        }
+        let mut perm = vec![usize::MAX; total];
+        let mut next_row = 0usize;
+        let mut levels = Vec::with_capacity(level_nodes.len());
+        for nodes in level_nodes {
+            debug_assert!(!nodes.is_empty(), "levels are dense");
+            let nv = nodes.len();
+            let total_children: usize = nodes.iter().map(|&v| children_global[v].len()).sum();
+            let mut child_rows = Vec::with_capacity(total_children);
+            let mut seg = Tensor::zeros(nv, total_children);
+            for (i, &v) in nodes.iter().enumerate() {
+                for &c in children_global[v] {
+                    seg.set(i, child_rows.len(), 1.0);
+                    debug_assert_ne!(perm[c], usize::MAX, "child computed before parent");
+                    child_rows.push(perm[c]);
+                }
+            }
+            for &v in &nodes {
+                perm[v] = next_row;
+                next_row += 1;
+            }
+            levels.push(LevelPlan {
+                nodes,
+                child_rows,
+                seg,
+            });
+        }
+
+        let mut job_seg = Tensor::zeros(jobs.len(), total);
+        for (ji, job) in jobs.iter().enumerate() {
+            for v in job.node_offset..job.node_offset + job.num_nodes {
+                job_seg.set(ji, v, 1.0);
+            }
+        }
+
+        GraphStructure {
             jobs,
             levels,
+            num_nodes: total,
+            perm,
+            job_seg,
         }
-    }
-
-    /// Total node count across jobs.
-    pub fn num_nodes(&self) -> usize {
-        self.features.rows()
     }
 
     /// Number of jobs in the batch.
@@ -101,6 +168,78 @@ impl GraphInput {
     }
 }
 
+/// A batch of job DAGs plus per-node feature rows: the cached static
+/// [`GraphStructure`] and the per-decision feature matrix.
+#[derive(Clone, Debug)]
+pub struct GraphInput {
+    /// `[total_nodes, feat_dim]` feature matrix, nodes grouped by job.
+    pub features: Tensor,
+    /// The static batch structure (shared; cached across decisions).
+    pub structure: Arc<GraphStructure>,
+}
+
+impl GraphInput {
+    /// Builds a batch from per-job `(topology, feature rows)` pairs,
+    /// computing the structure fresh. Hot paths should build the
+    /// structure once and reuse it via [`GraphInput::with_structure`].
+    ///
+    /// `feats[j]` must be a `[jobs[j].len(), feat_dim]` tensor.
+    pub fn new(dags: &[&DagTopology], feats: &[Tensor]) -> Self {
+        assert_eq!(dags.len(), feats.len(), "one feature block per job");
+        let structure = Arc::new(GraphStructure::new(dags));
+        let feat_dim = feats.first().map_or(0, Tensor::cols);
+        let mut features = Tensor::zeros(structure.num_nodes, feat_dim);
+        for (job, f) in structure.jobs.iter().zip(feats) {
+            assert_eq!(f.rows(), job.num_nodes, "feature rows mismatch");
+            assert_eq!(f.cols(), feat_dim, "feature dim mismatch");
+            for v in 0..job.num_nodes {
+                for c in 0..feat_dim {
+                    features.set(job.node_offset + v, c, f.get(v, c));
+                }
+            }
+        }
+        GraphInput {
+            features,
+            structure,
+        }
+    }
+
+    /// Pairs a cached structure with a fresh feature matrix.
+    ///
+    /// `features` must have one row per structure node.
+    pub fn with_structure(structure: Arc<GraphStructure>, features: Tensor) -> Self {
+        assert_eq!(
+            features.rows(),
+            structure.num_nodes,
+            "feature rows mismatch"
+        );
+        GraphInput {
+            features,
+            structure,
+        }
+    }
+
+    /// Total node count across jobs.
+    pub fn num_nodes(&self) -> usize {
+        self.structure.num_nodes
+    }
+
+    /// Number of jobs in the batch.
+    pub fn num_jobs(&self) -> usize {
+        self.structure.jobs.len()
+    }
+
+    /// Per-job topology views.
+    pub fn jobs(&self) -> &[JobGraph] {
+        &self.structure.jobs
+    }
+
+    /// Children (global indices) of a global node index.
+    pub fn children_of(&self, global: usize) -> &[usize] {
+        self.structure.children_of(global)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,17 +253,42 @@ mod tests {
         let g = GraphInput::new(&[&d1, &d2], &[f1, f2]);
         assert_eq!(g.num_nodes(), 5);
         assert_eq!(g.num_jobs(), 2);
-        assert_eq!(g.jobs[1].node_offset, 3);
+        assert_eq!(g.jobs()[1].node_offset, 3);
         // d1: levels are 2,1,0; d2: 1,0.
-        assert_eq!(g.levels[0], vec![2, 4]); // leaves
-        assert_eq!(g.levels[1], vec![1, 3]);
-        assert_eq!(g.levels[2], vec![0]);
+        let s = &g.structure;
+        assert_eq!(s.levels[0].nodes, vec![2, 4]); // leaves
+        assert_eq!(s.levels[1].nodes, vec![1, 3]);
+        assert_eq!(s.levels[2].nodes, vec![0]);
+        // Leaves consume no child messages; upper levels aggregate their
+        // children's rows in the block concatenation.
+        assert!(s.levels[0].child_rows.is_empty());
+        assert_eq!(s.levels[1].child_rows, vec![0, 1]); // rows of nodes 2, 4
+        assert_eq!(s.levels[1].seg.shape(), (2, 2));
+        assert_eq!(s.levels[1].seg.get(0, 0), 1.0);
+        assert_eq!(s.levels[1].seg.get(1, 1), 1.0);
         // Children in global indices.
         assert_eq!(g.children_of(0), &[1]);
         assert_eq!(g.children_of(3), &[4]);
         assert!(g.children_of(4).is_empty());
         // Features copied.
         assert_eq!(g.features.get(3, 0), 2.0);
+        // Job segment matrix sums each job's nodes.
+        assert_eq!(s.job_seg.shape(), (2, 5));
+        assert_eq!(s.job_seg.get(0, 0), 1.0);
+        assert_eq!(s.job_seg.get(1, 3), 1.0);
+        assert_eq!(s.job_seg.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn structure_is_reusable_across_feature_sets() {
+        let d = DagTopology::new(2, &[(0, 1)]).unwrap();
+        let g1 = GraphInput::new(&[&d], &[Tensor::from_vec(2, 1, vec![1.0, 2.0])]);
+        let g2 = GraphInput::with_structure(
+            Arc::clone(&g1.structure),
+            Tensor::from_vec(2, 1, vec![3.0, 4.0]),
+        );
+        assert!(Arc::ptr_eq(&g1.structure, &g2.structure));
+        assert_eq!(g2.features.get(1, 0), 4.0);
     }
 
     #[test]

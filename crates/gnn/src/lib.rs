@@ -14,5 +14,5 @@ pub mod graph;
 
 pub use critical_path::{random_cp_example, CpExample, CpHarness};
 pub use encoder::{Embeddings, GnnConfig, GnnEncoder};
-pub use features::{FeatureConfig, FEAT_DIM};
-pub use graph::{GraphInput, JobGraph};
+pub use features::{FeatureConfig, GraphCache, FEAT_DIM};
+pub use graph::{GraphInput, GraphStructure, JobGraph, LevelPlan};

@@ -102,6 +102,9 @@ impl Mlp {
     }
 
     /// Applies the network to a `[batch, in_dim]` node.
+    ///
+    /// Each layer records one fused [`Tape::linear`] node; the leaky-ReLU
+    /// activation fuses into it, other activations are applied on top.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: TensorId) -> TensorId {
         assert_eq!(
             tape.value(x).cols(),
@@ -113,9 +116,12 @@ impl Mlp {
         for (l, &(w, b)) in self.layers.iter().enumerate() {
             let wp = tape.param(store, w);
             let bp = tape.param(store, b);
-            h = tape.matmul(h, wp);
-            h = tape.add_row(h, bp);
-            if l < last {
+            let slope = match (l < last, self.act) {
+                (true, Activation::LeakyRelu(s)) => Some(s),
+                _ => None,
+            };
+            h = tape.linear(h, wp, bp, slope);
+            if l < last && !matches!(self.act, Activation::LeakyRelu(_)) {
                 h = self.act.apply(tape, h);
             }
         }

@@ -27,6 +27,15 @@ enum Op {
         store_idx: usize,
     },
     MatMul(TensorId, TensorId),
+    /// Fused `act(x·W + b)` (one node instead of three: the MLP-layer
+    /// hot path of every GNN/policy forward).
+    Linear {
+        x: TensorId,
+        w: TensorId,
+        b: TensorId,
+        /// Leaky-ReLU negative-side slope; `None` = no activation.
+        slope: Option<f64>,
+    },
     Add(TensorId, TensorId),
     /// `[m,n] + [1,n]` with the right operand broadcast across rows.
     AddRow(TensorId, TensorId),
@@ -57,12 +66,20 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// `(store index, node)` pairs already pulled via [`Tape::param`]:
+    /// repeated pulls of one parameter reuse the node (one value clone
+    /// per tape instead of one per MLP invocation).
+    param_memo: Vec<(usize, TensorId)>,
+    /// Debug-only identity of the store this tape pulls from (the memo
+    /// keys on the index, so one tape must stick to one store).
+    #[cfg(debug_assertions)]
+    param_store_tag: Option<usize>,
 }
 
 impl Tape {
     /// Empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
     }
 
     /// Number of nodes recorded so far.
@@ -94,15 +111,75 @@ impl Tape {
         self.push(t, Op::Input)
     }
 
-    /// Pulls parameter `idx` from the store onto the tape.
+    /// Pulls parameter `idx` from the store onto the tape. Pulling the
+    /// same parameter again returns the existing node: gradients from all
+    /// of its consumers accumulate through one node, which is equivalent
+    /// to (and cheaper than) one node per pull.
+    ///
+    /// One tape must pull from one `ParamStore` only — the memo keys on
+    /// the index, so mixing stores would alias their parameters
+    /// (debug-asserted).
     pub fn param(&mut self, store: &ParamStore, idx: usize) -> TensorId {
-        self.push(store.value(idx).clone(), Op::Param { store_idx: idx })
+        #[cfg(debug_assertions)]
+        {
+            let tag = store as *const ParamStore as usize;
+            match self.param_store_tag {
+                None => self.param_store_tag = Some(tag),
+                Some(seen) => debug_assert_eq!(
+                    seen, tag,
+                    "a tape must pull parameters from a single ParamStore"
+                ),
+            }
+        }
+        if let Some(&(_, id)) = self.param_memo.iter().find(|&&(i, _)| i == idx) {
+            return id;
+        }
+        let id = self.push(store.value(idx).clone(), Op::Param { store_idx: idx });
+        self.param_memo.push((idx, id));
+        id
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
         let v = self.value(a).matmul(self.value(b));
         self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Fused dense layer `act(x·W + b)`, with `act` a leaky ReLU of the
+    /// given negative-side slope (`None` = linear output). One tape node
+    /// — and one allocation — where `matmul` + `add_row` + `leaky_relu`
+    /// would record three; the arithmetic is identical.
+    pub fn linear(
+        &mut self,
+        x: TensorId,
+        w: TensorId,
+        b: TensorId,
+        slope: Option<f64>,
+    ) -> TensorId {
+        let v = {
+            let (tx, tw, tb) = (self.value(x), self.value(w), self.value(b));
+            assert_eq!(tb.rows(), 1, "linear bias must be a row vector");
+            assert_eq!(tw.cols(), tb.cols(), "linear bias width mismatch");
+            let mut v = tx.matmul(tw);
+            let cols = v.cols();
+            let bias = tb.data();
+            // Split borrows: bias belongs to another node, so copy once.
+            let bias: Vec<f64> = bias.to_vec();
+            for row in v.data_mut().chunks_exact_mut(cols) {
+                for (o, &bv) in row.iter_mut().zip(&bias) {
+                    *o += bv;
+                }
+            }
+            if let Some(s) = slope {
+                for o in v.data_mut() {
+                    if *o <= 0.0 {
+                        *o *= s;
+                    }
+                }
+            }
+            v
+        };
+        self.push(v, Op::Linear { x, w, b, slope })
     }
 
     /// Elementwise addition (same shapes).
@@ -120,10 +197,11 @@ impl Tape {
         assert_eq!(tb.rows(), 1, "add_row rhs must be a row vector");
         assert_eq!(ta.cols(), tb.cols(), "add_row width mismatch");
         let mut v = ta.clone();
-        for r in 0..v.rows() {
-            for c in 0..v.cols() {
-                let x = v.get(r, c) + tb.get(0, c);
-                v.set(r, c, x);
+        let cols = v.cols();
+        let bias = tb.data().to_vec();
+        for row in v.data_mut().chunks_exact_mut(cols) {
+            for (x, &bv) in row.iter_mut().zip(&bias) {
+                *x += bv;
             }
         }
         self.push(v, Op::AddRow(a, b))
@@ -235,33 +313,34 @@ impl Tape {
         assert!(!ids.is_empty(), "concat_cols needs at least one input");
         let rows = self.value(ids[0]).rows();
         let cols: usize = ids.iter().map(|&i| self.value(i).cols()).sum();
-        let mut v = Tensor::zeros(rows, cols);
-        let mut off = 0;
-        for &i in ids {
-            let t = self.value(i);
-            assert_eq!(t.rows(), rows, "concat_cols height mismatch");
-            for r in 0..rows {
-                for c in 0..t.cols() {
-                    v.set(r, off + c, t.get(r, c));
-                }
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for &i in ids {
+                let t = self.value(i);
+                assert_eq!(t.rows(), rows, "concat_cols height mismatch");
+                data.extend_from_slice(t.row_slice(r));
             }
-            off += t.cols();
         }
-        self.push(v, Op::ConcatCols(ids.to_vec()))
+        self.push(
+            Tensor::from_vec(rows, cols, data),
+            Op::ConcatCols(ids.to_vec()),
+        )
     }
 
     /// Row gather: output row `i` is input row `idx[i]` (rows may repeat,
     /// which doubles as row broadcast).
     pub fn gather_rows(&mut self, a: TensorId, idx: Vec<usize>) -> TensorId {
         let t = self.value(a);
-        let mut v = Tensor::zeros(idx.len(), t.cols());
-        for (r, &src) in idx.iter().enumerate() {
+        let cols = t.cols();
+        let mut data = Vec::with_capacity(idx.len() * cols);
+        for &src in &idx {
             assert!(src < t.rows(), "gather_rows index out of range");
-            for c in 0..t.cols() {
-                v.set(r, c, t.get(src, c));
-            }
+            data.extend_from_slice(t.row_slice(src));
         }
-        self.push(v, Op::GatherRows(a, idx))
+        self.push(
+            Tensor::from_vec(idx.len(), cols, data),
+            Op::GatherRows(a, idx),
+        )
     }
 
     /// Numerically-stable log-softmax over a `[m,1]` column of scores.
@@ -301,6 +380,35 @@ impl Tape {
                     let ga = g.matmul(&self.nodes[b.0].value.transpose());
                     let gb = self.nodes[a.0].value.transpose().matmul(&g);
                     accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Linear { x, w, b, slope } => {
+                    // y = act(x·W + bias). The pre-activation sign equals
+                    // the output sign (leaky slope > 0), so the
+                    // activation mask is recovered from y itself.
+                    let gp = match slope {
+                        Some(s) => {
+                            let y = &self.nodes[i].value;
+                            let data = g
+                                .data()
+                                .iter()
+                                .zip(y.data())
+                                .map(|(&gv, &yv)| if yv > 0.0 { gv } else { gv * s })
+                                .collect();
+                            Tensor::from_vec(g.rows(), g.cols(), data)
+                        }
+                        None => g,
+                    };
+                    let gx = gp.matmul(&self.nodes[w.0].value.transpose());
+                    let gw = self.nodes[x.0].value.transpose().matmul(&gp);
+                    let mut gb = Tensor::zeros(1, gp.cols());
+                    for row in gp.data().chunks_exact(gp.cols()) {
+                        for (o, &v) in gb.data_mut().iter_mut().zip(row) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, *x, gx);
+                    accumulate(&mut grads, *w, gw);
                     accumulate(&mut grads, *b, gb);
                 }
                 Op::Add(a, b) => {
@@ -535,6 +643,74 @@ mod tests {
             let h = tape.leaky_relu(h, 0.2);
             tape.sum_all(h)
         });
+    }
+
+    #[test]
+    fn grad_check_fused_linear() {
+        let mut store = ParamStore::new();
+        store.add(
+            "w",
+            Tensor::from_vec(3, 2, vec![0.5, -0.3, 0.2, 0.8, -0.6, 0.1]),
+        );
+        store.add("b", Tensor::from_vec(1, 2, vec![0.1, -0.2]));
+        // With activation.
+        grad_check(&mut store, |tape, store| {
+            let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]));
+            let w = tape.param(store, 0);
+            let b = tape.param(store, 1);
+            let h = tape.linear(x, w, b, Some(0.2));
+            tape.sum_all(h)
+        });
+        // Linear output.
+        grad_check(&mut store, |tape, store| {
+            let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]));
+            let w = tape.param(store, 0);
+            let b = tape.param(store, 1);
+            let h = tape.linear(x, w, b, None);
+            tape.sum_all(h)
+        });
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused() {
+        let mut store = ParamStore::new();
+        store.add(
+            "w",
+            Tensor::from_vec(3, 2, vec![0.5, -0.3, 0.2, 0.8, -0.6, 0.1]),
+        );
+        store.add("b", Tensor::from_vec(1, 2, vec![0.1, -0.2]));
+        let x_data = Tensor::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]);
+
+        let mut t1 = Tape::new();
+        let x = t1.input(x_data.clone());
+        let w = t1.param(&store, 0);
+        let b = t1.param(&store, 1);
+        let fused = t1.linear(x, w, b, Some(0.2));
+
+        let mut t2 = Tape::new();
+        let x = t2.input(x_data);
+        let w = t2.param(&store, 0);
+        let b = t2.param(&store, 1);
+        let h = t2.matmul(x, w);
+        let h = t2.add_row(h, b);
+        let unfused = t2.leaky_relu(h, 0.2);
+
+        assert_eq!(t1.value(fused).data(), t2.value(unfused).data());
+    }
+
+    #[test]
+    fn param_is_memoized_per_tape() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::filled(1, 1, 2.0));
+        let mut tape = Tape::new();
+        let a = tape.param(&store, w);
+        let b = tape.param(&store, w);
+        assert_eq!(a, b, "same parameter must map to one node");
+        // Two consumers accumulate through the shared node: d(w+w)/dw = 2.
+        let s = tape.add(a, b);
+        let l = tape.sum_all(s);
+        tape.backward(l, 1.0, &mut store);
+        assert_eq!(store.grad(w).scalar(), 2.0);
     }
 
     #[test]

@@ -133,6 +133,12 @@ impl Tensor {
     }
 
     /// Matrix product `self[m,k] × rhs[k,n]`.
+    ///
+    /// The kernel walks four `rhs` rows per pass so every output element
+    /// is loaded/stored once per four multiply-adds (the NN hot path is
+    /// memory-bound at these tiny sizes), and skips all-zero coefficient
+    /// groups, which makes products with the GNN's 0/1 segment matrices
+    /// cost only their nonzeros.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -144,13 +150,28 @@ impl Tensor {
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
         for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut p = 0;
+            while p + 4 <= k {
+                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                    let r0 = &rhs.data[p * n..(p + 1) * n];
+                    let r1 = &rhs.data[(p + 1) * n..(p + 2) * n];
+                    let r2 = &rhs.data[(p + 2) * n..(p + 3) * n];
+                    let r3 = &rhs.data[(p + 3) * n..(p + 4) * n];
+                    for c in 0..n {
+                        orow[c] += a0 * r0[c] + a1 * r1[c] + a2 * r2[c] + a3 * r3[c];
+                    }
+                }
+                p += 4;
+            }
+            for p in p..k {
+                let a = arow[p];
                 if a == 0.0 {
                     continue;
                 }
                 let rrow = &rhs.data[p * n..(p + 1) * n];
-                let orow = &mut out.data[i * n..(i + 1) * n];
                 for (o, &r) in orow.iter_mut().zip(rrow) {
                     *o += a * r;
                 }

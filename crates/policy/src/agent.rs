@@ -58,6 +58,9 @@ pub struct DecimaAgent {
     pub decide_secs: Vec<f64>,
     /// Sum of node-softmax entropies observed (nats), for logging.
     pub entropy_sum: f64,
+    /// Cached static graph structure, reused across an episode's
+    /// decisions and cleared at episode start.
+    cache: decima_gnn::GraphCache,
 }
 
 impl DecimaAgent {
@@ -71,6 +74,7 @@ impl DecimaAgent {
             records: Vec::new(),
             decide_secs: Vec::new(),
             entropy_sum: 0.0,
+            cache: decima_gnn::GraphCache::default(),
         }
     }
 
@@ -84,6 +88,7 @@ impl DecimaAgent {
             records: Vec::new(),
             decide_secs: Vec::new(),
             entropy_sum: 0.0,
+            cache: decima_gnn::GraphCache::default(),
         }
     }
 
@@ -111,6 +116,7 @@ impl DecimaAgent {
             records: Vec::new(),
             decide_secs: Vec::new(),
             entropy_sum: 0.0,
+            cache: decima_gnn::GraphCache::default(),
         }
     }
 
@@ -125,10 +131,18 @@ impl DecimaAgent {
 }
 
 impl Scheduler for DecimaAgent {
+    fn on_episode_start(&mut self) {
+        // A fresh episode allocates fresh job specs: the cached graph
+        // structure (keyed on spec identity) must not carry over.
+        self.cache.clear();
+    }
+
     fn decide(&mut self, obs: &Observation) -> Option<Action> {
         let t0 = Instant::now();
         let mut tape = Tape::new();
-        let fwd = self.policy.forward_nodes(&mut tape, &self.store, obs);
+        let fwd = self
+            .policy
+            .forward_nodes_cached(&mut tape, &self.store, obs, &mut self.cache);
         self.entropy_sum += Self::scalar_entropy(&tape, fwd.node_logp);
 
         // Pick the stage.

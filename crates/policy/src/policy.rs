@@ -11,7 +11,9 @@
 //! ablations: no parallelism control and no graph embedding (Figure 14),
 //! stage-level granularity and per-limit output heads (Figure 15a).
 
-use decima_gnn::{Embeddings, FeatureConfig, GnnConfig, GnnEncoder, GraphInput, FEAT_DIM};
+use decima_gnn::{
+    Embeddings, FeatureConfig, GnnConfig, GnnEncoder, GraphCache, GraphInput, FEAT_DIM,
+};
 use decima_nn::{Activation, Mlp, ParamStore, Tape, Tensor, TensorId};
 use decima_sim::Observation;
 use rand::Rng;
@@ -208,30 +210,44 @@ impl DecimaPolicy {
     /// Runs the encoder and node head over the observation's schedulable
     /// set. Panics if the schedulable set is empty (the engine guarantees
     /// it is not when it invokes the scheduler).
+    ///
+    /// Computes the graph structure fresh; agents on the decision hot
+    /// path keep a [`GraphCache`] and call
+    /// [`DecimaPolicy::forward_nodes_cached`] instead.
     pub fn forward_nodes(
         &self,
         tape: &mut Tape,
         store: &ParamStore,
         obs: &Observation,
     ) -> PolicyForward {
+        let mut cache = GraphCache::default();
+        self.forward_nodes_cached(tape, store, obs, &mut cache)
+    }
+
+    /// [`DecimaPolicy::forward_nodes`] with a caller-owned
+    /// [`GraphCache`], so the batch's static structure (child lists,
+    /// level plan, segment matrices) is reused across the decisions of an
+    /// episode and only rebuilt when the active-job set changes.
+    pub fn forward_nodes_cached(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        obs: &Observation,
+        cache: &mut GraphCache,
+    ) -> PolicyForward {
         assert!(
             !obs.schedulable.is_empty(),
             "policy invoked with no schedulable nodes"
         );
-        let graph: GraphInput = self.cfg.feat.graph_input(obs);
+        let graph: GraphInput = self.cfg.feat.graph_input_cached(obs, cache);
         let emb = match &self.encoder {
             Some(enc) => EmbeddingsOrRaw::Gnn(enc.forward(tape, store, &graph)),
             None => {
                 // Ablation: raw features as "embeddings", with per-job and
-                // global raw aggregates standing in for y_i and z.
+                // global raw aggregates standing in for y_i and z. The
+                // node → job segment sum reuses the cached matrix.
                 let nodes = tape.input(graph.features.clone());
-                let mut seg = Tensor::zeros(graph.num_jobs(), graph.num_nodes());
-                for (ji, jg) in graph.jobs.iter().enumerate() {
-                    for v in jg.node_offset..jg.node_offset + jg.num_nodes {
-                        seg.set(ji, v, 1.0);
-                    }
-                }
-                let seg = tape.input(seg);
+                let seg = tape.input(graph.structure.job_seg.clone());
                 let jobs = tape.matmul(seg, nodes);
                 let global = tape.sum_rows(jobs);
                 EmbeddingsOrRaw::Raw {
@@ -253,7 +269,7 @@ impl DecimaPolicy {
             .collect();
         let node_rows: Vec<usize> = cands
             .iter()
-            .map(|c| graph.jobs[c.job_idx].node_offset + c.stage as usize)
+            .map(|c| graph.jobs()[c.job_idx].node_offset + c.stage as usize)
             .collect();
         let job_rows: Vec<usize> = cands.iter().map(|c| c.job_idx).collect();
 

@@ -45,6 +45,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record a Gantt chart during the run (Figures 3, 13).
     pub record_gantt: bool,
+    /// Compare the incremental observation against the
+    /// rebuild-from-scratch reference at every decision, panicking on any
+    /// field mismatch (differential testing; slow, off by default).
+    pub validate_observations: bool,
 }
 
 impl Default for SimConfig {
@@ -59,6 +63,7 @@ impl Default for SimConfig {
             max_events: 50_000_000,
             seed: 0,
             record_gantt: false,
+            validate_observations: false,
         }
     }
 }
@@ -97,6 +102,13 @@ impl SimConfig {
     /// Enables Gantt recording.
     pub fn with_gantt(mut self) -> Self {
         self.record_gantt = true;
+        self
+    }
+
+    /// Enables per-decision differential validation of the incremental
+    /// observation path against the rebuilt reference.
+    pub fn with_validation(mut self) -> Self {
+        self.validate_observations = true;
         self
     }
 }

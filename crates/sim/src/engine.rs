@@ -22,7 +22,7 @@ use decima_core::{ClassId, ClusterSpec, ExecutorId, Gantt, JobId, JobSpec, SimTi
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 /// Simulator events.
@@ -91,8 +91,14 @@ struct JobRt {
     finished: bool,
     completion: Option<SimTime>,
     /// Executors bound to the job: idle-local + running + in flight.
+    /// Maintained incrementally by [`Simulator::set_exec_state`].
     alloc: usize,
     peak_alloc: usize,
+    /// Executors bound to the job and currently idle (incremental).
+    local_free: usize,
+    /// Observation-relevant state changed since the pooled observation
+    /// was last filled (skips per-node copies for untouched jobs).
+    dirty: bool,
     nodes: Vec<NodeRt>,
     unfinished_nodes: usize,
     executed_work: f64,
@@ -122,6 +128,30 @@ pub struct Simulator {
     task_failures: u64,
     /// A scheduling pass is owed once same-time events finish coalescing.
     pending_sched: bool,
+
+    // ---- incremental decision-path state ----
+    // Everything below is maintained at the event transitions that change
+    // it (through `set_exec_state` and the arrival/finish handlers), so
+    // building an observation never rescans the executor vector. The
+    // reference rebuild-from-scratch path survives as
+    // `observation_rebuilt` and the two are compared field-for-field when
+    // `SimConfig::validate_observations` is set.
+    /// Unbound (`Free`) executors, in ascending index order.
+    free_set: BTreeSet<u32>,
+    /// Idle-bound (`Idle(_)`) executors, in ascending index order.
+    idle_set: BTreeSet<u32>,
+    /// `Free` + `Idle` executor count per class.
+    avail_by_class: Vec<usize>,
+    /// Arrived, unfinished job indices in job-id order.
+    active_jobs: Vec<usize>,
+    /// Bumped whenever the active-job set changes (arrival/finish);
+    /// invalidates the pooled observation's job structure.
+    obs_epoch: u64,
+    /// Epoch `obs_buf`'s job structure was last built at.
+    obs_buf_epoch: u64,
+    /// Pooled observation reused across decisions: steady-state decisions
+    /// update it in place and allocate nothing.
+    obs_buf: Option<Observation>,
 }
 
 #[derive(Clone, Debug)]
@@ -178,6 +208,8 @@ impl Simulator {
                 completion: None,
                 alloc: 0,
                 peak_alloc: 0,
+                local_free: 0,
+                dirty: true,
                 unfinished_nodes: n,
                 nodes,
                 executed_work: 0.0,
@@ -187,6 +219,11 @@ impl Simulator {
 
         let gantt = cfg.record_gantt.then(|| Gantt::new(execs.len()));
         let jobs_remaining = jobs.len();
+        let free_set: BTreeSet<u32> = (0..execs.len() as u32).collect();
+        let mut avail_by_class = vec![0usize; num_classes];
+        for em in &execs {
+            avail_by_class[em.class.index()] += 1;
+        }
         Simulator {
             cluster,
             rng: SmallRng::seed_from_u64(cfg.seed),
@@ -206,25 +243,158 @@ impl Simulator {
             wasted_actions: 0,
             task_failures: 0,
             pending_sched: false,
+            free_set,
+            idle_set: BTreeSet::new(),
+            avail_by_class,
+            active_jobs: Vec::new(),
+            obs_epoch: 0,
+            obs_buf_epoch: u64::MAX,
+            obs_buf: None,
         }
+    }
+
+    // ---- incremental bookkeeping ----
+
+    /// The job an executor's current assignment counts toward (the
+    /// `alloc` definition: idle-local + running + in flight).
+    fn owner_of(state: &ExecState) -> Option<JobId> {
+        match *state {
+            ExecState::Free => None,
+            ExecState::Idle(j) => Some(j),
+            ExecState::Moving { job, .. } | ExecState::Running { job, .. } => Some(job),
+        }
+    }
+
+    /// The single choke point for executor state transitions: swaps the
+    /// state and updates every derived count (free/idle sets, per-class
+    /// availability, per-job `alloc` and `local_free`).
+    fn set_exec_state(&mut self, e: ExecutorId, new: ExecState) {
+        let i = e.index();
+        let class = self.execs[i].class.index();
+        let new_idle = match new {
+            ExecState::Idle(j) => Some(j),
+            _ => None,
+        };
+        let new_free = matches!(new, ExecState::Free);
+        let new_owner = Self::owner_of(&new);
+        let old = std::mem::replace(&mut self.execs[i].state, new);
+        let old_idle = match old {
+            ExecState::Idle(j) => Some(j),
+            _ => None,
+        };
+        let old_free = matches!(old, ExecState::Free);
+        let old_owner = Self::owner_of(&old);
+
+        if old_free != new_free {
+            if new_free {
+                self.free_set.insert(i as u32);
+            } else {
+                self.free_set.remove(&(i as u32));
+            }
+        }
+        if old_idle != new_idle {
+            if let Some(j) = old_idle {
+                self.idle_set.remove(&(i as u32));
+                self.jobs[j.index()].local_free -= 1;
+                self.jobs[j.index()].dirty = true;
+            }
+            if let Some(j) = new_idle {
+                self.idle_set.insert(i as u32);
+                self.jobs[j.index()].local_free += 1;
+                self.jobs[j.index()].dirty = true;
+            }
+        }
+        let old_avail = old_free || old_idle.is_some();
+        let new_avail = new_free || new_idle.is_some();
+        if old_avail != new_avail {
+            if new_avail {
+                self.avail_by_class[class] += 1;
+            } else {
+                self.avail_by_class[class] -= 1;
+            }
+        }
+        if old_owner != new_owner {
+            if let Some(j) = old_owner {
+                self.jobs[j.index()].alloc -= 1;
+                self.jobs[j.index()].dirty = true;
+            }
+            if let Some(j) = new_owner {
+                self.jobs[j.index()].alloc += 1;
+                self.jobs[j.index()].dirty = true;
+            }
+        }
+    }
+
+    /// Free executors (unbound or idle-local), in total. O(1).
+    #[inline]
+    fn avail_total(&self) -> usize {
+        self.free_set.len() + self.idle_set.len()
+    }
+
+    /// True when at least one available (free or idle) executor —
+    /// optionally restricted to one class — has memory ≥ `demand`.
+    ///
+    /// This is the single memory-fit rule shared by the observation's
+    /// schedulable set and `apply_action`'s feasibility check, so the two
+    /// can never disagree about whether a stage is actionable.
+    #[inline]
+    fn avail_fits(&self, demand: f64, class: Option<ClassId>) -> bool {
+        match class {
+            // An out-of-range class simply fits nothing (the action is
+            // then wasted), matching the historical filter behavior.
+            Some(c) => match self.cluster.classes.get(c.index()) {
+                Some(cl) => self.avail_by_class[c.index()] > 0 && cl.memory >= demand,
+                None => false,
+            },
+            None => self
+                .cluster
+                .classes
+                .iter()
+                .zip(&self.avail_by_class)
+                .any(|(cl, &n)| n > 0 && cl.memory >= demand),
+        }
+    }
+
+    /// Records an active-job-set change (arrival/finish): the pooled
+    /// observation's job structure is stale from now on.
+    #[inline]
+    fn bump_obs_epoch(&mut self) {
+        self.obs_epoch += 1;
     }
 
     /// Runs the episode to completion (all jobs done, horizon reached, or
     /// event budget exhausted) under the given scheduler.
     pub fn run(mut self, mut sched: impl Scheduler) -> EpisodeResult {
         sched.on_episode_start();
-        while let Some(Reverse(q)) = self.queue.pop() {
+        self.drive(&mut sched, u64::MAX);
+        self.finish()
+    }
+
+    /// Processes up to `budget` events, invoking the scheduler at the
+    /// usual scheduling points; returns `false` once the episode is
+    /// exhausted (queue empty, horizon reached, or event cap hit).
+    ///
+    /// `run` drives the whole episode through this; benches and tests use
+    /// it directly to stop a simulation mid-episode and inspect state
+    /// (e.g. benchmark `observation` on a busy cluster).
+    pub fn drive(&mut self, sched: &mut dyn Scheduler, budget: u64) -> bool {
+        let mut processed = 0u64;
+        while processed < budget {
+            let Some(Reverse(q)) = self.queue.pop() else {
+                return false;
+            };
             if let Some(limit) = self.cfg.time_limit {
                 if q.time.as_secs() > limit {
                     // Account cost up to the horizon, then stop.
                     self.advance_clock(SimTime::from_secs(limit));
-                    break;
+                    return false;
                 }
             }
             self.num_events += 1;
             if self.num_events > self.cfg.max_events {
-                break;
+                return false;
             }
+            processed += 1;
             self.advance_clock(q.time);
             if self.handle_event(q.ev) {
                 self.pending_sched = true;
@@ -236,10 +406,10 @@ impl Simulator {
                 .peek()
                 .is_some_and(|Reverse(n)| n.time == self.now);
             if self.pending_sched && !more_now {
-                self.scheduling_loop(&mut sched);
+                self.scheduling_loop(sched);
             }
         }
-        self.finish()
+        true
     }
 
     fn finish(self) -> EpisodeResult {
@@ -294,9 +464,14 @@ impl Simulator {
     fn handle_event(&mut self, ev: Ev) -> bool {
         match ev {
             Ev::Arrival(j) => {
-                let job = &mut self.jobs[j.index()];
-                job.arrived = true;
+                let ji = j.index();
+                self.jobs[ji].arrived = true;
                 self.jobs_in_system += 1;
+                // Keep the active list in job-id order (arrival order is
+                // time order, which need not be id order).
+                let pos = self.active_jobs.partition_point(|&a| a < ji);
+                self.active_jobs.insert(pos, ji);
+                self.bump_obs_epoch();
                 true
             }
             Ev::TaskDone(e) => self.on_task_done(e),
@@ -334,6 +509,7 @@ impl Simulator {
                 n.finished += 1;
             }
         }
+        self.jobs[ji].dirty = true;
         if failed {
             self.task_failures += 1;
         }
@@ -347,7 +523,7 @@ impl Simulator {
 
         // Stage has no waiting tasks: the executor goes idle-local and a
         // scheduling event fires ("stage runs out of tasks").
-        self.execs[e.index()].state = ExecState::Idle(job_id);
+        self.set_exec_state(e, ExecState::Idle(job_id));
         let node_done = {
             let n = &self.jobs[ji].nodes[v];
             n.running == 0 && n.waiting == 0 && !n.completed
@@ -364,6 +540,7 @@ impl Simulator {
         let ji = job_id.index();
         self.jobs[ji].nodes[v].completed = true;
         self.jobs[ji].unfinished_nodes -= 1;
+        self.jobs[ji].dirty = true;
         let spec = Arc::clone(&self.jobs[ji].spec);
         for &c in spec.dag.children(v) {
             let all_done = spec
@@ -390,24 +567,19 @@ impl Simulator {
             g.record_completion(job_id, self.now);
         }
         // Release bound idle executors: their JVM exits with the job.
-        for em in &mut self.execs {
-            if matches!(em.state, ExecState::Idle(j) if j == job_id) {
-                em.state = ExecState::Free;
-            }
-        }
-        self.jobs[ji].alloc = self.count_alloc(job_id);
-    }
-
-    fn count_alloc(&self, job_id: JobId) -> usize {
-        self.execs
+        let released: Vec<ExecutorId> = self
+            .idle_set
             .iter()
-            .filter(|em| match em.state {
-                ExecState::Idle(j) => j == job_id,
-                ExecState::Moving { job, .. } => job == job_id,
-                ExecState::Running { job, .. } => job == job_id,
-                ExecState::Free => false,
-            })
-            .count()
+            .map(|&i| ExecutorId(i))
+            .filter(|e| matches!(self.execs[e.index()].state, ExecState::Idle(j) if j == job_id))
+            .collect();
+        for e in released {
+            self.set_exec_state(e, ExecState::Free);
+        }
+        let pos = self.active_jobs.partition_point(|&a| a < ji);
+        debug_assert_eq!(self.active_jobs.get(pos), Some(&ji));
+        self.active_jobs.remove(pos);
+        self.bump_obs_epoch();
     }
 
     fn on_exec_ready(&mut self, e: ExecutorId) -> bool {
@@ -417,10 +589,10 @@ impl Simulator {
         };
         let ji = job_id.index();
         self.jobs[ji].nodes[node as usize].in_flight -= 1;
+        self.jobs[ji].dirty = true;
         if self.jobs[ji].finished {
             // Job ended while the executor was in transit.
-            self.execs[e.index()].state = ExecState::Free;
-            self.jobs[ji].alloc = self.count_alloc(job_id);
+            self.set_exec_state(e, ExecState::Free);
             return true;
         }
         // Try the original target, else any runnable stage of the job the
@@ -449,7 +621,7 @@ impl Simulator {
                 false
             }
             None => {
-                self.execs[e.index()].state = ExecState::Idle(job_id);
+                self.set_exec_state(e, ExecState::Idle(job_id));
                 true
             }
         }
@@ -491,13 +663,17 @@ impl Simulator {
             n.running += 1;
             n.executors_on += 1;
         }
+        self.jobs[ji].dirty = true;
         self.execs[e.index()].last_node = Some((job_id, node));
-        self.execs[e.index()].state = ExecState::Running {
-            job: job_id,
-            node,
-            started: self.now,
-            duration: dur,
-        };
+        self.set_exec_state(
+            e,
+            ExecState::Running {
+                job: job_id,
+                node,
+                started: self.now,
+                duration: dur,
+            },
+        );
         self.push_event(self.now + dur, Ev::TaskDone(e));
     }
 
@@ -512,24 +688,30 @@ impl Simulator {
 
     // ---- scheduling ----
 
-    fn free_total(&self) -> usize {
-        self.execs
-            .iter()
-            .filter(|em| matches!(em.state, ExecState::Free | ExecState::Idle(_)))
-            .count()
-    }
-
-    fn scheduling_loop(&mut self, sched: &mut impl Scheduler) {
+    fn scheduling_loop(&mut self, sched: &mut dyn Scheduler) {
         self.pending_sched = false;
         loop {
-            if self.free_total() == 0 {
+            if self.avail_total() == 0 {
                 break;
             }
-            let obs = self.observation();
+            // Take the pooled buffer out of `self` for the duration of
+            // the decision, update it in place, and put it back: the
+            // steady state allocates nothing.
+            let mut obs = self.obs_buf.take().unwrap_or_else(Self::empty_observation);
+            self.write_observation(&mut obs);
+            if self.cfg.validate_observations {
+                let reference = self.observation_rebuilt();
+                if let Err(e) = obs_equal(&obs, &reference) {
+                    panic!("incremental observation diverged from rebuilt reference: {e}");
+                }
+            }
             if obs.schedulable.is_empty() {
+                self.obs_buf = Some(obs);
                 break;
             }
-            let Some(action) = sched.decide(&obs) else {
+            let decision = sched.decide(&obs);
+            self.obs_buf = Some(obs);
+            let Some(action) = decision else {
                 break;
             };
             // Reward bookkeeping per decision.
@@ -547,8 +729,115 @@ impl Simulator {
         }
     }
 
-    /// Builds the observation snapshot handed to the scheduler.
+    fn empty_observation() -> Observation {
+        Observation {
+            time: SimTime::ZERO,
+            total_executors: 0,
+            num_classes: 0,
+            free_total: 0,
+            free_by_class: Vec::new(),
+            class_memory: Vec::new(),
+            jobs: Vec::new(),
+            schedulable: Vec::new(),
+        }
+    }
+
+    /// Builds the observation snapshot handed to the scheduler from the
+    /// incrementally-maintained counts (no executor rescans).
     pub fn observation(&self) -> Observation {
+        let mut obs = Self::empty_observation();
+        self.fill_observation(&mut obs, true);
+        obs
+    }
+
+    /// Updates the pooled buffer in place, rebuilding its job structure
+    /// only when the active-job set changed since the last decision, and
+    /// copying per-node state only for jobs dirtied since the last fill.
+    fn write_observation(&mut self, obs: &mut Observation) {
+        let rebuild = self.obs_buf_epoch != self.obs_epoch;
+        self.fill_observation(obs, rebuild);
+        self.obs_buf_epoch = self.obs_epoch;
+        for i in 0..self.active_jobs.len() {
+            let ji = self.active_jobs[i];
+            self.jobs[ji].dirty = false;
+        }
+    }
+
+    fn fill_observation(&self, obs: &mut Observation, rebuild: bool) {
+        let num_classes = self.cluster.num_classes();
+        obs.time = self.now;
+        obs.total_executors = self.execs.len();
+        obs.num_classes = num_classes;
+        obs.free_total = self.avail_total();
+        obs.free_by_class.clear();
+        obs.free_by_class.extend_from_slice(&self.avail_by_class);
+        if rebuild {
+            obs.class_memory.clear();
+            obs.class_memory
+                .extend(self.cluster.classes.iter().map(|c| c.memory));
+            obs.jobs.clear();
+            for &ji in &self.active_jobs {
+                let j = &self.jobs[ji];
+                obs.jobs.push(JobObs {
+                    id: j.spec.id,
+                    spec: Arc::clone(&j.spec),
+                    alloc: j.alloc,
+                    local_free: j.local_free,
+                    nodes: Vec::with_capacity(j.nodes.len()),
+                });
+            }
+        }
+        debug_assert_eq!(obs.jobs.len(), self.active_jobs.len());
+        obs.schedulable.clear();
+        for (job_index, &ji) in self.active_jobs.iter().enumerate() {
+            let j = &self.jobs[ji];
+            let jo = &mut obs.jobs[job_index];
+            if rebuild {
+                // alloc/local_free were just set when the JobObs was
+                // pushed; only the node vector remains to fill.
+                jo.nodes
+                    .extend(j.nodes.iter().enumerate().map(|(v, n)| NodeObs {
+                        waiting: n.waiting,
+                        running: n.running,
+                        finished: n.finished,
+                        executors_on: n.executors_on,
+                        in_flight: n.in_flight,
+                        runnable: n.runnable,
+                        completed: n.completed,
+                        avg_task_duration: j.spec.stages[v].task_duration,
+                        mem_demand: j.spec.stages[v].mem_demand,
+                    }));
+            } else if j.dirty {
+                jo.alloc = j.alloc;
+                jo.local_free = j.local_free;
+                for (n, no) in j.nodes.iter().zip(jo.nodes.iter_mut()) {
+                    no.waiting = n.waiting;
+                    no.running = n.running;
+                    no.finished = n.finished;
+                    no.executors_on = n.executors_on;
+                    no.in_flight = n.in_flight;
+                    no.runnable = n.runnable;
+                    no.completed = n.completed;
+                    // avg_task_duration / mem_demand are static.
+                }
+            }
+            for (v, n) in j.nodes.iter().enumerate() {
+                if n.runnable
+                    && n.waiting > n.in_flight
+                    && self.avail_fits(j.spec.stages[v].mem_demand, None)
+                {
+                    obs.schedulable.push((job_index, StageId(v as u32)));
+                }
+            }
+        }
+    }
+
+    /// The original rebuild-from-scratch observation: rescans the
+    /// executor vector for every derived quantity. Kept as the reference
+    /// oracle for the incremental path — differential tests run episodes
+    /// with [`SimConfig::validate_observations`] set, which compares the
+    /// two field-for-field at every decision.
+    pub fn observation_rebuilt(&self) -> Observation {
         let num_classes = self.cluster.num_classes();
         let mut free_by_class = vec![0usize; num_classes];
         for em in &self.execs {
@@ -568,6 +857,13 @@ impl Simulator {
                 .execs
                 .iter()
                 .filter(|em| matches!(em.state, ExecState::Idle(id) if id == j.spec.id))
+                .count();
+            // Recount the allocation from executor states: the oracle
+            // must not trust the engine's incremental `alloc`.
+            let alloc = self
+                .execs
+                .iter()
+                .filter(|em| Self::owner_of(&em.state) == Some(j.spec.id))
                 .count();
             let nodes: Vec<NodeObs> = j
                 .nodes
@@ -601,7 +897,7 @@ impl Simulator {
             jobs.push(JobObs {
                 id: j.spec.id,
                 spec: Arc::clone(&j.spec),
-                alloc: j.alloc,
+                alloc,
                 local_free,
                 nodes,
             });
@@ -636,6 +932,13 @@ impl Simulator {
             }
         }
         let demand = self.jobs[ji].spec.stages[v].mem_demand;
+        // The same feasibility rule the observation's schedulable set
+        // uses: some available executor (of the requested class, if any)
+        // must fit the stage's memory demand. Checking it here keeps the
+        // two paths from ever disagreeing about actionability.
+        if !self.avail_fits(demand, a.class) {
+            return 0;
+        }
         let job_id = a.job;
         let node = v as u32;
 
@@ -658,14 +961,16 @@ impl Simulator {
         let mut dispatched = 0usize;
 
         // Tier 1: idle executors already bound to this job — free motion,
-        // does not change the job's allocation.
+        // does not change the job's allocation. The idle set iterates in
+        // ascending index order, matching the historical full scan.
         let local: Vec<ExecutorId> = self
-            .execs
+            .idle_set
             .iter()
-            .enumerate()
-            .filter(|(_, em)| matches!(em.state, ExecState::Idle(id) if id == job_id))
-            .filter(|(_, em)| class_ok(em))
-            .map(|(i, _)| ExecutorId(i as u32))
+            .map(|&i| ExecutorId(i))
+            .filter(|e| {
+                let em = &self.execs[e.index()];
+                matches!(em.state, ExecState::Idle(id) if id == job_id) && class_ok(em)
+            })
             .collect();
         for e in local {
             if dispatched >= unclaimed {
@@ -680,16 +985,18 @@ impl Simulator {
         }
 
         // Tier 2: unbound executors, then idle executors of other jobs —
-        // both incur the move delay and raise this job's allocation.
+        // both incur the move delay and raise this job's allocation. Both
+        // sets iterate in ascending index order, like the old full scans.
         let mut remote: Vec<ExecutorId> = Vec::new();
-        for (i, em) in self.execs.iter().enumerate() {
-            if matches!(em.state, ExecState::Free) && class_ok(em) {
-                remote.push(ExecutorId(i as u32));
+        for &i in &self.free_set {
+            if class_ok(&self.execs[i as usize]) {
+                remote.push(ExecutorId(i));
             }
         }
-        for (i, em) in self.execs.iter().enumerate() {
+        for &i in &self.idle_set {
+            let em = &self.execs[i as usize];
             if matches!(em.state, ExecState::Idle(id) if id != job_id) && class_ok(em) {
-                remote.push(ExecutorId(i as u32));
+                remote.push(ExecutorId(i));
             }
         }
         for e in remote {
@@ -703,17 +1010,14 @@ impl Simulator {
             if !headroom {
                 break;
             }
-            // Detach from the previous owner, if any.
-            if let ExecState::Idle(prev) = self.execs[e.index()].state {
-                let pi = prev.index();
-                self.execs[e.index()].state = ExecState::Free;
-                self.jobs[pi].alloc = self.count_alloc(prev);
-            }
             let delay = self.cluster.move_delay;
             self.execs[e.index()].last_node = None; // cold JVM at the new job
-            self.execs[e.index()].state = ExecState::Moving { job: job_id, node };
+                                                    // One transition covers the detach from any previous owner
+                                                    // and the attach to this job (alloc −1/+1 via the choke
+                                                    // point).
+            self.set_exec_state(e, ExecState::Moving { job: job_id, node });
             self.jobs[ji].nodes[v].in_flight += 1;
-            self.jobs[ji].alloc += 1;
+            self.jobs[ji].dirty = true;
             if let Some(g) = &mut self.gantt {
                 if delay > 0.0 {
                     g.record(e, self.now, self.now + delay, None);
@@ -734,6 +1038,82 @@ impl Simulator {
     pub fn now(&self) -> SimTime {
         self.now
     }
+}
+
+/// Field-for-field comparison of two observations; job specs are
+/// compared by identity (they are shared `Arc`s of the same episode).
+/// Returns `Err` describing the first mismatch.
+pub fn obs_equal(a: &Observation, b: &Observation) -> Result<(), String> {
+    if a.time != b.time {
+        return Err(format!("time: {:?} vs {:?}", a.time, b.time));
+    }
+    if a.total_executors != b.total_executors {
+        return Err(format!(
+            "total_executors: {} vs {}",
+            a.total_executors, b.total_executors
+        ));
+    }
+    if a.num_classes != b.num_classes {
+        return Err(format!(
+            "num_classes: {} vs {}",
+            a.num_classes, b.num_classes
+        ));
+    }
+    if a.free_total != b.free_total {
+        return Err(format!("free_total: {} vs {}", a.free_total, b.free_total));
+    }
+    if a.free_by_class != b.free_by_class {
+        return Err(format!(
+            "free_by_class: {:?} vs {:?}",
+            a.free_by_class, b.free_by_class
+        ));
+    }
+    if a.class_memory != b.class_memory {
+        return Err(format!(
+            "class_memory: {:?} vs {:?}",
+            a.class_memory, b.class_memory
+        ));
+    }
+    if a.jobs.len() != b.jobs.len() {
+        return Err(format!("job count: {} vs {}", a.jobs.len(), b.jobs.len()));
+    }
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        if x.id != y.id {
+            return Err(format!("job id: {:?} vs {:?}", x.id, y.id));
+        }
+        if !Arc::ptr_eq(&x.spec, &y.spec) {
+            return Err(format!("job {:?}: spec identity differs", x.id));
+        }
+        if x.alloc != y.alloc {
+            return Err(format!("job {:?}: alloc {} vs {}", x.id, x.alloc, y.alloc));
+        }
+        if x.local_free != y.local_free {
+            return Err(format!(
+                "job {:?}: local_free {} vs {}",
+                x.id, x.local_free, y.local_free
+            ));
+        }
+        if x.nodes.len() != y.nodes.len() {
+            return Err(format!(
+                "job {:?}: node count {} vs {}",
+                x.id,
+                x.nodes.len(),
+                y.nodes.len()
+            ));
+        }
+        for (v, (n, m)) in x.nodes.iter().zip(&y.nodes).enumerate() {
+            if n != m {
+                return Err(format!("job {:?} node {v}: {n:?} vs {m:?}", x.id));
+            }
+        }
+    }
+    if a.schedulable != b.schedulable {
+        return Err(format!(
+            "schedulable: {:?} vs {:?}",
+            a.schedulable, b.schedulable
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1001,6 +1381,185 @@ mod tests {
         assert_eq!(g.num_rows(), 2);
         assert!(g.utilization() > 0.9);
         assert_eq!(g.completions().len(), 1);
+    }
+
+    #[test]
+    fn incremental_observation_validates_against_rebuilt() {
+        // Every decision of a mixed, noisy, multi-stage episode compares
+        // the incremental observation field-for-field with the rebuilt
+        // reference (the engine panics on the first mismatch).
+        let cfg = SimConfig {
+            noise: 0.2,
+            failure_rate: 0.05,
+            seed: 3,
+            validate_observations: true,
+            ..SimConfig::default()
+        };
+        let jobs = vec![
+            one_stage_job(0, 6, 1.0, 0.0),
+            chain_job(1, 0.5),
+            one_stage_job(2, 3, 2.0, 4.0),
+        ];
+        let r = Simulator::new(ClusterSpec::homogeneous(3).with_move_delay(1.0), jobs, cfg)
+            .run(TestSched);
+        assert_eq!(r.completed(), 3);
+    }
+
+    #[test]
+    fn observation_matches_rebuilt_mid_episode() {
+        let cfg = SimConfig {
+            seed: 9,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(
+            ClusterSpec::four_class(8).with_move_delay(1.0),
+            vec![one_stage_job(0, 12, 1.0, 0.0), chain_job(1, 0.0)],
+            cfg,
+        );
+        let mut sched = TestSched;
+        // Stop mid-episode and compare the two paths directly.
+        let more = sim.drive(&mut sched, 5);
+        assert!(more, "episode must not be exhausted after 5 events");
+        obs_equal(&sim.observation(), &sim.observation_rebuilt())
+            .expect("incremental and rebuilt observations must agree");
+    }
+
+    /// The `multi_resource_memory_fit` edge from the scheduler's view:
+    /// with exactly one executor that fits the stage, the stage must be
+    /// schedulable iff that executor is free — the small free executor
+    /// alone must not make it actionable.
+    #[test]
+    fn memory_fit_schedulability_tracks_the_one_fitting_executor() {
+        let cl = ClusterSpec {
+            classes: vec![
+                decima_core::ExecutorClass {
+                    memory: 0.25,
+                    count: 1,
+                },
+                decima_core::ExecutorClass {
+                    memory: 1.0,
+                    count: 1,
+                },
+            ],
+            move_delay: 0.0,
+        };
+        let mut b = JobBuilder::new(JobId(0));
+        b.stage(StageSpec {
+            num_tasks: 2,
+            task_duration: 1.0,
+            first_wave_factor: 1.0,
+            mem_demand: 0.5,
+        });
+        let job = b.build().unwrap();
+
+        struct Check;
+        impl Scheduler for Check {
+            fn decide(&mut self, obs: &Observation) -> Option<Action> {
+                // decide() is only invoked with a non-empty schedulable
+                // set, so the fitting (large) executor must be free here:
+                // the small free executor alone must never surface the
+                // stage.
+                let &(j, stage) = obs.schedulable.first()?;
+                assert!(
+                    obs.free_by_class[1] > 0,
+                    "stage offered as schedulable while no fitting executor is free"
+                );
+                Some(Action::new(obs.jobs[j].id, stage, obs.total_executors))
+            }
+        }
+        let cfg = SimConfig {
+            validate_observations: true,
+            ..bare_cfg()
+        };
+        let r = Simulator::new(cl, vec![job], cfg).run(Check);
+        assert_eq!(
+            r.avg_jct(),
+            Some(2.0),
+            "two sequential tasks on the large executor"
+        );
+    }
+
+    /// An action naming a class the cluster does not have is a wasted
+    /// action, not a panic (defensive against buggy/learned policies).
+    #[test]
+    fn apply_action_tolerates_out_of_range_class() {
+        struct BadClass(bool);
+        impl Scheduler for BadClass {
+            fn decide(&mut self, obs: &Observation) -> Option<Action> {
+                if self.0 {
+                    return None;
+                }
+                self.0 = true;
+                let &(j, stage) = obs.schedulable.first()?;
+                Some(Action::new(obs.jobs[j].id, stage, obs.total_executors).with_class(ClassId(7)))
+            }
+        }
+        let r = Simulator::new(
+            cluster(2),
+            vec![one_stage_job(0, 2, 1.0, 0.0)],
+            SimConfig {
+                time_limit: Some(5.0),
+                ..bare_cfg()
+            },
+        )
+        .run(BadClass(false));
+        assert_eq!(r.wasted_actions, 1);
+    }
+
+    /// `apply_action` must agree with the observation about memory fit:
+    /// an action pinned to a class whose executors cannot fit the stage
+    /// assigns nothing (one wasted action), instead of depending on scan
+    /// order.
+    #[test]
+    fn apply_action_rejects_class_that_cannot_fit() {
+        let cl = ClusterSpec {
+            classes: vec![
+                decima_core::ExecutorClass {
+                    memory: 0.25,
+                    count: 1,
+                },
+                decima_core::ExecutorClass {
+                    memory: 1.0,
+                    count: 1,
+                },
+            ],
+            move_delay: 0.0,
+        };
+        let mut b = JobBuilder::new(JobId(0));
+        b.stage(StageSpec {
+            num_tasks: 1,
+            task_duration: 1.0,
+            first_wave_factor: 1.0,
+            mem_demand: 0.5,
+        });
+        let job = b.build().unwrap();
+
+        /// First pins the small (unfittable) class, then passes.
+        struct PinSmall(bool);
+        impl Scheduler for PinSmall {
+            fn decide(&mut self, obs: &Observation) -> Option<Action> {
+                if self.0 {
+                    return None;
+                }
+                self.0 = true;
+                let &(j, stage) = obs.schedulable.first()?;
+                Some(Action::new(obs.jobs[j].id, stage, obs.total_executors).with_class(ClassId(0)))
+            }
+        }
+        let r = Simulator::new(
+            cl,
+            vec![job],
+            SimConfig {
+                time_limit: Some(10.0),
+                ..bare_cfg()
+            },
+        )
+        .run(PinSmall(false));
+        assert_eq!(
+            r.wasted_actions, 1,
+            "the class-0 action must assign nothing"
+        );
+        assert_eq!(r.completed(), 0, "the scheduler then passed forever");
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod result;
 pub mod sched;
 
 pub use config::{Objective, SimConfig};
-pub use engine::Simulator;
+pub use engine::{obs_equal, Simulator};
 pub use result::{ActionRecord, EpisodeResult, JobOutcome};
 pub use sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};

@@ -1,6 +1,11 @@
-//! Property-based tests of the simulation engine's invariants.
+//! Property-based tests of the simulation engine's invariants, over
+//! randomly generated DAGs, clusters (including multi-class), and seeds:
+//! tasks are conserved, no executor is double-booked, the clock is
+//! monotone, work-conserving episodes terminate, and same-seed runs are
+//! bit-identical. The `Invariants` wrapper checks the engine's
+//! incremental counters against first principles at **every** decision.
 
-use decima_core::{ClusterSpec, JobBuilder, JobId, SimTime, StageSpec};
+use decima_core::{ClusterSpec, ExecutorClass, JobBuilder, JobId, SimTime, StageSpec};
 use decima_sim::{Action, Observation, Scheduler, SimConfig, Simulator};
 use proptest::prelude::*;
 
@@ -15,6 +20,101 @@ impl Scheduler for Spread {
             .iter()
             .min_by_key(|&&(j, _)| obs.jobs[j].alloc)?;
         Some(Action::new(obs.jobs[j].id, s, obs.jobs[j].alloc + 1))
+    }
+}
+
+/// Wraps a scheduler and asserts the engine's per-decision invariants on
+/// every observation it is handed.
+struct Invariants<S> {
+    inner: S,
+    last_time: f64,
+    decisions: usize,
+}
+
+impl<S> Invariants<S> {
+    fn new(inner: S) -> Self {
+        Invariants {
+            inner,
+            last_time: 0.0,
+            decisions: 0,
+        }
+    }
+
+    fn check(&mut self, obs: &Observation) {
+        // The clock never goes backwards across decisions.
+        assert!(
+            obs.time.as_secs() >= self.last_time,
+            "clock regressed: {} -> {}",
+            self.last_time,
+            obs.time.as_secs()
+        );
+        self.last_time = obs.time.as_secs();
+
+        // Executor accounting: free + per-class splits agree, and no
+        // executor is double-booked (free + busy never exceeds the
+        // cluster size; `busy` counts running and in-flight slots).
+        assert_eq!(
+            obs.free_by_class.iter().sum::<usize>(),
+            obs.free_total,
+            "free_by_class does not sum to free_total"
+        );
+        let busy: u32 = obs
+            .jobs
+            .iter()
+            .flat_map(|j| j.nodes.iter())
+            .map(|n| n.executors_on + n.in_flight)
+            .sum();
+        assert!(
+            obs.free_total + busy as usize <= obs.total_executors,
+            "double-booked executors: {} free + {busy} busy > {} total",
+            obs.free_total,
+            obs.total_executors
+        );
+
+        for job in &obs.jobs {
+            // Task conservation per stage: waiting + running + finished
+            // covers exactly the spec'd tasks at all times.
+            for (v, n) in job.nodes.iter().enumerate() {
+                assert_eq!(
+                    n.waiting + n.running + n.finished,
+                    job.spec.stages[v].num_tasks,
+                    "task conservation violated on job {:?} stage {v}",
+                    job.id
+                );
+                assert_eq!(
+                    n.running, n.executors_on,
+                    "one running task per busy executor"
+                );
+            }
+            // The incremental allocation equals its definition.
+            let bound: u32 = job.nodes.iter().map(|n| n.executors_on + n.in_flight).sum();
+            assert_eq!(
+                job.alloc,
+                job.local_free + bound as usize,
+                "alloc mismatch on job {:?}",
+                job.id
+            );
+        }
+
+        // Schedulable entries are actionable by construction.
+        for &(j, stage) in &obs.schedulable {
+            let n = &obs.jobs[j].nodes[stage.index()];
+            assert!(n.runnable && n.waiting > n.in_flight);
+            let fits = (0..obs.num_classes)
+                .any(|c| obs.free_by_class[c] > 0 && obs.class_memory[c] >= n.mem_demand);
+            assert!(fits, "schedulable stage without a fitting free executor");
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for Invariants<S> {
+    fn on_episode_start(&mut self) {
+        self.inner.on_episode_start();
+    }
+    fn decide(&mut self, obs: &Observation) -> Option<Action> {
+        self.check(obs);
+        self.decisions += 1;
+        self.inner.decide(obs)
     }
 }
 
@@ -41,6 +141,51 @@ fn random_jobs(seed: u64, n_jobs: usize) -> Vec<decima_core::JobSpec> {
             b.arrival(SimTime::from_secs(rng.gen_range(0.0..20.0)))
                 .build()
                 .unwrap()
+        })
+        .collect()
+}
+
+/// Random multi-class cluster: 1–3 classes with distinct memory sizes.
+/// The largest class always has memory 1.0 so every generated stage
+/// (demand ≤ 1.0) fits somewhere and work-conserving episodes terminate.
+fn random_cluster(seed: u64, execs: usize) -> ClusterSpec {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xc1a5);
+    let n_classes = rng.gen_range(1..4usize).min(execs);
+    let mut classes = Vec::with_capacity(n_classes);
+    let mut remaining = execs;
+    for ci in 0..n_classes {
+        let count = if ci == n_classes - 1 {
+            remaining
+        } else {
+            let hi = remaining - (n_classes - 1 - ci);
+            rng.gen_range(1..=hi)
+        };
+        remaining -= count;
+        let memory = if ci == n_classes - 1 {
+            1.0
+        } else {
+            rng.gen_range(0.2..0.8)
+        };
+        classes.push(ExecutorClass { memory, count });
+    }
+    ClusterSpec {
+        classes,
+        move_delay: rng.gen_range(0.0..2.0),
+    }
+}
+
+/// Random jobs with per-stage memory demands in `[0, 1]`.
+fn random_memory_jobs(seed: u64, n_jobs: usize) -> Vec<decima_core::JobSpec> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x9e37);
+    random_jobs(seed, n_jobs)
+        .into_iter()
+        .map(|mut j| {
+            for s in &mut j.stages {
+                s.mem_demand = rng.gen_range(0.0..1.0);
+            }
+            j
         })
         .collect()
 }
@@ -107,6 +252,51 @@ proptest! {
             }
         }
         prop_assert!(r.total_penalty() <= limit * 3.0 + 1e-6);
+    }
+
+    /// The full per-decision invariant battery on random multi-class
+    /// clusters with per-stage memory demands, with the engine's own
+    /// incremental-vs-rebuilt observation validation enabled: tasks
+    /// conserved, no double-booking, monotone clock, alloc consistency,
+    /// schedulable-set soundness — and the work-conserving episode
+    /// terminates with every job complete.
+    #[test]
+    fn invariants_hold_on_multiclass_clusters(seed in 0u64..3000, n_jobs in 1usize..5,
+                                              execs in 2usize..8, noise in 0.0f64..0.3) {
+        let jobs = random_memory_jobs(seed, n_jobs);
+        let cluster = random_cluster(seed, execs);
+        let cfg = SimConfig {
+            noise,
+            seed,
+            validate_observations: true,
+            ..SimConfig::default()
+        };
+        let mut sched = Invariants::new(Spread);
+        let r = Simulator::new(cluster, jobs, cfg).run(&mut sched);
+        prop_assert_eq!(r.completed(), n_jobs, "work-conserving episode must finish");
+        prop_assert!(sched.decisions > 0, "episode took no decisions");
+    }
+
+    /// Same-seed runs are bit-identical on multi-class clusters too.
+    #[test]
+    fn multiclass_bitwise_determinism(seed in 0u64..1000) {
+        let mk = || {
+            let cfg = SimConfig {
+                noise: 0.15,
+                failure_rate: 0.03,
+                seed,
+                ..SimConfig::default()
+            };
+            Simulator::new(
+                random_cluster(seed, 5),
+                random_memory_jobs(seed, 3),
+                cfg,
+            ).run(Spread)
+        };
+        let (a, b) = (mk(), mk());
+        prop_assert_eq!(a.avg_jct(), b.avg_jct());
+        prop_assert_eq!(a.num_events, b.num_events);
+        prop_assert_eq!(a.total_penalty(), b.total_penalty());
     }
 
     /// Determinism: identical configuration ⇒ identical episode, even
