@@ -13,7 +13,7 @@
 //! the registry, and runs it through the shared runner.
 
 use crate::registry::ScenarioRegistry;
-use crate::runner::{run_scenario, RunOptions, Scenario};
+use crate::runner::{run_scenario, run_training, RunOptions, Scenario, TrainOptions};
 use crate::Args;
 
 /// Flags consumed by the runner itself; everything else is treated as a
@@ -29,6 +29,12 @@ const RESERVED: &[&str] = &[
     "quick",
     "check",
     "bench-out",
+    "train",
+    "recipe",
+    "checkpoint-dir",
+    "checkpoint-every",
+    "resume",
+    "train-log",
 ];
 
 fn usage() {
@@ -40,6 +46,10 @@ fn usage() {
     println!("             [--threads N] [--json]");
     println!("  decima-exp --bench [--quick] [--check <baseline.json>]");
     println!("             [--bench-out <path>]");
+    println!("  decima-exp --train [--recipe standard|stream|tuned] [--iters N]");
+    println!("             [--jobs J] [--execs E] [--iat S] [--seed K]");
+    println!("             [--checkpoint-dir DIR] [--checkpoint-every N]");
+    println!("             [--resume] [--train-log PATH]");
     println!();
     println!("FLAGS:");
     println!("  --list            list registered scenarios and exit");
@@ -52,8 +62,17 @@ fn usage() {
     println!("  --quick           one episode per bench component (CI smoke)");
     println!("  --check PATH      fail if decisions/sec regresses >30% vs PATH");
     println!("  --bench-out PATH  where --bench writes its result (BENCH_sim.json)");
+    println!("  --train           run a standalone checkpointed training run");
+    println!("  --recipe NAME     training recipe: standard | stream | tuned");
+    println!("  --checkpoint-dir DIR   where checkpoint.txt lives (out/checkpoints)");
+    println!("  --checkpoint-every N   checkpoint cadence in iterations (10)");
+    println!("  --resume          continue bit-exactly from DIR/checkpoint.txt");
+    println!("  --train-log PATH  JSONL log path (out/train_<recipe>.jsonl)");
     println!();
-    println!("Results: terminal report, out/<scenario>.csv, out/<scenario>.json");
+    println!("Results: terminal report, out/<scenario>.csv, out/<scenario>.json;");
+    println!("training: DIR/checkpoint.txt + one JSONL record per iteration.");
+    println!("Evaluate a saved model in any scenario lineup with");
+    println!("  --set checkpoint=PATH (train once, reuse everywhere).");
 }
 
 fn list(reg: &ScenarioRegistry) {
@@ -118,6 +137,29 @@ pub fn exp_main() {
     if args.has("bench") {
         let out = args.value("bench-out").unwrap_or("BENCH_sim.json");
         if let Err(e) = crate::perf::bench_main(args.has("quick"), args.value("check"), out) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.has("train") {
+        let defaults = TrainOptions::default();
+        let opts = TrainOptions {
+            recipe: args.value("recipe").unwrap_or("standard").to_string(),
+            iters: args.get("iters", defaults.iters),
+            jobs: args.get("jobs", defaults.jobs),
+            execs: args.get("execs", defaults.execs),
+            iat: args.value("iat").and_then(|v| v.parse().ok()),
+            seed: args.get("seed", defaults.seed),
+            checkpoint_dir: args
+                .value("checkpoint-dir")
+                .map(std::path::PathBuf::from)
+                .unwrap_or(defaults.checkpoint_dir),
+            checkpoint_every: args.get("checkpoint-every", defaults.checkpoint_every),
+            resume: args.has("resume"),
+            log_path: args.value("train-log").map(std::path::PathBuf::from),
+        };
+        if let Err(e) = run_training(&opts) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }

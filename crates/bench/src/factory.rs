@@ -36,6 +36,14 @@ impl TrainedPolicy {
         }
     }
 
+    /// Loads a snapshot from a checkpoint file written by
+    /// [`Trainer::save_checkpoint`] — the trained model as a reusable
+    /// artifact, no retraining involved.
+    pub fn from_checkpoint(path: &str) -> Result<Self, String> {
+        let trainer = Trainer::load_checkpoint(std::path::Path::new(path))?;
+        Ok(TrainedPolicy::of(&trainer))
+    }
+
     /// A fresh greedy evaluation agent over this snapshot.
     pub fn greedy_agent(&self) -> DecimaAgent {
         DecimaAgent::greedy(self.policy.clone(), self.store.clone())
@@ -82,6 +90,9 @@ pub fn scheduler_spec_by_name(name: &str) -> Option<SchedulerSpec> {
         "decima-untrained" => SchedulerSpec::DecimaUntrained {
             policy: PolicySpec::default(),
             sample_seed: None,
+        },
+        "decima-ckpt" => SchedulerSpec::DecimaCheckpoint {
+            path: arg?.to_string(),
         },
         _ => return None,
     })
@@ -174,6 +185,16 @@ pub fn make_scheduler(
             policy,
             sample_seed,
         } => Box::new(untrained_agent(policy, executors, *sample_seed)),
+        SchedulerSpec::DecimaCheckpoint { path } => match trained {
+            // The runner resolves the checkpoint once and shares the
+            // snapshot across seeds; a direct call loads it here.
+            Some(t) => Box::new(t.greedy_agent()),
+            None => Box::new(
+                TrainedPolicy::from_checkpoint(path)
+                    .unwrap_or_else(|e| panic!("cannot load checkpoint '{path}': {e}"))
+                    .greedy_agent(),
+            ),
+        },
     }
 }
 

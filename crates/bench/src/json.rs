@@ -104,6 +104,41 @@ impl Json {
         out
     }
 
+    /// Renders the document on a single line (JSONL records).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -485,6 +520,25 @@ mod tests {
     fn non_finite_serializes_as_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null");
         assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn compact_render_is_one_parseable_line() {
+        let v = Json::obj([
+            ("a", Json::Num(1.5)),
+            ("b", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("c", Json::obj([("nested", Json::str("x"))])),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "{line}");
+        let back = Json::parse(&line).unwrap();
+        assert_eq!(back.get("a").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(
+            back.get("c")
+                .and_then(|c| c.get("nested"))
+                .and_then(Json::as_str),
+            Some("x")
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod scenarios;
 pub use cli::{artifact_main, exp_main};
 pub use factory::{build_trainer, make_scheduler, scheduler_spec_by_name, TrainedPolicy};
 pub use registry::ScenarioRegistry;
-pub use runner::{par_map, run_scenario, RunOptions, Scenario};
+pub use runner::{par_map, run_scenario, run_training, RunOptions, Scenario, TrainOptions};
 
 use decima_core::{ClusterSpec, JobSpec, Summary};
 use decima_nn::ParamStore;

@@ -6,6 +6,14 @@
 //! The thin per-figure binaries and the unified `decima-exp` runner both
 //! fetch scenarios from here, so there is exactly one source of truth
 //! for each experiment's configuration.
+//!
+//! Recipes can reference **saved models**: a `Decima` entry whose
+//! [`TrainSpec::checkpoint`] names a path loads the checkpoint instead
+//! of retraining when the file exists (and saves there after a fresh
+//! training run) — set it on any registered scenario with
+//! `--set checkpoint=PATH`. A lineup can also pin a pre-trained model
+//! directly with [`SchedulerSpec::DecimaCheckpoint`] (factory name
+//! `decima-ckpt:<path>`). See `docs/TRAINING.md`.
 
 use crate::runner::{RunKind, Scenario};
 use crate::scenario::{

@@ -11,7 +11,25 @@ use crate::json::Json;
 use crate::scenario::ScenarioSpec;
 use crate::SchedulerSeries;
 use decima_core::Summary;
+use decima_rl::IterStats;
 use std::path::PathBuf;
+
+/// One training iteration's statistics as a JSON object — the record
+/// type of the per-iteration JSONL training log (non-finite values render
+/// as `null`, keeping the lines valid JSON).
+pub fn iter_stats_json(s: &IterStats) -> Json {
+    Json::obj([
+        ("iter", Json::Num(s.iter as f64)),
+        ("mean_reward", Json::Num(s.mean_reward)),
+        ("mean_avg_jct", Json::Num(s.mean_avg_jct)),
+        ("mean_completed", Json::Num(s.mean_completed)),
+        ("mean_actions", Json::Num(s.mean_actions)),
+        ("mean_entropy", Json::Num(s.mean_entropy)),
+        ("grad_norm", Json::Num(s.grad_norm)),
+        ("tau", s.tau.map_or(Json::Null, Json::Num)),
+        ("beta", Json::Num(s.beta)),
+    ])
+}
 
 /// One scheduler's evaluation series across the seed plan.
 #[derive(Clone, Debug)]

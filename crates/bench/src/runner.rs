@@ -181,11 +181,31 @@ pub fn tune_weighted_fair(env: &SpecEnv, tune_seeds: &[u64], threads: usize) -> 
 /// runs on the entry's own workload override when present (the
 /// generalization experiments), otherwise on the evaluation environment;
 /// the policy is always sized for the evaluation cluster.
+///
+/// When the recipe names a [`crate::scenario::TrainSpec::checkpoint`]
+/// path, an existing checkpoint is loaded instead of training (the model
+/// is a reusable artifact), and a fresh training run saves there.
 pub fn train_decima_entry(
     label: &str,
     train: &crate::scenario::TrainSpec,
     env: &SpecEnv,
 ) -> TrainedPolicy {
+    let apply_hint = |mut snapshot: TrainedPolicy| {
+        if let Some(hint) = train.eval_iat_hint {
+            // Hinted policies observe the *test* IAT at evaluation time.
+            snapshot.policy.cfg.feat.iat_hint = Some(hint);
+        }
+        snapshot
+    };
+    if let Some(ckpt) = &train.checkpoint {
+        if std::path::Path::new(ckpt).exists() {
+            println!("Loading {label} from checkpoint {ckpt} (no training)...");
+            let snapshot = TrainedPolicy::from_checkpoint(ckpt)
+                .unwrap_or_else(|e| panic!("cannot load checkpoint '{ckpt}': {e}"));
+            check_snapshot_compat(&snapshot, env.workload.executors, ckpt);
+            return apply_hint(snapshot);
+        }
+    }
     println!("Training {label} ({} iterations)...", train.iters);
     let mut trainer = build_trainer(train, env.workload.executors);
     let train_env = match &train.workload {
@@ -196,11 +216,28 @@ pub fn train_decima_entry(
         None => env.clone(),
     };
     train_with_progress(&mut trainer, &train_env, train.iters);
-    if let Some(hint) = train.eval_iat_hint {
-        // Hinted policies observe the *test* IAT at evaluation time.
-        trainer.policy.cfg.feat.iat_hint = Some(hint);
+    if let Some(ckpt) = &train.checkpoint {
+        match trainer.save_checkpoint(std::path::Path::new(ckpt)) {
+            Ok(()) => println!("[checkpoint] {ckpt}"),
+            Err(e) => eprintln!("warning: could not save checkpoint '{ckpt}': {e}"),
+        }
     }
-    TrainedPolicy::of(&trainer)
+    apply_hint(TrainedPolicy::of(&trainer))
+}
+
+/// A saved model is only valid on the cluster size it was trained for:
+/// the limit head enumerates parallelism values against
+/// `cfg.total_executors`, so evaluating a 15-executor policy on a
+/// 30-executor cluster would silently misreport "trained Decima".
+/// Loudly refuse instead of publishing wrong numbers.
+fn check_snapshot_compat(snapshot: &TrainedPolicy, executors: usize, ckpt: &str) {
+    let trained_for = snapshot.policy.cfg.total_executors;
+    assert!(
+        trained_for == executors,
+        "checkpoint '{ckpt}' was trained for {trained_for} executors but the evaluation \
+         cluster has {executors}; retrain (delete the file or point --set checkpoint= \
+         elsewhere) or evaluate at the matching cluster size"
+    );
 }
 
 /// The generic declarative path: resolve tuning, train Decima entries,
@@ -238,6 +275,21 @@ pub fn run_comparison(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport 
             }
             SchedulerSpec::Decima { train } => {
                 let snapshot = train_decima_entry(&entry.label, train, &env);
+                eval_series(
+                    &entry.label,
+                    &entry.csv_name(),
+                    &entry.sched,
+                    &env,
+                    &seeds,
+                    Some(&snapshot),
+                    opts.threads,
+                )
+            }
+            SchedulerSpec::DecimaCheckpoint { path } => {
+                println!("Loading {} from checkpoint {path}...", entry.label);
+                let snapshot = TrainedPolicy::from_checkpoint(path)
+                    .unwrap_or_else(|e| panic!("cannot load checkpoint '{path}': {e}"));
+                check_snapshot_compat(&snapshot, env.workload.executors, path);
                 eval_series(
                     &entry.label,
                     &entry.csv_name(),
@@ -355,6 +407,202 @@ fn print_and_write(spec: &ScenarioSpec, report: &mut ScenarioReport) {
         }
     };
     report.push_csv(path);
+}
+
+// ---------------------------------------------------------------------------
+// Standalone training runs (`decima-exp --train`)
+// ---------------------------------------------------------------------------
+
+/// Options of a standalone checkpointed training run.
+#[derive(Clone, Debug)]
+pub struct TrainOptions {
+    /// Recipe name: `standard`, `stream`, or `tuned`.
+    pub recipe: String,
+    /// Target total iterations (a resumed run continues up to this).
+    pub iters: usize,
+    /// Jobs per training episode.
+    pub jobs: usize,
+    /// Cluster executors.
+    pub execs: usize,
+    /// Poisson mean interarrival time; batched arrivals when `None`
+    /// (stream/tuned recipes default to 25 s).
+    pub iat: Option<f64>,
+    /// Master seed (policy init + rollouts).
+    pub seed: u64,
+    /// Directory holding `checkpoint.txt`.
+    pub checkpoint_dir: std::path::PathBuf,
+    /// Save the checkpoint every N iterations (and always at the end).
+    pub checkpoint_every: usize,
+    /// Resume from the directory's checkpoint instead of starting fresh.
+    pub resume: bool,
+    /// JSONL log path (default `out/train_<recipe>.jsonl`).
+    pub log_path: Option<std::path::PathBuf>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            recipe: "standard".into(),
+            iters: 50,
+            jobs: 10,
+            execs: 15,
+            iat: None,
+            seed: 11,
+            checkpoint_dir: std::path::PathBuf::from("out/checkpoints"),
+            checkpoint_every: 10,
+            resume: false,
+            log_path: None,
+        }
+    }
+}
+
+impl TrainOptions {
+    /// The checkpoint file this run reads/writes.
+    pub fn checkpoint_path(&self) -> std::path::PathBuf {
+        self.checkpoint_dir.join("checkpoint.txt")
+    }
+
+    /// The JSONL training-log path.
+    pub fn log_file(&self) -> std::path::PathBuf {
+        self.log_path
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from(format!("out/train_{}.jsonl", self.recipe)))
+    }
+
+    /// The training recipe (hyperparameters) this run uses.
+    pub fn train_spec(&self) -> Result<crate::scenario::TrainSpec, String> {
+        use crate::scenario::TrainSpec;
+        Ok(match self.recipe.as_str() {
+            "standard" => TrainSpec::standard(self.iters, self.seed),
+            "stream" => TrainSpec::stream(self.iters, self.seed),
+            "tuned" => TrainSpec::tuned(self.iters, self.seed),
+            other => {
+                return Err(format!(
+                    "unknown recipe '{other}' (expected standard, stream, or tuned)"
+                ))
+            }
+        })
+    }
+
+    /// The training workload this run rolls out on.
+    pub fn workload(&self) -> decima_workload::WorkloadSpec {
+        use decima_workload::WorkloadSpec;
+        let continuous = self.recipe != "standard";
+        match (self.iat, continuous) {
+            (Some(iat), _) => WorkloadSpec::tpch_stream(self.jobs, self.execs, iat),
+            (None, true) => WorkloadSpec::tpch_stream(self.jobs, self.execs, 25.0),
+            (None, false) => WorkloadSpec::tpch_batch(self.jobs, self.execs),
+        }
+    }
+}
+
+/// Runs (or resumes) a standalone training run: builds the trainer from
+/// the recipe — or restores it bit-exactly from the checkpoint — then
+/// trains to the target iteration count, streaming one JSONL record per
+/// iteration to the log and checkpointing every
+/// [`TrainOptions::checkpoint_every`] iterations. Returns the trained
+/// snapshot.
+pub fn run_training(opts: &TrainOptions) -> Result<TrainedPolicy, String> {
+    use std::io::Write as _;
+
+    let ckpt_path = opts.checkpoint_path();
+    let mut trainer = if opts.resume {
+        let t = decima_rl::Trainer::load_checkpoint(&ckpt_path)?;
+        println!(
+            "Resumed from {} at iteration {} ({} logged)",
+            ckpt_path.display(),
+            t.iter,
+            t.history.len()
+        );
+        t
+    } else {
+        build_trainer(&opts.train_spec()?, opts.execs)
+    };
+    let log_path = opts.log_file();
+    // Fresh runs truncate the log; resumed runs append, so the file ends
+    // up with one line per iteration of the *whole* run. An interruption
+    // between checkpoints can leave logged iterations the checkpoint
+    // never saw — those are not in the saved model (and re-run below if
+    // the target asks), so drop their stale records first to keep the
+    // one-line-per-iteration contract. This must happen even when the
+    // target is already reached, or a rolled-back checkpoint would leave
+    // the log permanently over-claiming.
+    if opts.resume {
+        if let Ok(text) = std::fs::read_to_string(&log_path) {
+            let kept: Vec<&str> = text
+                .lines()
+                .filter(|l| {
+                    crate::json::Json::parse(l)
+                        .ok()
+                        .and_then(|v| v.get("iter").and_then(crate::json::Json::as_u64))
+                        .is_some_and(|i| (i as usize) < trainer.iter)
+                })
+                .collect();
+            if kept.len() != text.lines().count() {
+                let body = if kept.is_empty() {
+                    String::new()
+                } else {
+                    kept.join("\n") + "\n"
+                };
+                std::fs::write(&log_path, body)
+                    .map_err(|e| format!("cannot rewrite {}: {e}", log_path.display()))?;
+            }
+        }
+    }
+    if trainer.iter >= opts.iters {
+        println!(
+            "Checkpoint already at iteration {} (target {}); nothing to do",
+            trainer.iter, opts.iters
+        );
+        return Ok(TrainedPolicy::of(&trainer));
+    }
+
+    let env = SpecEnv::new(opts.workload());
+    if let Some(dir) = log_path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(opts.resume)
+        .truncate(!opts.resume)
+        .write(true)
+        .open(&log_path)
+        .map_err(|e| format!("cannot open {}: {e}", log_path.display()))?;
+
+    println!(
+        "Training recipe '{}' on {} (target {} iterations, checkpoints in {})",
+        opts.recipe,
+        crate::scenario::workload_json(&env.workload).render_compact(),
+        opts.iters,
+        opts.checkpoint_dir.display()
+    );
+    while trainer.iter < opts.iters {
+        let s = trainer.train_iteration(&env);
+        let line = crate::report::iter_stats_json(&s).render_compact();
+        writeln!(log, "{line}").map_err(|e| format!("cannot write training log: {e}"))?;
+        if (s.iter + 1) % 10 == 0 || s.iter == 0 {
+            println!(
+                "  [train] iter {:>4}  reward {:>9.3}  jct {:>8.1}  entropy {:.2}",
+                s.iter + 1,
+                s.mean_reward,
+                s.mean_avg_jct,
+                s.mean_entropy
+            );
+        }
+        let done = trainer.iter >= opts.iters;
+        if done || trainer.iter % opts.checkpoint_every.max(1) == 0 {
+            trainer.save_checkpoint(&ckpt_path)?;
+        }
+    }
+    log.flush().map_err(|e| format!("training log: {e}"))?;
+    println!(
+        "[checkpoint] {}  (iteration {})",
+        ckpt_path.display(),
+        trainer.iter
+    );
+    println!("[jsonl] {}", log_path.display());
+    Ok(TrainedPolicy::of(&trainer))
 }
 
 #[cfg(test)]

@@ -220,6 +220,11 @@ pub struct TrainSpec {
     /// Override the policy's IAT-hint feature at evaluation time
     /// (Table 2's hinted rows observe the *test* IAT).
     pub eval_iat_hint: Option<f64>,
+    /// Persist/reuse the trained model at this checkpoint path: when the
+    /// file exists the runner loads it instead of training, otherwise it
+    /// trains and saves there — so one training run serves many
+    /// scenarios (`--set checkpoint=PATH`).
+    pub checkpoint: Option<String>,
 }
 
 impl TrainSpec {
@@ -241,6 +246,7 @@ impl TrainSpec {
             policy: PolicySpec::default(),
             workload: None,
             eval_iat_hint: None,
+            checkpoint: None,
         }
     }
 
@@ -272,7 +278,15 @@ impl TrainSpec {
             policy: PolicySpec::default(),
             workload: None,
             eval_iat_hint: None,
+            checkpoint: None,
         }
+    }
+
+    /// Persist/reuse the trained model at `path` (see
+    /// [`TrainSpec::checkpoint`]).
+    pub fn with_checkpoint(mut self, path: impl Into<String>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
     }
 }
 
@@ -321,6 +335,12 @@ pub enum SchedulerSpec {
         /// Sample actions with this seed instead of greedy argmax.
         sample_seed: Option<u64>,
     },
+    /// Decima loaded from a saved training checkpoint (no training at
+    /// run time; the model is a persistent, reusable artifact).
+    DecimaCheckpoint {
+        /// Path to a checkpoint written by the trainer.
+        path: String,
+    },
 }
 
 impl SchedulerSpec {
@@ -339,6 +359,7 @@ impl SchedulerSpec {
             SchedulerSpec::Random { .. } => "random".into(),
             SchedulerSpec::Decima { .. } => "decima".into(),
             SchedulerSpec::DecimaUntrained { .. } => "decima-untrained".into(),
+            SchedulerSpec::DecimaCheckpoint { .. } => "decima".into(),
         }
     }
 }
@@ -359,6 +380,19 @@ impl LineupEntry {
     /// non-alphanumeric runs collapsed to `_`.
     pub fn csv_name(&self) -> String {
         self.csv.clone().unwrap_or_else(|| sanitize(&self.label))
+    }
+}
+
+/// Derives a per-lineup-entry checkpoint path from a shared base path:
+/// the entry key is inserted before the file extension (`out/m.ckpt` +
+/// `decima_no_dur` → `out/m.decima_no_dur.ckpt`), or appended when the
+/// path has none.
+fn per_entry_checkpoint(path: &str, entry: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.{entry}.{ext}")
+        }
+        _ => format!("{path}.{entry}"),
     }
 }
 
@@ -506,6 +540,29 @@ impl ScenarioSpec {
                     }
                 }
                 self.upsert_param(key, ParamValue::Num(iters as f64));
+            }
+            // Persist/reuse every trained-Decima entry's model (first run
+            // trains and saves; later runs load and skip training). With
+            // several Decima entries in the lineup — ablations, different
+            // training workloads — each gets its own file derived from
+            // PATH and the entry name, so entries never silently share
+            // one model.
+            "checkpoint" => {
+                let decima_entries = self
+                    .lineup
+                    .iter()
+                    .filter(|e| matches!(e.sched, SchedulerSpec::Decima { .. }))
+                    .count();
+                for i in 0..self.lineup.len() {
+                    let entry_key = self.lineup[i].csv_name();
+                    if let SchedulerSpec::Decima { train } = &mut self.lineup[i].sched {
+                        train.checkpoint = Some(if decima_entries > 1 {
+                            per_entry_checkpoint(value, &entry_key)
+                        } else {
+                            value.to_string()
+                        });
+                    }
+                }
             }
             _ => self.upsert_param(key, ParamValue::parse(value)),
         }
@@ -930,6 +987,10 @@ fn train_json(t: &TrainSpec) -> Json {
             "eval_iat_hint",
             t.eval_iat_hint.map_or(Json::Null, Json::Num),
         ),
+        (
+            "checkpoint",
+            t.checkpoint.as_ref().map_or(Json::Null, Json::str),
+        ),
     ])
 }
 
@@ -960,6 +1021,10 @@ fn train_from_json(v: &Json) -> Result<TrainSpec, String> {
         policy: policy_from_json(v.get("policy").ok_or("missing 'policy'")?)?,
         workload,
         eval_iat_hint: opt_f64(v, "eval_iat_hint"),
+        checkpoint: v
+            .get("checkpoint")
+            .and_then(Json::as_str)
+            .map(str::to_string),
     })
 }
 
@@ -1001,6 +1066,10 @@ fn sched_json(s: &SchedulerSpec) -> Json {
                 sample_seed.map_or(Json::Null, |s| Json::Num(s as f64)),
             ),
         ]),
+        SchedulerSpec::DecimaCheckpoint { path } => Json::obj([
+            ("type", Json::str("decima-checkpoint")),
+            ("path", Json::str(path)),
+        ]),
     }
 }
 
@@ -1028,6 +1097,9 @@ fn sched_from_json(v: &Json) -> Result<SchedulerSpec, String> {
         "decima-untrained" => SchedulerSpec::DecimaUntrained {
             policy: policy_from_json(v.get("policy").ok_or("missing 'policy'")?)?,
             sample_seed: v.get("sample_seed").and_then(Json::as_u64),
+        },
+        "decima-checkpoint" => SchedulerSpec::DecimaCheckpoint {
+            path: req_str(v, "path")?,
         },
         other => return Err(format!("unknown scheduler '{other}'")),
     })
@@ -1260,6 +1332,80 @@ mod tests {
         assert_eq!(spec.num_param("custom-knob", 0.0), 2.5);
         assert!(spec.flag_param("flaggy", false));
         assert!(spec.set("execs", "abc").is_err());
+    }
+
+    #[test]
+    fn checkpoint_fields_round_trip_and_override() {
+        let mut spec = ScenarioBuilder::new("ck", "Checkpointed lineup")
+            .workload(WorkloadSpec::tpch_batch(4, 6))
+            .decima(TrainSpec::standard(5, 11).with_checkpoint("out/m.ckpt"))
+            .entry(
+                "saved",
+                SchedulerSpec::DecimaCheckpoint {
+                    path: "out/other.ckpt".into(),
+                },
+            )
+            .build();
+        let text = spec.to_json().render();
+        let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        spec.set("checkpoint", "/tmp/new.ckpt").unwrap();
+        match &spec.lineup[0].sched {
+            SchedulerSpec::Decima { train } => {
+                assert_eq!(train.checkpoint.as_deref(), Some("/tmp/new.ckpt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Pre-resolved checkpoint entries are untouched by the override.
+        match &spec.lineup[1].sched {
+            SchedulerSpec::DecimaCheckpoint { path } => assert_eq!(path, "out/other.ckpt"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// With several Decima entries (ablations, different training
+    /// workloads), `--set checkpoint=` must give each its own file —
+    /// sharing one path would silently evaluate one model everywhere.
+    #[test]
+    fn checkpoint_override_disambiguates_multiple_decima_entries() {
+        let mut spec = ScenarioBuilder::new("multi", "Two trained entries")
+            .workload(WorkloadSpec::tpch_batch(4, 6))
+            .entry(
+                "decima",
+                SchedulerSpec::Decima {
+                    train: TrainSpec::standard(5, 11),
+                },
+            )
+            .entry(
+                "decima (no durations)",
+                SchedulerSpec::Decima {
+                    train: TrainSpec::standard(5, 12),
+                },
+            )
+            .build();
+        spec.set("checkpoint", "out/m.ckpt").unwrap();
+        let paths: Vec<String> = spec
+            .lineup
+            .iter()
+            .map(|e| match &e.sched {
+                SchedulerSpec::Decima { train } => train.checkpoint.clone().unwrap(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(paths[0], "out/m.decima.ckpt");
+        assert_eq!(paths[1], "out/m.decima_no_durations.ckpt");
+        assert_ne!(paths[0], paths[1]);
+        // Extension-less base paths still disambiguate.
+        spec.set("checkpoint", "out/checkpoints/model").unwrap();
+        match &spec.lineup[0].sched {
+            SchedulerSpec::Decima { train } => {
+                assert_eq!(
+                    train.checkpoint.as_deref(),
+                    Some("out/checkpoints/model.decima")
+                );
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

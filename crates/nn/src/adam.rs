@@ -50,6 +50,119 @@ impl Adam {
         self.t
     }
 
+    /// Serializes the full optimizer state — hyperparameters, step
+    /// count, and both moment buffers — as text (checkpointing). Rust's
+    /// shortest-round-trip float formatting keeps the state bit-exact.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "hyper {} {} {} {} {} {}\n",
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.clip_norm.map_or("none".to_string(), |c| c.to_string()),
+            self.t
+        ));
+        for (tag, moments) in [("m", &self.m), ("v", &self.v)] {
+            for (i, t) in moments.iter().enumerate() {
+                out.push_str(&format!("{tag} {i} {} {}", t.rows(), t.cols()));
+                for x in t.data() {
+                    out.push_str(&format!(" {x}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Restores state written by [`Adam::to_text`]. The optimizer must
+    /// already be shaped like the store it was saved from (construct
+    /// with [`Adam::new`] first); shape or index mismatches are errors,
+    /// and so is an **incomplete** document (missing hyperparameters or
+    /// moment tensors) — a load that returns `Ok` fully determines the
+    /// optimizer state.
+    pub fn load_text(&mut self, text: &str) -> Result<(), String> {
+        let mut seen_hyper = false;
+        let mut seen_m = vec![false; self.m.len()];
+        let mut seen_v = vec![false; self.v.len()];
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let tag = it.next().ok_or("empty line")?;
+            match tag {
+                "hyper" => {
+                    let mut num = |what: &str| -> Result<f64, String> {
+                        it.next()
+                            .ok_or_else(|| format!("missing {what}"))?
+                            .parse()
+                            .map_err(|e| format!("bad {what}: {e}"))
+                    };
+                    self.lr = num("lr")?;
+                    self.beta1 = num("beta1")?;
+                    self.beta2 = num("beta2")?;
+                    self.eps = num("eps")?;
+                    self.clip_norm = match it.next().ok_or("missing clip")? {
+                        "none" => None,
+                        c => Some(c.parse().map_err(|e| format!("bad clip: {e}"))?),
+                    };
+                    self.t = it
+                        .next()
+                        .ok_or("missing step count")?
+                        .parse()
+                        .map_err(|e| format!("bad step count: {e}"))?;
+                    seen_hyper = true;
+                }
+                "m" | "v" => {
+                    let idx: usize = it
+                        .next()
+                        .ok_or("missing moment index")?
+                        .parse()
+                        .map_err(|e| format!("bad moment index: {e}"))?;
+                    let rows: usize = it
+                        .next()
+                        .ok_or("missing rows")?
+                        .parse()
+                        .map_err(|e| format!("bad rows: {e}"))?;
+                    let cols: usize = it
+                        .next()
+                        .ok_or("missing cols")?
+                        .parse()
+                        .map_err(|e| format!("bad cols: {e}"))?;
+                    let data: Result<Vec<f64>, _> = it.map(str::parse).collect();
+                    let data = data.map_err(|e| format!("bad moment value: {e}"))?;
+                    if data.len() != rows * cols {
+                        return Err(format!("{tag} {idx}: expected {} values", rows * cols));
+                    }
+                    let buf = if tag == "m" { &mut self.m } else { &mut self.v };
+                    let slot = buf
+                        .get_mut(idx)
+                        .ok_or_else(|| format!("moment index {idx} out of range"))?;
+                    if slot.shape() != (rows, cols) {
+                        return Err(format!("{tag} {idx}: shape mismatch"));
+                    }
+                    *slot = Tensor::from_vec(rows, cols, data);
+                    let seen = if tag == "m" { &mut seen_m } else { &mut seen_v };
+                    seen[idx] = true;
+                }
+                other => return Err(format!("unknown record '{other}'")),
+            }
+        }
+        if !seen_hyper {
+            return Err("incomplete optimizer state: no 'hyper' record".to_string());
+        }
+        for (tag, seen) in [("m", &seen_m), ("v", &seen_v)] {
+            if let Some(idx) = seen.iter().position(|s| !s) {
+                return Err(format!(
+                    "incomplete optimizer state: moment '{tag} {idx}' missing"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Applies one update from the store's accumulated gradients (gradient
     /// *descent*: parameters move against the gradient), then zeroes them.
     pub fn step(&mut self, store: &mut ParamStore) {
@@ -126,6 +239,63 @@ mod tests {
         let wv = store.value(w);
         assert!((wv.get(0, 0) - 1.0).abs() < 1e-2);
         assert!((wv.get(1, 0) + 2.0).abs() < 1e-2);
+    }
+
+    /// Saving mid-optimization and restoring into a fresh optimizer must
+    /// continue the parameter trajectory bit-exactly.
+    #[test]
+    fn state_round_trip_resumes_bit_exactly() {
+        let run = |split: Option<usize>| -> f64 {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::filled(1, 1, 0.0));
+            let mut opt = Adam::new(&store, 0.1);
+            for i in 0..40 {
+                if split == Some(i) {
+                    let text = opt.to_text();
+                    opt = Adam::new(&store, 999.0); // wrong lr, overwritten by load
+                    opt.load_text(&text).unwrap();
+                }
+                let mut tape = Tape::new();
+                let p = tape.param(&store, w);
+                let t = tape.add_scalar(p, -3.0);
+                let sq = tape.mul(t, t);
+                let loss = tape.sum_all(sq);
+                tape.backward(loss, 1.0, &mut store);
+                opt.step(&mut store);
+            }
+            store.value(w).scalar()
+        };
+        let uninterrupted = run(None);
+        let resumed = run(Some(17));
+        assert_eq!(uninterrupted.to_bits(), resumed.to_bits());
+    }
+
+    #[test]
+    fn load_rejects_malformed_state() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(2, 2));
+        let mut opt = Adam::new(&store, 0.1);
+        assert!(opt.load_text("m 0 2 2 1 2 3").is_err()); // truncated
+        assert!(opt.load_text("m 7 1 1 0").is_err()); // index out of range
+        assert!(opt.load_text("m 0 3 3 1 2 3 4 5 6 7 8 9").is_err()); // shape
+        assert!(opt.load_text("q 0 1 1 0").is_err()); // unknown record
+        assert!(opt.load_text("hyper 0.1 0.9").is_err()); // truncated hyper
+                                                          // Well-formed but incomplete documents are rejected too: a
+                                                          // valid moment line without the hyper record and sibling
+                                                          // moments must not load.
+        let err = opt
+            .load_text("m 0 2 2 1 2 3 4\nv 0 2 2 1 2 3 4")
+            .unwrap_err();
+        assert!(err.contains("hyper"), "{err}");
+        let full = opt.to_text();
+        let no_v = full
+            .lines()
+            .filter(|l| !l.starts_with('v'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = opt.load_text(&no_v).unwrap_err();
+        assert!(err.contains("v 0"), "{err}");
+        assert!(opt.load_text(&full).is_ok());
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod tensor;
 
 pub use adam::Adam;
 pub use mlp::{Activation, Mlp};
-pub use store::ParamStore;
+pub use store::{ParamStore, PARAM_FORMAT_HEADER, PARAM_FORMAT_VERSION};
 pub use tape::{Tape, TensorId};
 pub use tensor::Tensor;

@@ -3,6 +3,13 @@
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Magic prefix of the [`ParamStore::to_text`] header line.
+pub const PARAM_FORMAT_HEADER: &str = "decima-params";
+
+/// Version written by [`ParamStore::to_text`] (and the only one
+/// [`ParamStore::load_text`] accepts). Bump on any layout change.
+pub const PARAM_FORMAT_VERSION: u32 = 1;
+
 /// A named collection of trainable tensors and their gradient buffers.
 ///
 /// The tape copies parameter values in at `Tape::param` and accumulates
@@ -127,9 +134,10 @@ impl ParamStore {
     }
 
     /// Serializes all parameter values into a simple self-describing text
-    /// format (`name rows cols v0 v1 …` per line).
+    /// format: a `decima-params v1` header line followed by one
+    /// `name rows cols v0 v1 …` line per tensor.
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
+        let mut out = format!("{PARAM_FORMAT_HEADER} v{PARAM_FORMAT_VERSION}\n");
         for (i, v) in self.values.iter().enumerate() {
             out.push_str(&format!("{} {} {}", self.names[i], v.rows(), v.cols()));
             for x in v.data() {
@@ -141,9 +149,34 @@ impl ParamStore {
     }
 
     /// Restores parameter values from [`ParamStore::to_text`] output.
-    /// Parameters are matched by name; shape mismatches are errors.
+    /// Parameters are matched by name; shape mismatches, unknown names,
+    /// and **missing parameters** are errors — a document that loads
+    /// `Ok` fully determines every registered tensor (no silent stale
+    /// values from a truncated file). A `decima-params vN` header is
+    /// validated when present (headerless input is accepted as the
+    /// legacy v1 format); an unknown version is an error, so future
+    /// checkpoint migrations are detectable.
     pub fn load_text(&mut self, text: &str) -> Result<(), String> {
-        for line in text.lines() {
+        let mut seen = vec![false; self.values.len()];
+        for (lineno, line) in text.lines().enumerate() {
+            if lineno == 0 && line.starts_with(PARAM_FORMAT_HEADER) {
+                let ver = line
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.strip_prefix('v'))
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .ok_or_else(|| format!("malformed format header '{line}'"))?;
+                if ver != PARAM_FORMAT_VERSION {
+                    return Err(format!(
+                        "unsupported parameter format version v{ver} \
+                         (this build reads v{PARAM_FORMAT_VERSION})"
+                    ));
+                }
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
             let mut it = line.split_whitespace();
             let name = it.next().ok_or("missing name")?;
             let rows: usize = it
@@ -170,6 +203,21 @@ impl ParamStore {
                 return Err(format!("{name}: shape mismatch"));
             }
             self.values[idx] = Tensor::from_vec(rows, cols, data);
+            seen[idx] = true;
+        }
+        let missing: Vec<&str> = seen
+            .iter()
+            .zip(&self.names)
+            .filter(|(s, _)| !**s)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "incomplete parameter document: {} of {} tensors missing (first: {})",
+                missing.len(),
+                self.values.len(),
+                missing[0]
+            ));
         }
         Ok(())
     }
@@ -234,5 +282,95 @@ mod tests {
         assert!(s.load_text("w 1 3 1 2 3").is_err()); // wrong shape
         assert!(s.load_text("x 1 2 1 2").is_err()); // unknown name
         assert!(s.load_text("w 1 2 1").is_err()); // missing values
+    }
+
+    #[test]
+    fn text_emits_and_validates_version_header() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::from_vec(1, 1, vec![2.0]));
+        let text = s.to_text();
+        assert!(
+            text.starts_with("decima-params v1\n"),
+            "missing header: {text:?}"
+        );
+        // Round trip with the header.
+        let mut s2 = ParamStore::new();
+        s2.add("w", Tensor::zeros(1, 1));
+        s2.load_text(&text).unwrap();
+        assert_eq!(s2.value(0).scalar(), 2.0);
+        // Headerless legacy input still loads.
+        s2.load_text("w 1 1 3.5").unwrap();
+        assert_eq!(s2.value(0).scalar(), 3.5);
+        // A future version must be rejected, not silently misread.
+        let err = s2.load_text("decima-params v2\nw 1 1 9.0").unwrap_err();
+        assert!(err.contains("v2"), "{err}");
+        assert_eq!(s2.value(0).scalar(), 3.5, "value must be untouched");
+        // A malformed header is rejected too.
+        assert!(s2.load_text("decima-params vX\n").is_err());
+    }
+
+    #[test]
+    fn load_rejects_truncated_and_garbage_input() {
+        let mk = || {
+            let mut s = ParamStore::new();
+            s.add("w", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+            s
+        };
+        let full = mk().to_text();
+        // Truncating the value list mid-tensor must error.
+        let truncated = full.trim_end().rsplit_once(' ').unwrap().0.to_string();
+        assert!(mk().load_text(&truncated).is_err());
+        // Non-numeric dims and values must error.
+        assert!(mk().load_text("w x 2 1 2 3 4").is_err());
+        assert!(mk().load_text("w 2 2 1 2 three 4").is_err());
+        // A bare name with no dims must error.
+        assert!(mk().load_text("w").is_err());
+    }
+
+    #[test]
+    fn load_rejects_incomplete_documents() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::zeros(1, 1));
+        s.add("b", Tensor::zeros(1, 1));
+        // Only one of two tensors present: must error, not leave `b`
+        // silently at its old value.
+        let err = s.load_text("decima-params v1\nw 1 1 2.0").unwrap_err();
+        assert!(err.contains('b'), "{err}");
+        // The full document loads.
+        s.load_text("w 1 1 2.0\nb 1 1 3.0").unwrap();
+        assert_eq!(s.value(1).scalar(), 3.0);
+    }
+
+    #[test]
+    fn round_trip_preserves_exact_bits() {
+        let mut s = ParamStore::new();
+        s.add(
+            "w",
+            Tensor::from_vec(
+                1,
+                5,
+                vec![
+                    std::f64::consts::PI,
+                    -1.0 / 3.0,
+                    1e-300,
+                    -1e300,
+                    5.551115123125783e-17,
+                ],
+            ),
+        );
+        let mut s2 = ParamStore::new();
+        s2.add("w", Tensor::zeros(1, 5));
+        s2.load_text(&s.to_text()).unwrap();
+        for (a, b) in s.value(0).data().iter().zip(s2.value(0).data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} != {b}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::zeros(1, 1));
+        s.load_text("decima-params v1\n\nw 1 1 7.0\n\n").unwrap();
+        assert_eq!(s.value(0).scalar(), 7.0);
     }
 }

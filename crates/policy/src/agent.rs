@@ -10,6 +10,13 @@
 //!   into the agent's parameter store. Replaying a deterministic episode
 //!   is what lets one-pass REINFORCE work without retaining every tape
 //!   (see `decima-rl`).
+//!
+//! A sampler built with [`DecimaAgent::recorder`] additionally clones
+//! every observation it decides on. The gradient pass can then be driven
+//! directly from those stored observations via
+//! [`DecimaAgent::accumulate_from_observations`] — no second simulation
+//! of the episode is needed, which is how the trajectory-based trainer
+//! in `decima-rl` halves its per-iteration simulation work.
 
 use crate::policy::{argmax_logp, sample_from_logp, DecimaPolicy, ParallelismMode};
 use decima_core::{ClassId, StageId};
@@ -22,7 +29,7 @@ use std::time::Instant;
 
 /// The sampled indices of one decision (into the candidate/limit/class
 /// arrays the policy constructed for that step).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ActionChoice {
     /// Row in the node softmax.
     pub node: usize,
@@ -52,8 +59,13 @@ pub struct DecimaAgent {
     pub store: ParamStore,
     mode: Mode,
     rng: SmallRng,
+    /// Clone each observation into `observations` (trajectory recording).
+    record_obs: bool,
     /// Choices recorded during sampling, in decision order.
     pub records: Vec<ActionChoice>,
+    /// Observations recorded in decision order (only when built with
+    /// [`DecimaAgent::recorder`]).
+    pub observations: Vec<Observation>,
     /// Wall-clock seconds spent in each `decide` call (Figure 15b).
     pub decide_secs: Vec<f64>,
     /// Sum of node-softmax entropies observed (nats), for logging.
@@ -64,32 +76,39 @@ pub struct DecimaAgent {
 }
 
 impl DecimaAgent {
-    /// Rollout agent: samples actions with the given seed.
-    pub fn sampler(policy: DecimaPolicy, store: ParamStore, seed: u64) -> Self {
+    fn with_mode(policy: DecimaPolicy, store: ParamStore, mode: Mode, seed: u64) -> Self {
         DecimaAgent {
             policy,
             store,
-            mode: Mode::Sample,
+            mode,
             rng: SmallRng::seed_from_u64(seed),
+            record_obs: false,
             records: Vec::new(),
+            observations: Vec::new(),
             decide_secs: Vec::new(),
             entropy_sum: 0.0,
             cache: decima_gnn::GraphCache::default(),
         }
     }
 
+    /// Rollout agent: samples actions with the given seed.
+    pub fn sampler(policy: DecimaPolicy, store: ParamStore, seed: u64) -> Self {
+        Self::with_mode(policy, store, Mode::Sample, seed)
+    }
+
+    /// Trajectory-recording rollout agent: samples exactly like
+    /// [`DecimaAgent::sampler`] and additionally clones every observation
+    /// it decides on into [`DecimaAgent::observations`], so the gradient
+    /// pass can run from the stored trajectory without re-simulating.
+    pub fn recorder(policy: DecimaPolicy, store: ParamStore, seed: u64) -> Self {
+        let mut agent = Self::with_mode(policy, store, Mode::Sample, seed);
+        agent.record_obs = true;
+        agent
+    }
+
     /// Evaluation agent: deterministic argmax actions.
     pub fn greedy(policy: DecimaPolicy, store: ParamStore) -> Self {
-        DecimaAgent {
-            policy,
-            store,
-            mode: Mode::Greedy,
-            rng: SmallRng::seed_from_u64(0),
-            records: Vec::new(),
-            decide_secs: Vec::new(),
-            entropy_sum: 0.0,
-            cache: decima_gnn::GraphCache::default(),
-        }
+        Self::with_mode(policy, store, Mode::Greedy, 0)
     }
 
     /// Gradient-replay agent: feeds back `choices` while accumulating
@@ -103,21 +122,45 @@ impl DecimaAgent {
         entropy_beta: f64,
     ) -> Self {
         assert_eq!(choices.len(), advantages.len(), "one advantage per step");
-        DecimaAgent {
+        Self::with_mode(
             policy,
             store,
-            mode: Mode::Replay {
+            Mode::Replay {
                 choices,
                 advantages,
                 entropy_beta,
                 step: 0,
             },
-            rng: SmallRng::seed_from_u64(0),
-            records: Vec::new(),
-            decide_secs: Vec::new(),
-            entropy_sum: 0.0,
-            cache: decima_gnn::GraphCache::default(),
+            0,
+        )
+    }
+
+    /// The gradient pass without a simulator: feeds each stored
+    /// observation through the same forward/backward computation as a
+    /// live replay, accumulating `Σ_k advantages[k]·∇(−log π(a_k)) −
+    /// β·∇H` into the returned store's gradient buffers. Because the
+    /// stored observations are exactly what the sampler decided on, the
+    /// result is bit-identical to replaying the episode through the
+    /// simulator — with zero simulation work.
+    pub fn accumulate_from_observations(
+        policy: DecimaPolicy,
+        store: ParamStore,
+        observations: &[Observation],
+        choices: Vec<ActionChoice>,
+        advantages: Vec<f64>,
+        entropy_beta: f64,
+    ) -> ParamStore {
+        assert_eq!(
+            observations.len(),
+            choices.len(),
+            "one observation per choice"
+        );
+        let mut agent = Self::replayer(policy, store, choices, advantages, entropy_beta);
+        agent.on_episode_start();
+        for obs in observations {
+            let _ = agent.decide(obs);
         }
+        agent.store
     }
 
     /// Number of decisions taken so far.
@@ -139,6 +182,9 @@ impl Scheduler for DecimaAgent {
 
     fn decide(&mut self, obs: &Observation) -> Option<Action> {
         let t0 = Instant::now();
+        if self.record_obs {
+            self.observations.push(obs.clone());
+        }
         let mut tape = Tape::new();
         let fwd = self
             .policy
@@ -346,6 +392,73 @@ mod tests {
             replayer.store.grad_norm() > 0.0,
             "replay must accumulate gradients"
         );
+    }
+
+    #[test]
+    fn recorder_matches_sampler_and_stores_observations() {
+        let (policy, store) = make_policy(5, ParallelismMode::JobLevel);
+        let mk_sim = || {
+            Simulator::new(
+                ClusterSpec::homogeneous(5).with_move_delay(0.5),
+                tiny_batch(),
+                SimConfig::default().with_seed(1),
+            )
+        };
+        let mut sampler = DecimaAgent::sampler(policy.clone(), store.clone(), 42);
+        let r1 = mk_sim().run(&mut sampler);
+        let mut recorder = DecimaAgent::recorder(policy, store, 42);
+        let r2 = mk_sim().run(&mut recorder);
+        assert_eq!(r1.avg_jct(), r2.avg_jct(), "recording must not perturb");
+        assert_eq!(sampler.records, recorder.records);
+        assert_eq!(recorder.observations.len(), recorder.records.len());
+        assert!(sampler.observations.is_empty());
+    }
+
+    /// The tentpole invariant: the gradient computed from stored
+    /// observations is bit-identical to the gradient from replaying the
+    /// episode through the simulator.
+    #[test]
+    fn stored_observation_gradient_matches_simulator_replay() {
+        let (policy, store) = make_policy(5, ParallelismMode::JobLevel);
+        let mk_sim = || {
+            Simulator::new(
+                ClusterSpec::homogeneous(5).with_move_delay(0.5),
+                tiny_batch(),
+                SimConfig::default().with_seed(1),
+            )
+        };
+        let mut recorder = DecimaAgent::recorder(policy.clone(), store.clone(), 42);
+        let _ = mk_sim().run(&mut recorder);
+        let advantages: Vec<f64> = (0..recorder.records.len())
+            .map(|k| (k as f64 * 0.37).sin())
+            .collect();
+
+        let mut replayer = DecimaAgent::replayer(
+            policy.clone(),
+            store.clone(),
+            recorder.records.clone(),
+            advantages.clone(),
+            0.03,
+        );
+        let _ = mk_sim().run(&mut replayer);
+
+        let from_obs = DecimaAgent::accumulate_from_observations(
+            policy,
+            store,
+            &recorder.observations,
+            recorder.records.clone(),
+            advantages,
+            0.03,
+        );
+        assert!(from_obs.grad_norm() > 0.0);
+        for i in 0..from_obs.len() {
+            let a = replayer.store.grad(i).data();
+            let b = from_obs.grad(i).data();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "param {i} gradient differs");
+            }
+        }
     }
 
     #[test]

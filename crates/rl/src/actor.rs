@@ -1,0 +1,386 @@
+//! The persistent actor pool (§5.3's worker side of Algorithm 1).
+//!
+//! The paper's training architecture is a master/worker split: a pool of
+//! workers repeatedly rolls out the current policy and ships trajectories
+//! to the learner. This module implements that pool as long-lived
+//! `std::thread` workers fed over channels — replacing the old design
+//! that spawned (and joined) a fresh `thread::scope` of threads twice per
+//! iteration. The same workers also execute the learner's gradient tasks,
+//! so all per-iteration parallelism flows through one pool.
+//!
+//! Determinism: every task carries an index, results are re-sorted by it,
+//! and each task is a pure function of its inputs — so the pool's output
+//! is bit-identical to a sequential execution regardless of scheduling.
+
+use crate::trajectory::Trajectory;
+use decima_core::{ClusterSpec, JobSpec};
+use decima_nn::ParamStore;
+use decima_policy::{ActionChoice, DecimaAgent, DecimaPolicy};
+use decima_sim::{Observation, SimConfig, Simulator};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of work for a pool worker.
+pub(crate) enum Task {
+    /// Roll out one episode with a trajectory-recording sampler.
+    Rollout {
+        /// Slot in the iteration's rollout vector.
+        idx: usize,
+        /// Arrival-sequence seed (recorded into the trajectory).
+        seq_seed: u64,
+        /// Pre-built episode (the coordinator materializes the env).
+        cluster: ClusterSpec,
+        /// Job specs of the episode.
+        jobs: Vec<JobSpec>,
+        /// Simulator configuration (horizon already applied).
+        cfg: SimConfig,
+        /// Policy architecture snapshot.
+        policy: DecimaPolicy,
+        /// Parameter snapshot.
+        store: ParamStore,
+        /// Action-sampling seed.
+        act_seed: u64,
+    },
+    /// Accumulate the REINFORCE gradient from a stored trajectory.
+    Gradient {
+        /// Slot in the iteration's gradient vector.
+        idx: usize,
+        /// Policy architecture snapshot.
+        policy: DecimaPolicy,
+        /// Parameter snapshot (gradients accumulate into its buffers).
+        store: ParamStore,
+        /// Stored per-decision observations.
+        observations: Vec<Observation>,
+        /// Recorded action indices.
+        choices: Vec<ActionChoice>,
+        /// Per-step advantages.
+        advantages: Vec<f64>,
+        /// Entropy-bonus weight.
+        beta: f64,
+    },
+}
+
+/// A completed task, tagged with its slot.
+enum TaskOutput {
+    Rollout(usize, Box<Trajectory>),
+    Gradient(usize, ParamStore),
+    /// A task body panicked; the coordinator re-panics with the payload
+    /// (matching the old `thread::scope` + `join().unwrap()` behavior —
+    /// without this, a dead worker would leave `run` waiting forever).
+    Panicked(String),
+}
+
+fn execute(task: Task) -> TaskOutput {
+    match task {
+        Task::Rollout {
+            idx,
+            seq_seed,
+            cluster,
+            jobs,
+            cfg,
+            policy,
+            store,
+            act_seed,
+        } => {
+            let mut agent = DecimaAgent::recorder(policy, store, act_seed);
+            let result = Simulator::new(cluster, jobs, cfg).run(&mut agent);
+            TaskOutput::Rollout(
+                idx,
+                Box::new(Trajectory {
+                    seq_seed,
+                    observations: agent.observations,
+                    choices: agent.records,
+                    entropy_sum: agent.entropy_sum,
+                    result,
+                }),
+            )
+        }
+        Task::Gradient {
+            idx,
+            policy,
+            store,
+            observations,
+            choices,
+            advantages,
+            beta,
+        } => TaskOutput::Gradient(
+            idx,
+            DecimaAgent::accumulate_from_observations(
+                policy,
+                store,
+                &observations,
+                choices,
+                advantages,
+                beta,
+            ),
+        ),
+    }
+}
+
+/// A pool of persistent worker threads fed over channels.
+///
+/// Workers live as long as the pool; dropping it closes the task channel
+/// and joins every thread.
+pub struct ActorPool {
+    tx: Option<Sender<Task>>,
+    rx: Receiver<TaskOutput>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ActorPool {
+    /// Spawns `workers` persistent threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let (tx, task_rx) = channel::<Task>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let (out_tx, rx) = channel::<TaskOutput>();
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let task_rx = Arc::clone(&task_rx);
+                let out_tx = out_tx.clone();
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while claiming the next task;
+                    // execution happens outside it, so workers run
+                    // concurrently.
+                    let task = match task_rx.lock().unwrap().recv() {
+                        Ok(t) => t,
+                        Err(_) => return, // pool dropped
+                    };
+                    let out =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(task)))
+                            .unwrap_or_else(|payload| {
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                                TaskOutput::Panicked(msg)
+                            });
+                    if out_tx.send(out).is_err() {
+                        return;
+                    }
+                })
+            })
+            .collect();
+        ActorPool {
+            tx: Some(tx),
+            rx,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn run(&self, tasks: Vec<Task>) -> Vec<TaskOutput> {
+        let n = tasks.len();
+        let tx = self.tx.as_ref().expect("pool is live");
+        for t in tasks {
+            tx.send(t).expect("workers alive");
+        }
+        // Drain the FULL batch before re-raising any task panic: if the
+        // caller catches the unwind and reuses the pool, leftover outputs
+        // of this batch must not leak into the next one.
+        let mut out: Vec<TaskOutput> = (0..n)
+            .map(|_| self.rx.recv().expect("worker completed"))
+            .collect();
+        if let Some(TaskOutput::Panicked(msg)) =
+            out.iter().find(|o| matches!(o, TaskOutput::Panicked(_)))
+        {
+            panic!("actor-pool task panicked: {msg}");
+        }
+        out.sort_by_key(|o| match o {
+            TaskOutput::Rollout(i, _) | TaskOutput::Gradient(i, _) => *i,
+            TaskOutput::Panicked(_) => unreachable!("panics re-raised above"),
+        });
+        out
+    }
+
+    /// Executes rollout tasks, returning trajectories in slot order.
+    pub(crate) fn run_rollouts(&self, tasks: Vec<Task>) -> Vec<Trajectory> {
+        self.run(tasks)
+            .into_iter()
+            .map(|o| match o {
+                TaskOutput::Rollout(_, t) => *t,
+                _ => unreachable!("rollout batch"),
+            })
+            .collect()
+    }
+
+    /// Executes gradient tasks, returning grad stores in slot order.
+    pub(crate) fn run_gradients(&self, tasks: Vec<Task>) -> Vec<ParamStore> {
+        self.run(tasks)
+            .into_iter()
+            .map(|o| match o {
+                TaskOutput::Gradient(_, g) => g,
+                _ => unreachable!("gradient batch"),
+            })
+            .collect()
+    }
+}
+
+impl Drop for ActorPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // closes the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decima_policy::PolicyConfig;
+    use decima_workload::tpch_batch;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_episode() -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
+        let jobs: Vec<_> = tpch_batch(2, 3)
+            .into_iter()
+            .map(|mut j| {
+                for s in &mut j.stages {
+                    s.num_tasks = (s.num_tasks / 8).max(1);
+                }
+                j
+            })
+            .collect();
+        (
+            ClusterSpec::homogeneous(5).with_move_delay(0.5),
+            jobs,
+            SimConfig::default().with_seed(1),
+        )
+    }
+
+    fn tiny_policy() -> (DecimaPolicy, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let policy = DecimaPolicy::new(PolicyConfig::small(5), &mut store, &mut rng);
+        (policy, store)
+    }
+
+    #[test]
+    fn pool_results_come_back_in_slot_order_and_pool_is_reusable() {
+        let (policy, store) = tiny_policy();
+        let pool = ActorPool::new(3);
+        assert_eq!(pool.num_workers(), 3);
+        for _round in 0..2 {
+            let tasks: Vec<Task> = (0..5)
+                .map(|idx| {
+                    let (cluster, jobs, cfg) = tiny_episode();
+                    Task::Rollout {
+                        idx,
+                        seq_seed: idx as u64,
+                        cluster,
+                        jobs,
+                        cfg,
+                        policy: policy.clone(),
+                        store: store.clone(),
+                        act_seed: 100 + idx as u64,
+                    }
+                })
+                .collect();
+            let trajs = pool.run_rollouts(tasks);
+            assert_eq!(trajs.len(), 5);
+            for (i, t) in trajs.iter().enumerate() {
+                assert_eq!(t.seq_seed, i as u64, "slot order preserved");
+                assert!(!t.is_empty());
+            }
+        }
+    }
+
+    /// A panicking task must surface on the coordinator (like the old
+    /// `thread::scope` + `join().unwrap()` design), not hang `run`.
+    #[test]
+    #[should_panic(expected = "actor-pool task panicked")]
+    fn worker_panics_propagate_to_the_coordinator() {
+        let (policy, store) = tiny_policy();
+        let pool = ActorPool::new(2);
+        // One observation with zero recorded choices trips the
+        // observations-per-choice assertion inside the task body.
+        let _ = pool.run_gradients(vec![Task::Gradient {
+            idx: 0,
+            policy,
+            store,
+            observations: Vec::new(),
+            choices: vec![ActionChoice {
+                node: 0,
+                limit: 0,
+                class: None,
+            }],
+            advantages: vec![1.0],
+            beta: 0.0,
+        }]);
+    }
+
+    /// If a caller catches the re-raised panic, the pool must still be
+    /// usable: the failed batch's outputs are fully drained, so nothing
+    /// stale leaks into later batches.
+    #[test]
+    fn pool_survives_a_caught_task_panic_without_leaking_outputs() {
+        let (policy, store) = tiny_policy();
+        let pool = ActorPool::new(2);
+        let bad = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_gradients(vec![Task::Gradient {
+                idx: 0,
+                policy: policy.clone(),
+                store: store.clone(),
+                observations: Vec::new(),
+                choices: vec![ActionChoice {
+                    node: 0,
+                    limit: 0,
+                    class: None,
+                }],
+                advantages: vec![1.0],
+                beta: 0.0,
+            }])
+        }));
+        assert!(bad.is_err(), "the panic must surface");
+        let tasks: Vec<Task> = (0..3)
+            .map(|idx| {
+                let (cluster, jobs, cfg) = tiny_episode();
+                Task::Rollout {
+                    idx,
+                    seq_seed: 40 + idx as u64,
+                    cluster,
+                    jobs,
+                    cfg,
+                    policy: policy.clone(),
+                    store: store.clone(),
+                    act_seed: idx as u64,
+                }
+            })
+            .collect();
+        let trajs = pool.run_rollouts(tasks);
+        let seeds: Vec<u64> = trajs.iter().map(|t| t.seq_seed).collect();
+        assert_eq!(seeds, vec![40, 41, 42], "no stale outputs leaked");
+    }
+
+    #[test]
+    fn pool_matches_inline_execution_bitwise() {
+        let (policy, store) = tiny_policy();
+        let inline = {
+            let (cluster, jobs, cfg) = tiny_episode();
+            let mut agent = DecimaAgent::recorder(policy.clone(), store.clone(), 7);
+            let result = Simulator::new(cluster, jobs, cfg).run(&mut agent);
+            (agent.records, result.avg_jct())
+        };
+        let pool = ActorPool::new(2);
+        let (cluster, jobs, cfg) = tiny_episode();
+        let trajs = pool.run_rollouts(vec![Task::Rollout {
+            idx: 0,
+            seq_seed: 0,
+            cluster,
+            jobs,
+            cfg,
+            policy,
+            store,
+            act_seed: 7,
+        }]);
+        assert_eq!(trajs[0].choices, inline.0);
+        assert_eq!(trajs[0].result.avg_jct(), inline.1);
+    }
+}

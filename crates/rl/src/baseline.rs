@@ -114,6 +114,22 @@ impl MovingAvg {
             self.values.iter().sum::<f64>() / self.values.len() as f64
         }
     }
+
+    /// The raw state `(window, next-slot, samples)` for checkpointing.
+    pub fn state(&self) -> (usize, usize, &[f64]) {
+        (self.window, self.next, &self.values)
+    }
+
+    /// Rebuilds a moving average from [`MovingAvg::state`] output; the
+    /// restored instance continues the sample stream exactly where the
+    /// saved one left off.
+    pub fn from_state(window: usize, next: usize, values: Vec<f64>) -> Self {
+        MovingAvg {
+            window: window.max(1),
+            values,
+            next,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,17 +1,35 @@
 //! # decima-rl
 //!
 //! Reinforcement-learning infrastructure for Decima (§5.3, Appendices B
-//! and C): REINFORCE with input-dependent time-aligned baselines,
-//! curriculum learning via memoryless episode termination, the
-//! average-reward (differential) formulation, entropy regularization,
-//! and scoped-thread-parallel rollout/replay passes.
+//! and C), organized as a trajectory-based actor/learner architecture:
+//!
+//! * [`actor`] — a persistent worker pool fed over channels that rolls
+//!   out the current policy and returns [`Trajectory`] records;
+//! * [`trajectory`] — the self-contained per-rollout record
+//!   (per-decision observations, action choices, rewards, entropy);
+//! * [`learner`] — differential rewards, input-dependent time-aligned
+//!   baselines, and gradient accumulation **directly from stored
+//!   trajectories** (no second simulation per rollout);
+//! * [`trainer`] — the REINFORCE coordinator: curriculum via memoryless
+//!   episode termination, entropy regularization, Adam;
+//! * [`checkpoint`] — versioned serialization of the full training
+//!   state (parameters, Adam moments, RNG, curriculum, history), so
+//!   training resumes bit-exactly and trained policies persist as
+//!   reusable artifacts.
 
 #![warn(missing_docs)]
 
+pub mod actor;
 pub mod baseline;
+pub mod checkpoint;
 pub mod env;
+pub mod learner;
 pub mod trainer;
+pub mod trajectory;
 
+pub use actor::ActorPool;
 pub use baseline::{returns_to_go, time_aligned_baselines, MovingAvg, ReturnSeries};
+pub use checkpoint::{CHECKPOINT_HEADER, CHECKPOINT_VERSION};
 pub use env::{AlibabaEnv, EnvFactory, SpecEnv, TpchEnv, SIM_SEED_SALT};
 pub use trainer::{Curriculum, IterStats, TrainConfig, Trainer};
+pub use trajectory::Trajectory;

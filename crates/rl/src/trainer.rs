@@ -1,34 +1,45 @@
-//! The REINFORCE trainer (§5.3, Algorithm 1).
+//! The REINFORCE trainer (§5.3, Algorithm 1) — the coordinator of the
+//! actor/learner architecture.
 //!
 //! One iteration:
 //!
 //! 1. sample an episode horizon `τ ~ Exp(τ_mean)` (memoryless termination;
 //!    `τ_mean` grows over training — curriculum learning);
-//! 2. sample a job-arrival sequence and roll out `N` episodes of it in
-//!    parallel with different action-sampling seeds (fixing the sequence
-//!    is the input-dependent variance-reduction technique);
+//! 2. sample a job-arrival sequence and roll out `N` episodes of it on the
+//!    persistent [`ActorPool`] with different action-sampling seeds
+//!    (fixing the sequence is the input-dependent variance-reduction
+//!    technique). Each rollout returns a [`Trajectory`]: per-decision
+//!    observations, action records, rewards, and entropy;
 //! 3. compute differential rewards (average-reward formulation, App. B),
-//!    returns-to-go, and time-aligned per-sequence baselines;
-//! 4. replay each episode, accumulating `advantage × ∇(−log π)` plus a
-//!    decaying entropy bonus, and apply one Adam step to the shared
-//!    parameters.
+//!    returns-to-go, and time-aligned per-sequence baselines
+//!    ([`crate::learner`]);
+//! 4. re-score the stored observations, accumulating `advantage ×
+//!    ∇(−log π)` plus a decaying entropy bonus — **no second simulation**
+//!    — and apply one Adam step to the shared parameters.
 //!
-//! Rollouts are CPU-bound, so they run on plain `std::thread::scope`
-//! scoped threads (per the networking guides: no async runtime for
-//! compute).
+//! Rollout and gradient tasks are CPU-bound, so they run on the pool's
+//! plain `std::thread` workers (per the networking guides: no async
+//! runtime for compute). The pool is spawned once per trainer and fed
+//! over channels, replacing the old design that created and joined a
+//! fresh `thread::scope` twice per iteration.
+//!
+//! Trainers checkpoint and resume bit-exactly: see [`crate::checkpoint`].
 
-use crate::baseline::{returns_to_go, time_aligned_baselines, MovingAvg, ReturnSeries};
+use crate::actor::{ActorPool, Task};
+use crate::baseline::MovingAvg;
 use crate::env::EnvFactory;
+use crate::learner;
+use crate::trajectory::Trajectory;
 use decima_nn::{Adam, ParamStore};
-use decima_policy::{ActionChoice, DecimaAgent, DecimaPolicy};
-use decima_sim::{EpisodeResult, Simulator};
+use decima_policy::{DecimaAgent, DecimaPolicy};
+use decima_sim::EpisodeResult;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Exp};
 use serde::{Deserialize, Serialize};
 
 /// Curriculum over episode horizons (§5.3 challenge #1).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Curriculum {
     /// Initial mean horizon (seconds of simulated time).
     pub tau_init: f64,
@@ -39,7 +50,7 @@ pub struct Curriculum {
 }
 
 /// Trainer hyperparameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Rollouts per iteration (the paper uses 16 workers).
     pub num_rollouts: usize,
@@ -67,6 +78,11 @@ pub struct TrainConfig {
     pub normalize_advantages: bool,
     /// Master seed.
     pub seed: u64,
+    /// **Test-only.** Compute gradients with the pre-trajectory
+    /// replay-by-resimulation pass instead of from stored observations.
+    /// Kept solely so the equivalence of the two paths stays provable;
+    /// it doubles the simulation work per iteration.
+    pub legacy_replay: bool,
 }
 
 impl Default for TrainConfig {
@@ -83,12 +99,13 @@ impl Default for TrainConfig {
             reward_scale: 1e-3,
             normalize_advantages: true,
             seed: 0,
+            legacy_replay: false,
         }
     }
 }
 
 /// Per-iteration statistics.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IterStats {
     /// Iteration index.
     pub iter: usize,
@@ -110,14 +127,6 @@ pub struct IterStats {
     pub beta: f64,
 }
 
-/// One rollout's raw material for the gradient pass.
-struct Rollout {
-    seq_seed: u64,
-    records: Vec<ActionChoice>,
-    result: EpisodeResult,
-    entropy_sum: f64,
-}
-
 /// The REINFORCE trainer.
 pub struct Trainer {
     /// The policy being trained.
@@ -128,13 +137,16 @@ pub struct Trainer {
     pub opt: Adam,
     /// Hyperparameters.
     pub cfg: TrainConfig,
-    rng: SmallRng,
-    rate_avg: MovingAvg,
-    tau_mean: f64,
+    pub(crate) rng: SmallRng,
+    pub(crate) rate_avg: MovingAvg,
+    pub(crate) tau_mean: f64,
     /// Completed iterations.
     pub iter: usize,
     /// History of per-iteration statistics.
     pub history: Vec<IterStats>,
+    /// Persistent worker pool, spawned on first use so that trainers
+    /// built only for evaluation or checkpoint inspection stay free.
+    pool: Option<ActorPool>,
 }
 
 impl Trainer {
@@ -151,6 +163,7 @@ impl Trainer {
             tau_mean,
             iter: 0,
             history: Vec::new(),
+            pool: None,
             cfg,
         }
     }
@@ -159,6 +172,18 @@ impl Trainer {
     pub fn beta(&self) -> f64 {
         let t = (self.iter as f64 / self.cfg.entropy_decay_iters.max(1) as f64).min(1.0);
         self.cfg.entropy_start + t * (self.cfg.entropy_end - self.cfg.entropy_start)
+    }
+
+    /// The current mean of the horizon curriculum (`∞` without one).
+    pub fn tau_mean(&self) -> f64 {
+        self.tau_mean
+    }
+
+    fn pool(&mut self) -> &ActorPool {
+        if self.pool.is_none() {
+            self.pool = Some(ActorPool::new(self.cfg.num_rollouts));
+        }
+        self.pool.as_ref().expect("just created")
     }
 
     /// Runs one training iteration against `env`.
@@ -187,124 +212,89 @@ impl Trainer {
             .collect();
         let action_seeds: Vec<u64> = (0..n).map(|_| self.rng.gen()).collect();
 
-        // ---- rollout pass (parallel) ----
-        let policy = &self.policy;
-        let store = &self.store;
-        let rollouts: Vec<Rollout> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .map(|w| {
-                    let seq_seed = seq_seeds[w];
-                    let act_seed = action_seeds[w];
-                    scope.spawn(move || {
-                        let (cluster, jobs, mut sim_cfg) = env.build(seq_seed);
-                        if let Some(t) = tau {
-                            sim_cfg.time_limit = Some(sim_cfg.time_limit.map_or(t, |l| l.min(t)));
-                        }
-                        let mut agent =
-                            DecimaAgent::sampler(policy.clone(), store.clone(), act_seed);
-                        let result = Simulator::new(cluster, jobs, sim_cfg).run(&mut agent);
-                        Rollout {
-                            seq_seed,
-                            records: agent.records,
-                            result,
-                            entropy_sum: agent.entropy_sum,
-                        }
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-
-        // ---- rewards, returns, baselines ----
-        let mut all_rewards: Vec<Vec<f64>> = Vec::with_capacity(n);
-        for r in &rollouts {
-            let mut rw: Vec<f64> = r
-                .result
-                .rewards()
-                .iter()
-                .map(|x| x * self.cfg.reward_scale)
-                .collect();
-            if self.cfg.differential_reward && !rw.is_empty() {
-                let duration = r.result.end_time.as_secs().max(1e-9);
-                let rate = rw.iter().sum::<f64>() / duration;
-                self.rate_avg.push(rate);
-                let rhat = self.rate_avg.mean();
-                let times: Vec<f64> = r.result.actions.iter().map(|a| a.time.as_secs()).collect();
-                for k in 0..rw.len() {
-                    let dt = if k + 1 < times.len() {
-                        times[k + 1] - times[k]
-                    } else {
-                        duration - times[k]
-                    };
-                    rw[k] -= rhat * dt;
+        // ---- actor pass: trajectory-recording rollouts on the pool ----
+        let tasks: Vec<Task> = (0..n)
+            .map(|w| {
+                let (cluster, jobs, mut sim_cfg) = env.build(seq_seeds[w]);
+                if let Some(t) = tau {
+                    sim_cfg.time_limit = Some(sim_cfg.time_limit.map_or(t, |l| l.min(t)));
                 }
-            }
-            all_rewards.push(rw);
-        }
-        let series: Vec<ReturnSeries> = rollouts
-            .iter()
-            .zip(&all_rewards)
-            .map(|(r, rw)| {
-                ReturnSeries::new(
-                    r.result.actions.iter().map(|a| a.time.as_secs()).collect(),
-                    returns_to_go(rw),
-                )
+                Task::Rollout {
+                    idx: w,
+                    seq_seed: seq_seeds[w],
+                    cluster,
+                    jobs,
+                    cfg: sim_cfg,
+                    policy: self.policy.clone(),
+                    store: self.store.clone(),
+                    act_seed: action_seeds[w],
+                }
             })
             .collect();
-        let baselines = time_aligned_baselines(&series);
-        let mut advantages: Vec<Vec<f64>> = all_rewards
-            .iter()
-            .zip(&baselines)
-            .map(|(rw, bl)| {
-                returns_to_go(rw)
-                    .iter()
-                    .zip(bl)
-                    .map(|(r, b)| r - b)
-                    .collect()
-            })
-            .collect();
-        if self.cfg.normalize_advantages {
-            let flat: Vec<f64> = advantages.iter().flatten().copied().collect();
-            if flat.len() > 1 {
-                let mean = flat.iter().sum::<f64>() / flat.len() as f64;
-                let var =
-                    flat.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / flat.len() as f64;
-                let std = var.sqrt().max(1e-8);
-                for adv in &mut advantages {
-                    for a in adv {
-                        *a /= std;
-                    }
-                }
-            }
-        }
+        let trajs: Vec<Trajectory> = self.pool().run_rollouts(tasks);
 
-        // ---- replay pass (parallel gradient accumulation) ----
-        let grads: Vec<ParamStore> = std::thread::scope(|scope| {
-            let handles: Vec<_> = rollouts
-                .iter()
+        // ---- learner: rewards, returns, baselines ----
+        let all_rewards = learner::scaled_rewards(&trajs, &self.cfg, &mut self.rate_avg);
+        let advantages = learner::advantages(&trajs, &all_rewards, self.cfg.normalize_advantages);
+
+        // ---- stats inputs (before trajectories are consumed) ----
+        let mean_reward = all_rewards
+            .iter()
+            .map(|rw| rw.iter().sum::<f64>())
+            .sum::<f64>()
+            / n as f64;
+        let jcts: Vec<f64> = trajs.iter().filter_map(|t| t.result.avg_jct()).collect();
+        let mean_avg_jct = if jcts.is_empty() {
+            f64::NAN
+        } else {
+            jcts.iter().sum::<f64>() / jcts.len() as f64
+        };
+        let mean_completed = trajs
+            .iter()
+            .map(|t| t.result.completed() as f64)
+            .sum::<f64>()
+            / n as f64;
+        let mean_actions = trajs.iter().map(|t| t.len() as f64).sum::<f64>() / n as f64;
+        let mean_entropy = {
+            let steps: f64 = trajs.iter().map(|t| t.len() as f64).sum();
+            let ent: f64 = trajs.iter().map(|t| t.entropy_sum).sum();
+            if steps > 0.0 {
+                ent / steps
+            } else {
+                0.0
+            }
+        };
+
+        // ---- gradient pass: re-score stored observations (no sim) ----
+        let grads: Vec<ParamStore> = if self.cfg.legacy_replay {
+            learner::legacy_replay_grads(
+                env,
+                &trajs,
+                advantages,
+                beta,
+                tau,
+                &self.policy,
+                &self.store,
+            )
+        } else {
+            let policy = self.policy.clone();
+            let store = self.store.clone();
+            let tasks: Vec<Task> = trajs
+                .into_iter()
                 .zip(advantages)
-                .map(|(r, adv)| {
-                    let seq_seed = r.seq_seed;
-                    let records = r.records.clone();
-                    scope.spawn(move || {
-                        let (cluster, jobs, mut sim_cfg) = env.build(seq_seed);
-                        if let Some(t) = tau {
-                            sim_cfg.time_limit = Some(sim_cfg.time_limit.map_or(t, |l| l.min(t)));
-                        }
-                        let mut agent = DecimaAgent::replayer(
-                            policy.clone(),
-                            store.clone(),
-                            records,
-                            adv,
-                            beta,
-                        );
-                        let _ = Simulator::new(cluster, jobs, sim_cfg).run(&mut agent);
-                        agent.store
-                    })
+                .enumerate()
+                .map(|(idx, (t, adv))| Task::Gradient {
+                    idx,
+                    policy: policy.clone(),
+                    store: store.clone(),
+                    observations: t.observations,
+                    choices: t.choices,
+                    advantages: adv,
+                    beta,
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            self.pool().run_gradients(tasks)
+        };
 
         for g in &grads {
             self.store.merge_grads(g);
@@ -312,34 +302,6 @@ impl Trainer {
         self.store.scale_grads(1.0 / n as f64);
         let grad_norm = self.store.grad_norm();
         self.opt.step(&mut self.store);
-
-        // ---- stats ----
-        let mean_reward = all_rewards
-            .iter()
-            .map(|rw| rw.iter().sum::<f64>())
-            .sum::<f64>()
-            / n as f64;
-        let jcts: Vec<f64> = rollouts.iter().filter_map(|r| r.result.avg_jct()).collect();
-        let mean_avg_jct = if jcts.is_empty() {
-            f64::NAN
-        } else {
-            jcts.iter().sum::<f64>() / jcts.len() as f64
-        };
-        let mean_completed = rollouts
-            .iter()
-            .map(|r| r.result.completed() as f64)
-            .sum::<f64>()
-            / n as f64;
-        let mean_actions = rollouts.iter().map(|r| r.records.len() as f64).sum::<f64>() / n as f64;
-        let mean_entropy = {
-            let steps: f64 = rollouts.iter().map(|r| r.records.len() as f64).sum();
-            let ent: f64 = rollouts.iter().map(|r| r.entropy_sum).sum();
-            if steps > 0.0 {
-                ent / steps
-            } else {
-                0.0
-            }
-        };
 
         let stats = IterStats {
             iter: self.iter,
@@ -381,7 +343,7 @@ impl Trainer {
                     scope.spawn(move || {
                         let (cluster, jobs, sim_cfg) = env.build(seed);
                         let mut agent = DecimaAgent::greedy(policy.clone(), store.clone());
-                        Simulator::new(cluster, jobs, sim_cfg).run(&mut agent)
+                        decima_sim::Simulator::new(cluster, jobs, sim_cfg).run(&mut agent)
                     })
                 })
                 .collect();
@@ -489,6 +451,35 @@ mod tests {
         let b = t.evaluate(&env, &[1, 2]);
         assert_eq!(a[0].avg_jct(), b[0].avg_jct());
         assert_eq!(a[1].avg_jct(), b[1].avg_jct());
+    }
+
+    /// The trajectory-driven gradient pass must reproduce the legacy
+    /// replay-by-resimulation pass bit-for-bit across full iterations
+    /// (the broader randomized version lives in `tests/equivalence.rs`).
+    #[test]
+    fn trajectory_and_legacy_replay_iterations_match() {
+        let env = TpchEnv::batch(3, 5);
+        let mut a = tiny_trainer(TrainConfig {
+            num_rollouts: 3,
+            ..TrainConfig::default()
+        });
+        let mut b = tiny_trainer(TrainConfig {
+            num_rollouts: 3,
+            legacy_replay: true,
+            ..TrainConfig::default()
+        });
+        for _ in 0..2 {
+            let sa = a.train_iteration(&env);
+            let sb = b.train_iteration(&env);
+            assert_eq!(sa, sb, "IterStats must match");
+        }
+        for i in 0..a.store.len() {
+            assert_eq!(
+                a.store.value(i).data(),
+                b.store.value(i).data(),
+                "param {i} diverged"
+            );
+        }
     }
 
     /// The core claim, miniaturized: a few REINFORCE iterations on a tiny

@@ -1,0 +1,103 @@
+//! The self-contained record of one rollout (§5.3's "trajectory" that
+//! workers ship to the learner in Algorithm 1).
+//!
+//! A [`Trajectory`] carries everything the gradient pass needs — the
+//! per-decision observations, the sampled action indices, the episode
+//! outcome (rewards and timing), and the summed policy entropy — so the
+//! learner can recompute forwards directly from stored data instead of
+//! re-simulating the episode. This is what halves the per-iteration
+//! simulation work relative to the old replay-by-resimulation design.
+
+use decima_policy::ActionChoice;
+use decima_sim::{EpisodeResult, Observation};
+
+/// One rollout's complete raw material for the gradient pass.
+#[derive(Debug)]
+pub struct Trajectory {
+    /// The arrival-sequence seed the episode was built from.
+    pub seq_seed: u64,
+    /// The observation at each decision, in decision order. Exactly what
+    /// the sampler's policy forward saw, so re-scoring them reproduces
+    /// the rollout's log-probabilities bit-for-bit.
+    pub observations: Vec<Observation>,
+    /// The sampled action indices, aligned with `observations`.
+    pub choices: Vec<ActionChoice>,
+    /// Sum of node-softmax entropies over the episode (nats).
+    pub entropy_sum: f64,
+    /// The episode outcome (rewards, action times, job completions).
+    pub result: EpisodeResult,
+}
+
+impl Trajectory {
+    /// Number of decisions in the trajectory.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// True when the episode made no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Wall-clock time of each action (seconds of simulated time).
+    pub fn action_times(&self) -> Vec<f64> {
+        self.result
+            .actions
+            .iter()
+            .map(|a| a.time.as_secs())
+            .collect()
+    }
+
+    /// The raw (unscaled) per-step rewards of the episode.
+    pub fn raw_rewards(&self) -> Vec<f64> {
+        self.result.rewards()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decima_core::ClusterSpec;
+    use decima_nn::ParamStore;
+    use decima_policy::{DecimaAgent, DecimaPolicy, PolicyConfig};
+    use decima_sim::{SimConfig, Simulator};
+    use decima_workload::tpch_batch;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trajectory_captures_a_full_rollout() {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let policy = DecimaPolicy::new(PolicyConfig::small(5), &mut store, &mut rng);
+        let jobs: Vec<_> = tpch_batch(2, 3)
+            .into_iter()
+            .map(|mut j| {
+                for s in &mut j.stages {
+                    s.num_tasks = (s.num_tasks / 8).max(1);
+                }
+                j
+            })
+            .collect();
+        let mut agent = DecimaAgent::recorder(policy, store, 9);
+        let result = Simulator::new(
+            ClusterSpec::homogeneous(5).with_move_delay(0.5),
+            jobs,
+            SimConfig::default().with_seed(1),
+        )
+        .run(&mut agent);
+        let traj = Trajectory {
+            seq_seed: 1,
+            observations: agent.observations,
+            choices: agent.records,
+            entropy_sum: agent.entropy_sum,
+            result,
+        };
+        assert!(!traj.is_empty());
+        assert_eq!(traj.observations.len(), traj.len());
+        assert_eq!(traj.action_times().len(), traj.len());
+        assert_eq!(traj.raw_rewards().len(), traj.len());
+        let times = traj.action_times();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "times ascend");
+    }
+}

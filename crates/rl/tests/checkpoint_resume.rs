@@ -1,0 +1,116 @@
+//! Checkpoint/resume correctness: a run interrupted at iteration `k` and
+//! resumed from its checkpoint must be indistinguishable — bit for bit —
+//! from an uninterrupted run: same `IterStats` history, same parameters,
+//! same greedy evaluations.
+
+use decima_nn::ParamStore;
+use decima_policy::{DecimaPolicy, PolicyConfig};
+use decima_rl::{Curriculum, IterStats, TpchEnv, TrainConfig, Trainer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn fresh(cfg: &TrainConfig) -> Trainer {
+    let mut store = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let policy = DecimaPolicy::new(PolicyConfig::small(5), &mut store, &mut rng);
+    Trainer::new(policy, store, cfg.clone())
+}
+
+/// Bitwise equality that treats NaN == NaN (a curricular iteration with
+/// no completed jobs reports a NaN mean JCT).
+fn stats_eq(a: &IterStats, b: &IterStats) -> bool {
+    a.iter == b.iter
+        && a.mean_reward.to_bits() == b.mean_reward.to_bits()
+        && a.mean_avg_jct.to_bits() == b.mean_avg_jct.to_bits()
+        && a.mean_completed.to_bits() == b.mean_completed.to_bits()
+        && a.mean_actions.to_bits() == b.mean_actions.to_bits()
+        && a.mean_entropy.to_bits() == b.mean_entropy.to_bits()
+        && a.grad_norm.to_bits() == b.grad_norm.to_bits()
+        && a.tau.map(f64::to_bits) == b.tau.map(f64::to_bits)
+        && a.beta.to_bits() == b.beta.to_bits()
+}
+
+fn assert_same_params(a: &Trainer, b: &Trainer) {
+    for i in 0..a.store.len() {
+        let (va, vb) = (a.store.value(i).data(), b.store.value(i).data());
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(vb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "param {i} diverged");
+        }
+    }
+}
+
+fn run_resume_case(cfg: TrainConfig, env: &TpchEnv, total: usize, split: usize) {
+    // Uninterrupted reference.
+    let mut full = fresh(&cfg);
+    for _ in 0..total {
+        full.train_iteration(env);
+    }
+
+    // Interrupted at `split`, serialized, restored, finished.
+    let mut first = fresh(&cfg);
+    for _ in 0..split {
+        first.train_iteration(env);
+    }
+    let text = first.to_checkpoint();
+    drop(first);
+    let mut resumed = Trainer::from_checkpoint(&text).expect("checkpoint loads");
+    assert_eq!(resumed.iter, split);
+    for _ in split..total {
+        resumed.train_iteration(env);
+    }
+
+    assert_eq!(full.history.len(), resumed.history.len());
+    for (a, b) in full.history.iter().zip(&resumed.history) {
+        assert!(stats_eq(a, b), "IterStats diverged:\n  {a:?}\n  {b:?}");
+    }
+    assert_same_params(&full, &resumed);
+
+    // The two policies must also act identically.
+    let ea = full.evaluate(env, &[500, 501]);
+    let eb = resumed.evaluate(env, &[500, 501]);
+    for (ra, rb) in ea.iter().zip(&eb) {
+        assert_eq!(ra.avg_jct(), rb.avg_jct());
+        assert_eq!(ra.actions.len(), rb.actions.len());
+    }
+}
+
+#[test]
+fn resume_is_bit_exact_on_batched_training() {
+    let cfg = TrainConfig {
+        num_rollouts: 3,
+        seed: 11,
+        ..TrainConfig::default()
+    };
+    run_resume_case(cfg, &TpchEnv::batch(3, 5), 4, 2);
+}
+
+#[test]
+fn resume_is_bit_exact_with_curriculum_and_differential_rewards() {
+    // Exercises every piece of serialized state: the horizon RNG draw,
+    // tau_mean growth, and the differential-reward moving average.
+    let cfg = TrainConfig {
+        num_rollouts: 2,
+        seed: 3,
+        differential_reward: true,
+        curriculum: Some(Curriculum {
+            tau_init: 50.0,
+            tau_step: 25.0,
+            tau_max: 200.0,
+        }),
+        ..TrainConfig::default()
+    };
+    run_resume_case(cfg, &TpchEnv::stream(3, 5, 20.0), 4, 1);
+}
+
+#[test]
+fn resume_at_every_split_point_matches() {
+    let cfg = TrainConfig {
+        num_rollouts: 2,
+        seed: 21,
+        ..TrainConfig::default()
+    };
+    for split in 1..3 {
+        run_resume_case(cfg.clone(), &TpchEnv::batch(2, 5), 3, split);
+    }
+}

@@ -1,5 +1,6 @@
-//! Train a small Decima policy with REINFORCE and watch it overtake the
-//! heuristics on a batched TPC-H-like workload.
+//! Train a small Decima policy with REINFORCE, checkpoint it, reload the
+//! checkpoint, and watch the restored policy match the trained one on a
+//! batched TPC-H-like workload.
 //!
 //! ```sh
 //! cargo run --release --example train_decima -- [iterations]
@@ -66,10 +67,33 @@ fn main() {
         }
     });
 
+    // The trained policy is a persistent artifact: save a checkpoint,
+    // reload it cold, and schedule with the restored model.
+    let ckpt = std::env::temp_dir().join("train_decima_example.ckpt");
+    trainer
+        .save_checkpoint(&ckpt)
+        .expect("checkpoint should save");
+    println!("\ncheckpoint saved to {}", ckpt.display());
+    let restored = Trainer::load_checkpoint(&ckpt).expect("checkpoint should load");
+    let _ = std::fs::remove_file(&ckpt);
+
     let mut agent = DecimaAgent::greedy(trainer.policy.clone(), trainer.store.clone());
-    let learned = Simulator::new(cluster, jobs, cfg)
+    let learned = Simulator::new(cluster.clone(), jobs.clone(), cfg.clone())
         .run(&mut agent)
         .avg_jct()
         .unwrap();
-    println!("\nDecima after {iters} iterations: {learned:.1}s (FIFO {fifo:.1}s, fair {fair:.1}s)");
+    let mut restored_agent = DecimaAgent::greedy(restored.policy.clone(), restored.store.clone());
+    let reloaded = Simulator::new(cluster, jobs, cfg)
+        .run(&mut restored_agent)
+        .avg_jct()
+        .unwrap();
+    assert_eq!(
+        learned.to_bits(),
+        reloaded.to_bits(),
+        "the reloaded policy must schedule identically"
+    );
+    println!(
+        "Decima after {iters} iterations: {learned:.1}s, reloaded from checkpoint: {reloaded:.1}s \
+         (FIFO {fifo:.1}s, fair {fair:.1}s)"
+    );
 }

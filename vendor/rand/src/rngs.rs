@@ -13,6 +13,19 @@ pub struct SmallRng {
 }
 
 impl SmallRng {
+    /// The raw xoshiro256++ state words (checkpointing support; not part
+    /// of the upstream `SmallRng` API).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds the generator from raw state words previously obtained
+    /// with [`SmallRng::state`]. The resulting stream continues exactly
+    /// where the saved generator left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+
     fn from_splitmix(mut state: u64) -> Self {
         let mut next = || {
             state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
