@@ -50,6 +50,7 @@ fn usage() {
     println!("             [--jobs J] [--execs E] [--iat S] [--seed K]");
     println!("             [--checkpoint-dir DIR] [--checkpoint-every N]");
     println!("             [--resume] [--train-log PATH]");
+    println!("             [--churn S] [--fail P] [--straggle P]");
     println!();
     println!("FLAGS:");
     println!("  --list            list registered scenarios and exit");
@@ -67,7 +68,16 @@ fn usage() {
     println!("  --checkpoint-dir DIR   where checkpoint.txt lives (out/checkpoints)");
     println!("  --checkpoint-every N   checkpoint cadence in iterations (10)");
     println!("  --resume          continue bit-exactly from DIR/checkpoint.txt");
+    println!("                    (refuses mismatched --jobs/--execs/--iat)");
     println!("  --train-log PATH  JSONL log path (out/train_<recipe>.jsonl)");
+    println!("  --churn S         train under executor churn (mean secs between");
+    println!("                    outages); --fail P / --straggle P likewise set");
+    println!("                    task-failure / straggler probabilities");
+    println!();
+    println!("Cluster dynamics (docs/ROBUSTNESS.md): every scenario accepts");
+    println!("  --set churn=S --set fail=P --set straggle=P (plus outage=S,");
+    println!("  retries=N, straggle-factor=F, level=off|low|med|high), and the");
+    println!("  'robust' scenario sweeps escalating perturbation levels.");
     println!();
     println!("Results: terminal report, out/<scenario>.csv, out/<scenario>.json;");
     println!("training: DIR/checkpoint.txt + one JSONL record per iteration.");
@@ -158,6 +168,16 @@ pub fn exp_main() {
             checkpoint_every: args.get("checkpoint-every", defaults.checkpoint_every),
             resume: args.has("resume"),
             log_path: args.value("train-log").map(std::path::PathBuf::from),
+            dynamics: {
+                let mut d = decima_sim::DynamicsSpec::off();
+                d.churn_iat = args.get("churn", d.churn_iat);
+                d.outage_mean = args.get("outage", d.outage_mean);
+                d.fail_prob = args.get("fail", d.fail_prob);
+                d.max_retries = args.get("retries", d.max_retries);
+                d.straggler_prob = args.get("straggle", d.straggler_prob);
+                d.straggler_factor = args.get("straggle-factor", d.straggler_factor);
+                d
+            },
         };
         if let Err(e) = run_training(&opts) {
             eprintln!("error: {e}");

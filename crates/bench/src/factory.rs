@@ -285,6 +285,44 @@ mod tests {
         assert!(parallelism_mode("bogus").is_err());
     }
 
+    /// A checkpoint trained **under perturbation** is a first-class
+    /// model artifact: `decima-ckpt:<path>` resolves through the
+    /// factory and drives the robust scenario's perturbed environment.
+    #[test]
+    fn perturbation_trained_checkpoint_loads_into_robust_scenario() {
+        use decima_rl::{EnvFactory as _, SpecEnv};
+        use decima_sim::DynamicsSpec;
+
+        // Train briefly with churn/failures/stragglers active.
+        let mut trainer = build_trainer(&TrainSpec::standard(1, 11), 10);
+        let mut env = SpecEnv::new(decima_workload::WorkloadSpec::tpch_batch(2, 10));
+        env.sim.dynamics = DynamicsSpec::med();
+        trainer.train_iteration(&env);
+        let dir = std::env::temp_dir().join(format!("decima_robust_ckpt_{}", std::process::id()));
+        let path = dir.join("perturbed.ckpt");
+        trainer.save_checkpoint(&path).unwrap();
+
+        // The factory name resolves to a checkpoint entry…
+        let name = format!("decima-ckpt:{}", path.display());
+        let spec = scheduler_spec_by_name(&name).expect("decima-ckpt name resolves");
+        assert!(matches!(spec, SchedulerSpec::DecimaCheckpoint { .. }));
+
+        // …and the loaded model schedules a perturbed robust episode.
+        let reg = crate::registry::ScenarioRegistry::standard();
+        let mut robust = reg.get("robust").expect("robust registered").spec.clone();
+        robust.set("jobs", "2").unwrap();
+        robust.set("level", "med").unwrap();
+        assert_eq!(robust.sim.dynamics, DynamicsSpec::med());
+        let renv = crate::runner::spec_env(&robust);
+        let (cluster, jobs, cfg) = renv.build(1);
+        assert!(cfg.dynamics.enabled());
+        let sched = make_scheduler(&spec, robust.executors(), None);
+        let r = Simulator::new(cluster, jobs, cfg).run(sched);
+        assert!(r.actions.len() > 0, "the loaded policy must act");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn trainer_matches_standard_recipe() {
         let t = build_trainer(&TrainSpec::standard(10, 11), 6);

@@ -49,6 +49,7 @@ impl ScenarioRegistry {
             fig19(),
             fig22(),
             fig23(),
+            robust(),
             table2(),
             table3(),
         ];
@@ -481,6 +482,44 @@ fn fig23() -> Scenario {
     )
 }
 
+/// The robustness scenario family (not a paper artifact): the §7.1
+/// lineup plus trained/untrained Decima evaluated under escalating
+/// cluster-dynamics levels — executor churn, bounded-retry task
+/// failures, stragglers (docs/ROBUSTNESS.md).
+fn robust() -> Scenario {
+    custom(
+        ScenarioBuilder::new(
+            "robust",
+            "Robustness: schedulers under churn, task failures, and stragglers",
+        )
+        .paper_ref("— (robustness ext)")
+        .workload(WorkloadSpec::tpch_batch(10, 10))
+        .seeds(11000, 3)
+        .entry("fifo", SchedulerSpec::Fifo)
+        .entry_csv("sjf-cp", "sjf_cp", SchedulerSpec::SjfCp)
+        .entry("fair", SchedulerSpec::Fair)
+        .entry_csv(
+            "opt-weighted-fair",
+            "opt_wf",
+            SchedulerSpec::WeightedFair { alpha: -1.0 },
+        )
+        .entry(
+            "decima-untrained",
+            SchedulerSpec::DecimaUntrained {
+                policy: PolicySpec::default(),
+                sample_seed: None,
+            },
+        )
+        .decima(TrainSpec::standard(30, 11))
+        .note("Levels sweep off → low → med → high (pick one with --set level=…;")
+        .note("level=custom uses --set churn=/fail=/straggle= directly). Decima")
+        .note("trains on the unperturbed environment; evaluate perturbation-trained")
+        .note("checkpoints via decima-ckpt:<path> entries (docs/ROBUSTNESS.md).")
+        .build(),
+        scenarios::robust::run_robust,
+    )
+}
+
 fn table2() -> Scenario {
     let test_iat = 24.0;
     let anti_iat = 40.0;
@@ -627,12 +666,12 @@ mod tests {
     #[test]
     fn registry_has_all_artifacts() {
         let reg = ScenarioRegistry::standard();
-        assert!(reg.len() >= 19, "only {} scenarios", reg.len());
+        assert!(reg.len() >= 20, "only {} scenarios", reg.len());
         assert!(!reg.is_empty());
         for name in [
             "fig02", "fig03", "fig07", "fig09a", "fig09b", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15a", "fig15b", "fig16", "fig18", "fig19", "fig22", "fig23", "table2",
-            "table3",
+            "fig14", "fig15a", "fig15b", "fig16", "fig18", "fig19", "fig22", "fig23", "robust",
+            "table2", "table3",
         ] {
             assert!(reg.get(name).is_some(), "scenario '{name}' missing");
         }

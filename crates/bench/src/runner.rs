@@ -230,7 +230,7 @@ pub fn train_decima_entry(
 /// `cfg.total_executors`, so evaluating a 15-executor policy on a
 /// 30-executor cluster would silently misreport "trained Decima".
 /// Loudly refuse instead of publishing wrong numbers.
-fn check_snapshot_compat(snapshot: &TrainedPolicy, executors: usize, ckpt: &str) {
+pub(crate) fn check_snapshot_compat(snapshot: &TrainedPolicy, executors: usize, ckpt: &str) {
     let trained_for = snapshot.policy.cfg.total_executors;
     assert!(
         trained_for == executors,
@@ -437,6 +437,10 @@ pub struct TrainOptions {
     pub resume: bool,
     /// JSONL log path (default `out/train_<recipe>.jsonl`).
     pub log_path: Option<std::path::PathBuf>,
+    /// Cluster-dynamics model applied to the training episodes
+    /// (`--churn`/`--fail`/`--straggle`), so checkpoints can be produced
+    /// for perturbed clusters. Off by default.
+    pub dynamics: decima_sim::DynamicsSpec,
 }
 
 impl Default for TrainOptions {
@@ -452,6 +456,7 @@ impl Default for TrainOptions {
             checkpoint_every: 10,
             resume: false,
             log_path: None,
+            dynamics: decima_sim::DynamicsSpec::off(),
         }
     }
 }
@@ -506,8 +511,17 @@ pub fn run_training(opts: &TrainOptions) -> Result<TrainedPolicy, String> {
     use std::io::Write as _;
 
     let ckpt_path = opts.checkpoint_path();
+    let requested = decima_rl::WorkloadEcho::of(&opts.workload()).with_dynamics(opts.dynamics);
     let mut trainer = if opts.resume {
-        let t = decima_rl::Trainer::load_checkpoint(&ckpt_path)?;
+        let mut t = decima_rl::Trainer::load_checkpoint(&ckpt_path)?;
+        match &t.workload_echo {
+            // Resuming on a different workload than the checkpoint was
+            // trained on silently degrades the model — refuse loudly.
+            Some(saved) => saved.ensure_matches(&requested)?,
+            // Pre-echo checkpoints carry no workload record; stamp the
+            // requested shape so future resumes are protected.
+            None => t.workload_echo = Some(requested),
+        }
         println!(
             "Resumed from {} at iteration {} ({} logged)",
             ckpt_path.display(),
@@ -516,7 +530,9 @@ pub fn run_training(opts: &TrainOptions) -> Result<TrainedPolicy, String> {
         );
         t
     } else {
-        build_trainer(&opts.train_spec()?, opts.execs)
+        let mut t = build_trainer(&opts.train_spec()?, opts.execs);
+        t.workload_echo = Some(requested);
+        t
     };
     let log_path = opts.log_file();
     // Fresh runs truncate the log; resumed runs append, so the file ends
@@ -557,7 +573,8 @@ pub fn run_training(opts: &TrainOptions) -> Result<TrainedPolicy, String> {
         return Ok(TrainedPolicy::of(&trainer));
     }
 
-    let env = SpecEnv::new(opts.workload());
+    let mut env = SpecEnv::new(opts.workload());
+    env.sim.dynamics = opts.dynamics;
     if let Some(dir) = log_path.parent() {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;

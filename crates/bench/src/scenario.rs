@@ -9,7 +9,7 @@
 //! run's `out/<scenario>.json` so results stay self-describing.
 
 use crate::json::Json;
-use decima_sim::{Objective, SimConfig};
+use decima_sim::{DynamicsSpec, Objective, SimConfig};
 use decima_workload::{AlibabaConfig, ArrivalProcess, WorkloadSource, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +95,11 @@ pub struct SimSpec {
     pub time_limit: Option<f64>,
     /// Record Gantt charts.
     pub record_gantt: bool,
+    /// Cluster-dynamics model (executor churn, bounded-retry task
+    /// failures, stragglers); off by default. Overridable on every
+    /// scenario with `--set churn=… fail=… straggle=…` (plus `outage=`,
+    /// `retries=`, `straggle-factor=`, and the `level=` presets).
+    pub dynamics: DynamicsSpec,
 }
 
 impl Default for SimSpec {
@@ -105,6 +110,7 @@ impl Default for SimSpec {
             noise: None,
             time_limit: None,
             record_gantt: false,
+            dynamics: DynamicsSpec::off(),
         }
     }
 }
@@ -123,6 +129,7 @@ impl SimSpec {
         }
         cfg.time_limit = self.time_limit;
         cfg.record_gantt = self.record_gantt;
+        cfg.dynamics = self.dynamics;
         cfg
     }
 }
@@ -483,6 +490,14 @@ impl ScenarioSpec {
         }
     }
 
+    /// A text parameter, or `default` when absent/non-text.
+    pub fn text_param(&self, key: &str, default: &str) -> String {
+        match self.param(key) {
+            Some(ParamValue::Text(t)) => t.clone(),
+            _ => default.to_string(),
+        }
+    }
+
     fn param(&self, key: &str) -> Option<&ParamValue> {
         self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
@@ -528,6 +543,28 @@ impl ScenarioSpec {
                 if let Some(w) = &mut self.workload {
                     w.move_delay = d;
                 }
+            }
+            // Cluster-dynamics knobs (docs/ROBUSTNESS.md): any scenario
+            // can run perturbed.
+            "churn" => self.sim.dynamics.churn_iat = num()?,
+            "outage" => self.sim.dynamics.outage_mean = num()?,
+            "fail" => self.sim.dynamics.fail_prob = num()?,
+            "retries" => self.sim.dynamics.max_retries = num()?.round().max(0.0) as u32,
+            "straggle" => self.sim.dynamics.straggler_prob = num()?,
+            "straggle-factor" => self.sim.dynamics.straggler_factor = num()?,
+            // A named perturbation preset. "all" (the robust scenario's
+            // full sweep) and "custom" (use the churn=/fail=/straggle=
+            // knobs as set) leave the structured dynamics untouched.
+            "level" => {
+                if value != "all" && value != "custom" {
+                    self.sim.dynamics = DynamicsSpec::level(value).ok_or_else(|| {
+                        format!(
+                            "unknown dynamics level '{value}' (expected off, low, med, high, \
+                             all, or custom)"
+                        )
+                    })?;
+                }
+                self.upsert_param(key, ParamValue::Text(value.to_string()));
             }
             // Both accept a bare count ("5") or a range ("0..40").
             "runs" | "seeds" => self.seeds = self.seeds.parse(value)?,
@@ -751,6 +788,7 @@ fn sim_json(s: &SimSpec) -> Json {
         ("noise", s.noise.map_or(Json::Null, Json::Num)),
         ("time_limit", s.time_limit.map_or(Json::Null, Json::Num)),
         ("record_gantt", Json::Bool(s.record_gantt)),
+        ("dynamics", dynamics_json(&s.dynamics)),
     ])
 }
 
@@ -765,6 +803,37 @@ fn sim_from_json(v: &Json) -> Result<SimSpec, String> {
         noise: opt_f64(v, "noise"),
         time_limit: opt_f64(v, "time_limit"),
         record_gantt: req_bool(v, "record_gantt")?,
+        // Absent in documents written before the dynamics subsystem:
+        // default to off rather than rejecting old spec echoes.
+        dynamics: match v.get("dynamics") {
+            None | Some(Json::Null) => DynamicsSpec::off(),
+            Some(d) => dynamics_from_json(d)?,
+        },
+    })
+}
+
+/// Serializes a cluster-dynamics model (public: the robust scenario
+/// echoes each level's spec into its JSON output).
+pub fn dynamics_json(d: &DynamicsSpec) -> Json {
+    Json::obj([
+        ("churn_iat", Json::Num(d.churn_iat)),
+        ("outage_mean", Json::Num(d.outage_mean)),
+        ("fail_prob", Json::Num(d.fail_prob)),
+        ("max_retries", Json::Num(d.max_retries as f64)),
+        ("straggler_prob", Json::Num(d.straggler_prob)),
+        ("straggler_factor", Json::Num(d.straggler_factor)),
+    ])
+}
+
+/// Deserializes a cluster-dynamics model.
+pub fn dynamics_from_json(v: &Json) -> Result<DynamicsSpec, String> {
+    Ok(DynamicsSpec {
+        churn_iat: req_f64(v, "churn_iat")?,
+        outage_mean: req_f64(v, "outage_mean")?,
+        fail_prob: req_f64(v, "fail_prob")?,
+        max_retries: req_u64(v, "max_retries")? as u32,
+        straggler_prob: req_f64(v, "straggler_prob")?,
+        straggler_factor: req_f64(v, "straggler_factor")?,
     })
 }
 
@@ -1406,6 +1475,98 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    /// Satellite coverage: a spec with a non-default `DynamicsSpec`
+    /// round-trips through JSON exactly, and documents without a
+    /// `dynamics` key (written before the subsystem existed) load with
+    /// dynamics off.
+    #[test]
+    fn dynamics_spec_round_trips_through_json() {
+        let mut spec = demo_spec();
+        spec.sim.dynamics = DynamicsSpec {
+            churn_iat: 123.0,
+            outage_mean: 45.0,
+            fail_prob: 0.07,
+            max_retries: 9,
+            straggler_prob: 0.11,
+            straggler_factor: 2.5,
+        };
+        let text = spec.to_json().render();
+        let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.sim.dynamics, spec.sim.dynamics);
+
+        // Pre-dynamics documents: strip the key, expect the off default.
+        let doc = Json::parse(&text).unwrap();
+        let stripped = match doc {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| {
+                        if k == "sim" {
+                            let sim = match v {
+                                Json::Obj(sp) => Json::Obj(
+                                    sp.into_iter().filter(|(k, _)| k != "dynamics").collect(),
+                                ),
+                                other => other,
+                            };
+                            (k, sim)
+                        } else {
+                            (k, v)
+                        }
+                    })
+                    .collect(),
+            ),
+            other => other,
+        };
+        let legacy = ScenarioSpec::from_json(&stripped).unwrap();
+        assert_eq!(legacy.sim.dynamics, DynamicsSpec::off());
+    }
+
+    /// Satellite coverage: every dynamics knob is reachable with
+    /// `--set`, and `level=` applies whole presets (rejecting unknown
+    /// names).
+    #[test]
+    fn set_overrides_dynamics_knobs() {
+        let mut spec = demo_spec();
+        assert!(!spec.sim.dynamics.enabled());
+        spec.set("churn", "90").unwrap();
+        spec.set("outage", "12").unwrap();
+        spec.set("fail", "0.04").unwrap();
+        spec.set("retries", "7").unwrap();
+        spec.set("straggle", "0.2").unwrap();
+        spec.set("straggle-factor", "5").unwrap();
+        assert_eq!(
+            spec.sim.dynamics,
+            DynamicsSpec {
+                churn_iat: 90.0,
+                outage_mean: 12.0,
+                fail_prob: 0.04,
+                max_retries: 7,
+                straggler_prob: 0.2,
+                straggler_factor: 5.0,
+            }
+        );
+        assert!(spec.sim.dynamics.enabled());
+        assert!(spec.set("fail", "lots").is_err(), "non-numeric rejected");
+
+        // Presets overwrite the whole model and record the level param.
+        spec.set("level", "high").unwrap();
+        assert_eq!(spec.sim.dynamics, DynamicsSpec::high());
+        assert_eq!(spec.text_param("level", "all"), "high");
+        spec.set("level", "off").unwrap();
+        assert!(!spec.sim.dynamics.enabled());
+        // "all" (the robust sweep marker) and "custom" (use the knobs
+        // as set) touch the param only, never the structured model.
+        spec.set("churn", "50").unwrap();
+        spec.set("level", "all").unwrap();
+        assert_eq!(spec.sim.dynamics.churn_iat, 50.0);
+        assert_eq!(spec.text_param("level", "x"), "all");
+        spec.set("level", "custom").unwrap();
+        assert_eq!(spec.sim.dynamics.churn_iat, 50.0);
+        assert_eq!(spec.text_param("level", "x"), "custom");
+        assert!(spec.set("level", "apocalyptic").is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub mod ablation;
 pub mod appendix;
 pub mod motivation;
 pub mod multires;
+pub mod robust;
 pub mod tpch;
 
 use crate::scenario::{ScenarioSpec, SchedulerSpec, TrainSpec};

@@ -1,0 +1,291 @@
+//! The `robust` scenario family: scheduler quality under cluster
+//! dynamics (executor churn, bounded-retry task failures, stragglers).
+//!
+//! The lineup — heuristics plus trained and untrained Decima — is
+//! resolved once on the unperturbed evaluation environment, then
+//! evaluated over the seed plan at **escalating perturbation levels**
+//! (`off → low → med → high` by default; restrict with `--set
+//! level=low`, or `--set level=custom` to use the spec's own
+//! `--set churn=…/fail=…/straggle=…` knobs — which are honored even
+//! without an explicit level: they run as a single `custom` level
+//! rather than being dropped by the preset sweep). Each `(level, scheduler)`
+//! cell reports the mean avg JCT, unfinished jobs, and the dynamics
+//! counters (retries, interrupted tasks, stragglers, failed jobs, churn
+//! events, lost executor-seconds) — CSV rows in `out/robust.csv`, and a
+//! structured `levels` object in `out/robust.json`. Determinism: fixed
+//! seeds + a fixed `DynamicsSpec` reproduce every number bit-exactly,
+//! independent of `--threads` (see docs/ROBUSTNESS.md).
+
+use crate::factory::{make_scheduler, TrainedPolicy};
+use crate::json::Json;
+use crate::report::{ScenarioReport, SeriesReport};
+use crate::runner::{par_map, spec_env, train_decima_entry, RunOptions};
+use crate::scenario::{dynamics_json, ScenarioSpec, SchedulerSpec};
+use crate::{run_episode, write_csv};
+use decima_rl::EnvFactory as _;
+use decima_sim::{DynamicsCounters, DynamicsSpec, EpisodeResult};
+
+/// The perturbation levels this run sweeps, by the `level` parameter.
+/// Explicit dynamics knobs (`--set churn=…` etc.) are always honored:
+/// without a `level` they run as a single `custom` level instead of
+/// being silently dropped by the preset sweep, and with `--set
+/// level=<name>` any knobs applied *after* the level refine that
+/// preset (flag order wins, like the rest of `--set`).
+fn resolve_levels(spec: &ScenarioSpec) -> Vec<(String, DynamicsSpec)> {
+    let level = spec.text_param("level", "all");
+    match level.as_str() {
+        "all" if !spec.sim.dynamics.enabled() => vec![
+            ("off".into(), DynamicsSpec::off()),
+            ("low".into(), DynamicsSpec::low()),
+            ("med".into(), DynamicsSpec::med()),
+            ("high".into(), DynamicsSpec::high()),
+        ],
+        "all" => {
+            println!(
+                "note: explicit dynamics knobs set; running them as level 'custom' \
+                 (reset the knobs for the off→low→med→high preset sweep)"
+            );
+            vec![("custom".into(), spec.sim.dynamics)]
+        }
+        // The spec's own dynamics knobs (set via --set churn=… etc.).
+        "custom" => vec![("custom".into(), spec.sim.dynamics)],
+        name => {
+            assert!(
+                DynamicsSpec::level(name).is_some(),
+                "unknown dynamics level '{name}'"
+            );
+            // `--set level=name` loaded the preset into sim.dynamics;
+            // later knob overrides refined it — use what the spec says.
+            vec![(name.to_string(), spec.sim.dynamics)]
+        }
+    }
+}
+
+fn sum_counters(results: &[EpisodeResult]) -> DynamicsCounters {
+    let mut c = DynamicsCounters::default();
+    for r in results {
+        c.retries += r.dynamics.retries;
+        c.interrupted += r.dynamics.interrupted;
+        c.straggled += r.dynamics.straggled;
+        c.failed_jobs += r.dynamics.failed_jobs;
+        c.churn_events += r.dynamics.churn_events;
+        c.lost_exec_seconds += r.dynamics.lost_exec_seconds;
+    }
+    c
+}
+
+/// A mean JCT as a CSV cell: empty (not the literal `NaN`) when no job
+/// completed — e.g. every job exhausted its retry budget — so numeric
+/// consumers of `out/robust.csv` see a missing value, not a non-numeric
+/// token.
+fn csv_mean(mean: f64) -> String {
+    if mean.is_finite() {
+        format!("{mean:.2}")
+    } else {
+        String::new()
+    }
+}
+
+fn counters_json(c: &DynamicsCounters) -> Json {
+    Json::obj([
+        ("retries", Json::Num(c.retries as f64)),
+        ("interrupted", Json::Num(c.interrupted as f64)),
+        ("straggled", Json::Num(c.straggled as f64)),
+        ("failed_jobs", Json::Num(c.failed_jobs as f64)),
+        ("churn_events", Json::Num(c.churn_events as f64)),
+        ("lost_exec_seconds", Json::Num(c.lost_exec_seconds)),
+    ])
+}
+
+/// Runs the robustness sweep.
+pub fn run_robust(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
+    let mut report = ScenarioReport::new();
+    let env = spec_env(spec);
+    let executors = env.workload.executors;
+    let seeds = spec.seeds.seeds();
+    let levels = resolve_levels(spec);
+
+    // Resolve the lineup once: Decima entries train (or load their
+    // checkpoint) on the *unperturbed* evaluation environment — even
+    // when the spec carries dynamics knobs (level=custom) — so the
+    // sweep measures how clean-trained policies degrade. To evaluate a
+    // perturbation-trained model instead, point a `decima-ckpt:<path>`
+    // entry at a checkpoint produced with `--train --churn/--fail/...`.
+    let mut train_env = env.clone();
+    train_env.sim.dynamics = DynamicsSpec::off();
+    let resolved: Vec<(String, String, SchedulerSpec, Option<TrainedPolicy>)> = spec
+        .lineup
+        .iter()
+        .map(|entry| {
+            let trained = match &entry.sched {
+                SchedulerSpec::Decima { train } => {
+                    Some(train_decima_entry(&entry.label, train, &train_env))
+                }
+                SchedulerSpec::DecimaCheckpoint { path } => {
+                    println!("Loading {} from checkpoint {path}...", entry.label);
+                    let snapshot = TrainedPolicy::from_checkpoint(path)
+                        .unwrap_or_else(|e| panic!("cannot load checkpoint '{path}': {e}"));
+                    crate::runner::check_snapshot_compat(&snapshot, executors, path);
+                    Some(snapshot)
+                }
+                _ => None,
+            };
+            (
+                entry.label.clone(),
+                entry.csv_name(),
+                entry.sched.clone(),
+                trained,
+            )
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut level_objs: Vec<(String, Json)> = Vec::new();
+    for (level_name, dynamics) in &levels {
+        let mut level_env = env.clone();
+        level_env.sim.dynamics = *dynamics;
+        println!("\n== robust: perturbation level '{level_name}' ==");
+        println!(
+            "{:<22} {:>9} {:>6} {:>8} {:>8} {:>9} {:>7} {:>7} {:>10}",
+            "scheduler",
+            "avg JCT",
+            "unfin",
+            "retries",
+            "interr",
+            "straggle",
+            "failed",
+            "churn",
+            "lost e·s"
+        );
+        let mut sched_objs: Vec<(String, Json)> = Vec::new();
+        for (label, csv, sched, trained) in &resolved {
+            let results: Vec<EpisodeResult> = par_map(&seeds, opts.threads, |&seed| {
+                let (cluster, jobs, cfg) = level_env.build(seed);
+                run_episode(
+                    &cluster,
+                    &jobs,
+                    &cfg,
+                    make_scheduler(sched, executors, trained.as_ref()),
+                )
+            });
+            let series = SeriesReport {
+                label: format!("{label} @{level_name}"),
+                csv: format!("{level_name}_{csv}"),
+                avg_jcts: results
+                    .iter()
+                    .map(|r| r.avg_jct().unwrap_or(f64::NAN))
+                    .collect(),
+                unfinished: results.iter().map(EpisodeResult::unfinished).sum(),
+            };
+            let c = sum_counters(&results);
+            println!(
+                "{:<22} {:>8.1}s {:>6} {:>8} {:>8} {:>9} {:>7} {:>7} {:>9.1}s",
+                *label,
+                series.mean(),
+                series.unfinished,
+                c.retries,
+                c.interrupted,
+                c.straggled,
+                c.failed_jobs,
+                c.churn_events,
+                c.lost_exec_seconds
+            );
+            rows.push(format!(
+                "{level_name},{csv},{},{},{},{},{},{},{},{:.2}",
+                csv_mean(series.mean()),
+                series.unfinished,
+                c.retries,
+                c.interrupted,
+                c.straggled,
+                c.failed_jobs,
+                c.churn_events,
+                c.lost_exec_seconds
+            ));
+            sched_objs.push((csv.clone(), counters_json(&c)));
+            report.push_series(series);
+        }
+        level_objs.push((
+            level_name.clone(),
+            Json::obj([
+                ("dynamics", dynamics_json(dynamics)),
+                ("counters", Json::Obj(sched_objs)),
+            ]),
+        ));
+    }
+
+    report.push_extra("levels", Json::Obj(level_objs));
+    let path = write_csv(
+        &spec.name,
+        "level,scheduler,avg_jct,unfinished,retries,interrupted,straggled,failed_jobs,\
+         churn_events,lost_exec_seconds",
+        &rows,
+    );
+    report.push_csv(path);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ScenarioRegistry;
+
+    fn robust_spec() -> ScenarioSpec {
+        ScenarioRegistry::standard()
+            .get("robust")
+            .expect("robust registered")
+            .spec
+            .clone()
+    }
+
+    #[test]
+    fn default_sweep_escalates() {
+        let levels = resolve_levels(&robust_spec());
+        let names: Vec<&str> = levels.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["off", "low", "med", "high"]);
+        assert_eq!(levels[0].1, DynamicsSpec::off());
+        assert_eq!(levels[3].1, DynamicsSpec::high());
+    }
+
+    /// Explicit knobs without a level are honored (as `custom`), never
+    /// silently dropped by the preset sweep.
+    #[test]
+    fn explicit_knobs_run_as_custom() {
+        let mut spec = robust_spec();
+        spec.set("fail", "0.5").unwrap();
+        let levels = resolve_levels(&spec);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].0, "custom");
+        assert_eq!(levels[0].1.fail_prob, 0.5);
+    }
+
+    /// Knobs applied after `--set level=<name>` refine that preset.
+    #[test]
+    fn named_level_honors_later_knob_overrides() {
+        let mut spec = robust_spec();
+        spec.set("level", "med").unwrap();
+        spec.set("fail", "0.5").unwrap();
+        let levels = resolve_levels(&spec);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].0, "med");
+        assert_eq!(levels[0].1.fail_prob, 0.5, "override on top of the preset");
+        assert_eq!(levels[0].1.churn_iat, DynamicsSpec::med().churn_iat);
+    }
+
+    #[test]
+    fn csv_mean_blanks_out_nan() {
+        assert_eq!(csv_mean(12.345), "12.35");
+        assert_eq!(csv_mean(f64::NAN), "");
+        assert_eq!(csv_mean(f64::INFINITY), "");
+    }
+
+    #[test]
+    fn custom_level_uses_spec_dynamics() {
+        let mut spec = robust_spec();
+        spec.set("churn", "60").unwrap();
+        spec.set("level", "custom").unwrap();
+        let levels = resolve_levels(&spec);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].0, "custom");
+        assert_eq!(levels[0].1.churn_iat, 60.0);
+    }
+}

@@ -114,6 +114,65 @@ fn resume_reconciles_log_records_past_the_checkpoint() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The checkpoint embeds the workload it was trained on; resuming with
+/// different `--jobs/--execs/--iat` flags must fail loudly instead of
+/// silently continuing the optimization on another distribution.
+#[test]
+fn resume_with_mismatched_workload_flags_is_a_hard_error() {
+    let dir = tmp_dir("echo");
+    let opts = tiny_opts(&dir, 1);
+    run_training(&opts).expect("fresh run");
+    let text = std::fs::read_to_string(opts.checkpoint_path()).unwrap();
+    assert!(text.contains("echo.jobs 2"), "checkpoint carries the echo");
+    assert!(text.contains("echo.execs 5"));
+
+    // Mismatched executor count: hard error with both shapes named.
+    let bad = TrainOptions {
+        resume: true,
+        execs: 9,
+        ..tiny_opts(&dir, 2)
+    };
+    let err = match run_training(&bad) {
+        Err(e) => e,
+        Ok(_) => panic!("mismatched resume must fail"),
+    };
+    assert!(err.contains("workload mismatch"), "{err}");
+    assert!(err.contains("9 executors"), "{err}");
+
+    // Mismatched arrivals (batch → stream): also rejected.
+    let bad_iat = TrainOptions {
+        resume: true,
+        iat: Some(20.0),
+        ..tiny_opts(&dir, 2)
+    };
+    assert!(
+        run_training(&bad_iat).is_err(),
+        "IAT drift must be rejected"
+    );
+
+    // Mismatched dynamics (fault-free checkpoint, perturbed resume):
+    // also rejected — and by symmetry a perturbed checkpoint refuses a
+    // resume that drops the dynamics flags.
+    let bad_dyn = TrainOptions {
+        resume: true,
+        dynamics: decima_sim::DynamicsSpec::med(),
+        ..tiny_opts(&dir, 2)
+    };
+    let err = match run_training(&bad_dyn) {
+        Err(e) => e,
+        Ok(_) => panic!("dynamics drift must be rejected"),
+    };
+    assert!(err.contains("dynamics(churn=240"), "{err}");
+
+    // Matching flags resume normally.
+    let good = TrainOptions {
+        resume: true,
+        ..tiny_opts(&dir, 2)
+    };
+    run_training(&good).expect("matching resume works");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn resume_without_checkpoint_errors_and_target_reached_is_a_noop() {
     let dir = tmp_dir("errors");

@@ -10,7 +10,11 @@
 //! * the **Adam moments and step count** (`Adam::to_text`);
 //! * the **trainer state**: completed iterations, the curriculum's
 //!   current `τ_mean`, the raw RNG state, the differential-reward moving
-//!   average, and the full [`IterStats`] history.
+//!   average, and the full [`IterStats`] history;
+//! * optionally a **workload echo** ([`WorkloadEcho`], `echo.*` lines):
+//!   the jobs/executors/IAT shape — and the cluster-dynamics model — a
+//!   standalone training run rolled out on, so resuming with different
+//!   workload or dynamics flags is a hard error.
 //!
 //! Restoring a checkpoint therefore resumes training **bit-exactly**: an
 //! interrupted-and-resumed run produces the same `IterStats` history and
@@ -43,10 +47,100 @@ use crate::trainer::{Curriculum, IterStats, TrainConfig, Trainer};
 use decima_gnn::{FeatureConfig, GnnConfig};
 use decima_nn::ParamStore;
 use decima_policy::{DecimaPolicy, ParallelismMode, PolicyConfig};
+use decima_sim::DynamicsSpec;
+use decima_workload::{ArrivalProcess, WorkloadSource, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+
+/// The shape of the environment a training run rolled out on, echoed
+/// into the checkpoint (`echo.*` lines) so a `--resume` with different
+/// `--jobs`/`--execs`/`--iat` — or different cluster-dynamics — flags
+/// is a hard error instead of silently continuing the optimization on
+/// a different distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadEcho {
+    /// Jobs per training episode.
+    pub jobs: usize,
+    /// Cluster executor count.
+    pub execs: usize,
+    /// Poisson mean interarrival time; `None` for batched arrivals (or
+    /// sources without a single IAT).
+    pub iat: Option<f64>,
+    /// The cluster-dynamics model training ran under (off unless the
+    /// run passed `--churn`/`--fail`/`--straggle`).
+    pub dynamics: DynamicsSpec,
+}
+
+impl WorkloadEcho {
+    /// The echo of a declarative workload description (dynamics off;
+    /// see [`WorkloadEcho::with_dynamics`]).
+    pub fn of(w: &WorkloadSpec) -> Self {
+        let iat = match &w.source {
+            WorkloadSource::Tpch {
+                arrivals: ArrivalProcess::Poisson { mean_iat },
+                ..
+            } => Some(*mean_iat),
+            WorkloadSource::Alibaba { mean_iat, .. } => Some(*mean_iat),
+            _ => None,
+        };
+        WorkloadEcho {
+            jobs: w.num_jobs(),
+            execs: w.executors,
+            iat,
+            dynamics: DynamicsSpec::off(),
+        }
+    }
+
+    /// Stamps the cluster-dynamics model the run trains under.
+    pub fn with_dynamics(mut self, dynamics: DynamicsSpec) -> Self {
+        self.dynamics = dynamics;
+        self
+    }
+
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        let arrivals = match self.iat {
+            Some(iat) => format!("poisson arrivals (mean IAT {iat} s)"),
+            None => "batched arrivals".to_string(),
+        };
+        let d = &self.dynamics;
+        let dynamics = if d.enabled() {
+            format!(
+                " / dynamics(churn={}, outage={}, fail={}, retries={}, straggle={}, factor={})",
+                d.churn_iat,
+                d.outage_mean,
+                d.fail_prob,
+                d.max_retries,
+                d.straggler_prob,
+                d.straggler_factor
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "{} jobs / {} executors / {arrivals}{dynamics}",
+            self.jobs, self.execs
+        )
+    }
+
+    /// Errors (with both shapes spelled out) unless `requested` matches
+    /// this echo exactly — workload and dynamics alike.
+    pub fn ensure_matches(&self, requested: &WorkloadEcho) -> Result<(), String> {
+        if self == requested {
+            Ok(())
+        } else {
+            Err(format!(
+                "checkpoint workload mismatch: the checkpoint was trained on {} but --resume \
+                 was asked to continue on {}; pass matching --jobs/--execs/--iat (and \
+                 --churn/--fail/--straggle) flags or start a fresh --checkpoint-dir",
+                self.describe(),
+                requested.describe()
+            ))
+        }
+    }
+}
 
 /// Magic prefix of the checkpoint header line.
 pub const CHECKPOINT_HEADER: &str = "decima-checkpoint";
@@ -280,6 +374,26 @@ impl Trainer {
         let _ = writeln!(out, "cfg.seed {}", c.seed);
         let _ = writeln!(out, "cfg.legacy_replay {}", c.legacy_replay as u8);
 
+        // Workload echo (standalone training runs): lets --resume refuse
+        // mismatched workload flags. Optional for compatibility with
+        // checkpoints written before the echo existed.
+        if let Some(echo) = &self.workload_echo {
+            let _ = writeln!(out, "echo.jobs {}", echo.jobs);
+            let _ = writeln!(out, "echo.execs {}", echo.execs);
+            let _ = writeln!(out, "echo.iat {}", opt_f64(echo.iat));
+            let d = &echo.dynamics;
+            let _ = writeln!(
+                out,
+                "echo.dynamics {} {} {} {} {} {}",
+                d.churn_iat,
+                d.outage_mean,
+                d.fail_prob,
+                d.max_retries,
+                d.straggler_prob,
+                d.straggler_factor
+            );
+        }
+
         let _ = writeln!(out, "state.iter {}", self.iter);
         let _ = writeln!(out, "state.tau_mean {}", self.tau_mean);
         let s = self.rng.state();
@@ -393,6 +507,42 @@ impl Trainer {
             .load_text(adam)
             .map_err(|e| format!("checkpoint [adam]: {e}"))?;
 
+        trainer.workload_echo = match head.map.contains_key("echo.jobs") {
+            true => {
+                // The dynamics line is optional (echoes written before
+                // perturbed training existed default to off).
+                let dynamics = match head.map.get("echo.dynamics") {
+                    Some(line) => {
+                        let t: Vec<&str> = line.split_whitespace().collect();
+                        if t.len() != 6 {
+                            return Err(format!("malformed 'echo.dynamics' line '{line}'"));
+                        }
+                        let f = |s: &str| -> Result<f64, String> {
+                            s.parse()
+                                .map_err(|_| format!("malformed 'echo.dynamics' value '{s}'"))
+                        };
+                        DynamicsSpec {
+                            churn_iat: f(t[0])?,
+                            outage_mean: f(t[1])?,
+                            fail_prob: f(t[2])?,
+                            max_retries: t[3]
+                                .parse()
+                                .map_err(|_| "malformed 'echo.dynamics' retries".to_string())?,
+                            straggler_prob: f(t[4])?,
+                            straggler_factor: f(t[5])?,
+                        }
+                    }
+                    None => DynamicsSpec::off(),
+                };
+                Some(WorkloadEcho {
+                    jobs: head.parse("echo.jobs")?,
+                    execs: head.parse("echo.execs")?,
+                    iat: head.parse_opt_f64("echo.iat")?,
+                    dynamics,
+                })
+            }
+            false => None,
+        };
         trainer.iter = head.parse("state.iter")?;
         trainer.tau_mean = head.parse("state.tau_mean")?;
         let rng_words: Vec<u64> = head

@@ -160,6 +160,7 @@ mod tests {
                 num_events: 0,
                 wasted_actions: 0,
                 task_failures: 0,
+                dynamics: Default::default(),
                 gantt: None,
             },
         }

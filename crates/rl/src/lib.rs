@@ -29,7 +29,7 @@ pub mod trajectory;
 
 pub use actor::ActorPool;
 pub use baseline::{returns_to_go, time_aligned_baselines, MovingAvg, ReturnSeries};
-pub use checkpoint::{CHECKPOINT_HEADER, CHECKPOINT_VERSION};
+pub use checkpoint::{WorkloadEcho, CHECKPOINT_HEADER, CHECKPOINT_VERSION};
 pub use env::{AlibabaEnv, EnvFactory, SpecEnv, TpchEnv, SIM_SEED_SALT};
 pub use trainer::{Curriculum, IterStats, TrainConfig, Trainer};
 pub use trajectory::Trajectory;

@@ -144,6 +144,10 @@ pub struct Trainer {
     pub iter: usize,
     /// History of per-iteration statistics.
     pub history: Vec<IterStats>,
+    /// Workload shape echoed into checkpoints by standalone training
+    /// runs (see [`crate::checkpoint::WorkloadEcho`]); `None` unless the
+    /// driver stamps it.
+    pub workload_echo: Option<crate::checkpoint::WorkloadEcho>,
     /// Persistent worker pool, spawned on first use so that trainers
     /// built only for evaluation or checkpoint inspection stay free.
     pool: Option<ActorPool>,
@@ -163,6 +167,7 @@ impl Trainer {
             tau_mean,
             iter: 0,
             history: Vec::new(),
+            workload_echo: None,
             pool: None,
             cfg,
         }
@@ -441,6 +446,34 @@ mod tests {
         });
         let s = t.train_iteration(&env);
         assert!(s.mean_reward.is_finite());
+    }
+
+    /// Rollouts run under cluster dynamics (churn, failures,
+    /// stragglers) so checkpoints can be produced for perturbed
+    /// clusters — and stay deterministic at a fixed seed.
+    #[test]
+    fn training_runs_under_cluster_dynamics() {
+        use crate::env::SpecEnv;
+        use decima_sim::DynamicsSpec;
+        let mut env = SpecEnv::new(decima_workload::WorkloadSpec::tpch_batch(3, 5));
+        env.sim.dynamics = DynamicsSpec {
+            churn_iat: 20.0,
+            fail_prob: 0.05,
+            straggler_prob: 0.1,
+            ..DynamicsSpec::med()
+        };
+        let run = || {
+            let mut t = tiny_trainer(TrainConfig {
+                num_rollouts: 2,
+                ..TrainConfig::default()
+            });
+            let s = t.train_iteration(&env);
+            assert!(s.mean_reward.is_finite());
+            assert!(s.grad_norm.is_finite() && s.grad_norm > 0.0);
+            s
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "perturbed training must stay deterministic");
     }
 
     #[test]

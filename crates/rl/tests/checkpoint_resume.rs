@@ -5,7 +5,8 @@
 
 use decima_nn::ParamStore;
 use decima_policy::{DecimaPolicy, PolicyConfig};
-use decima_rl::{Curriculum, IterStats, TpchEnv, TrainConfig, Trainer};
+use decima_rl::{Curriculum, IterStats, TpchEnv, TrainConfig, Trainer, WorkloadEcho};
+use decima_workload::WorkloadSpec;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -113,4 +114,103 @@ fn resume_at_every_split_point_matches() {
     for split in 1..3 {
         run_resume_case(cfg.clone(), &TpchEnv::batch(2, 5), 3, split);
     }
+}
+
+/// The checkpoint embeds the workload shape the run trained on
+/// (jobs/execs/iat): it round-trips through the `decima-checkpoint v1`
+/// text, a matching shape is accepted on resume, and any drift is a
+/// hard error naming both shapes.
+#[test]
+fn workload_echo_round_trips_and_gates_resume() {
+    let cfg = TrainConfig {
+        num_rollouts: 2,
+        seed: 11,
+        ..TrainConfig::default()
+    };
+    let mut t = fresh(&cfg);
+    let echo = WorkloadEcho::of(&WorkloadSpec::tpch_batch(3, 5));
+    assert_eq!(echo.jobs, 3);
+    assert_eq!(echo.execs, 5);
+    assert_eq!(echo.iat, None);
+    assert!(!echo.dynamics.enabled(), "dynamics defaults to off");
+    t.workload_echo = Some(echo);
+    t.train_iteration(&TpchEnv::batch(3, 5));
+    let text = t.to_checkpoint();
+    assert!(text.contains("echo.jobs 3"), "echo serialized");
+    assert!(text.contains("echo.execs 5"));
+    assert!(text.contains("echo.iat none"));
+    assert!(text.contains("echo.dynamics "));
+    let r = Trainer::from_checkpoint(&text).expect("echoed checkpoint loads");
+    assert_eq!(r.workload_echo, Some(echo));
+    // Serialization stays stable with the echo present.
+    assert_eq!(r.to_checkpoint(), text);
+
+    // Accept path: the identical workload shape resumes.
+    echo.ensure_matches(&WorkloadEcho::of(&WorkloadSpec::tpch_batch(3, 5)))
+        .expect("matching workload must be accepted");
+
+    // Reject paths: jobs, execs, or arrival drift are all hard errors
+    // whose message names both shapes.
+    let err = echo
+        .ensure_matches(&WorkloadEcho::of(&WorkloadSpec::tpch_batch(3, 8)))
+        .expect_err("executor drift must be rejected");
+    assert!(err.contains("3 jobs / 5 executors"), "{err}");
+    assert!(err.contains("8 executors"), "{err}");
+    let err = echo
+        .ensure_matches(&WorkloadEcho::of(&WorkloadSpec::tpch_stream(3, 5, 25.0)))
+        .expect_err("batch → stream drift must be rejected");
+    assert!(err.contains("poisson arrivals (mean IAT 25 s)"), "{err}");
+    assert!(
+        WorkloadEcho::of(&WorkloadSpec::tpch_stream(3, 5, 25.0)).iat == Some(25.0),
+        "stream workloads echo their IAT"
+    );
+
+    // Dynamics drift: a perturbation-trained checkpoint refuses a
+    // resume that silently drops the dynamics flags (and vice versa).
+    let perturbed = echo.with_dynamics(decima_sim::DynamicsSpec::med());
+    let err = perturbed
+        .ensure_matches(&echo)
+        .expect_err("dropping the dynamics flags must be rejected");
+    assert!(err.contains("dynamics(churn=240"), "{err}");
+    perturbed
+        .ensure_matches(&echo.with_dynamics(decima_sim::DynamicsSpec::med()))
+        .expect("matching dynamics resumes");
+}
+
+/// A perturbation-trained echo round-trips its dynamics through the
+/// checkpoint text.
+#[test]
+fn perturbed_workload_echo_round_trips() {
+    let cfg = TrainConfig {
+        num_rollouts: 2,
+        seed: 6,
+        ..TrainConfig::default()
+    };
+    let mut t = fresh(&cfg);
+    let echo = WorkloadEcho::of(&WorkloadSpec::tpch_batch(2, 5))
+        .with_dynamics(decima_sim::DynamicsSpec::high());
+    t.workload_echo = Some(echo);
+    t.train_iteration(&TpchEnv::batch(2, 5));
+    let text = t.to_checkpoint();
+    let r = Trainer::from_checkpoint(&text).expect("loads");
+    assert_eq!(r.workload_echo, Some(echo));
+    assert_eq!(r.to_checkpoint(), text, "serialization stays stable");
+}
+
+/// Checkpoints written before the echo existed (no `echo.*` lines) load
+/// with `workload_echo = None` — the guard is opt-in, not a format break.
+#[test]
+fn checkpoints_without_echo_still_load() {
+    let cfg = TrainConfig {
+        num_rollouts: 2,
+        seed: 4,
+        ..TrainConfig::default()
+    };
+    let mut t = fresh(&cfg);
+    t.train_iteration(&TpchEnv::batch(2, 5));
+    assert!(t.workload_echo.is_none());
+    let text = t.to_checkpoint();
+    assert!(!text.contains("echo."), "no echo lines without a stamp");
+    let r = Trainer::from_checkpoint(&text).expect("legacy layout loads");
+    assert!(r.workload_echo.is_none());
 }

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::dynamics::DynamicsSpec;
 use serde::{Deserialize, Serialize};
 
 /// The high-level objective the reward signal encodes (§5.3, §7.4).
@@ -49,6 +50,10 @@ pub struct SimConfig {
     /// rebuild-from-scratch reference at every decision, panicking on any
     /// field mismatch (differential testing; slow, off by default).
     pub validate_observations: bool,
+    /// Cluster-dynamics model: executor churn, bounded-retry task
+    /// failures, stragglers (see [`crate::dynamics`]). Off by default;
+    /// disabled dynamics is bit-exactly the pre-dynamics engine.
+    pub dynamics: DynamicsSpec,
 }
 
 impl Default for SimConfig {
@@ -64,6 +69,7 @@ impl Default for SimConfig {
             seed: 0,
             record_gantt: false,
             validate_observations: false,
+            dynamics: DynamicsSpec::off(),
         }
     }
 }
@@ -111,6 +117,12 @@ impl SimConfig {
         self.validate_observations = true;
         self
     }
+
+    /// Sets the cluster-dynamics model.
+    pub fn with_dynamics(mut self, dynamics: DynamicsSpec) -> Self {
+        self.dynamics = dynamics;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +136,7 @@ mod tests {
         assert!(c.first_wave && c.inflation);
         assert_eq!(c.noise, 0.0);
         assert!(c.time_limit.is_none());
+        assert!(!c.dynamics.enabled(), "dynamics must default to off");
     }
 
     #[test]
@@ -139,10 +152,12 @@ mod tests {
             .with_time_limit(100.0)
             .with_noise(0.1)
             .with_seed(7)
-            .with_gantt();
+            .with_gantt()
+            .with_dynamics(DynamicsSpec::med());
         assert_eq!(c.time_limit, Some(100.0));
         assert_eq!(c.noise, 0.1);
         assert_eq!(c.seed, 7);
         assert!(c.record_gantt);
+        assert_eq!(c.dynamics, DynamicsSpec::med());
     }
 }

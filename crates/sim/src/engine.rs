@@ -14,8 +14,16 @@
 //! idle executors already bound to the target job first (no delay), then
 //! unbound or other-job executors (with delay) — up to the action's
 //! parallelism limit and the stage's unclaimed task count.
+//!
+//! When the configured [`crate::dynamics::DynamicsSpec`] is enabled the
+//! engine additionally injects executor churn (offline/online
+//! transitions through the same `set_exec_state` choke point, so all
+//! incremental bookkeeping stays exact), bounded-retry task failures
+//! (jobs die after exhausting their budget), and straggler slowdowns —
+//! all from a dedicated RNG so the base simulation stream is untouched.
 
 use crate::config::{Objective, SimConfig};
+use crate::dynamics::Perturbations;
 use crate::result::{ActionRecord, EpisodeResult, JobOutcome};
 use crate::sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};
 use decima_core::{ClassId, ClusterSpec, ExecutorId, Gantt, JobId, JobSpec, SimTime, StageId};
@@ -25,15 +33,23 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
-/// Simulator events.
+/// Simulator events. Executor-bound events carry the executor's epoch
+/// at push time: churn interrupts bump the epoch, so a stale
+/// `TaskDone`/`ExecReady` for a since-interrupted assignment is
+/// recognized and dropped when it pops.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Ev {
     /// A job becomes visible to the scheduler.
     Arrival(JobId),
     /// A running task finishes on an executor.
-    TaskDone(ExecutorId),
+    TaskDone(ExecutorId, u32),
     /// A moving executor arrives at its destination job.
-    ExecReady(ExecutorId),
+    ExecReady(ExecutorId, u32),
+    /// Cluster-dynamics churn tick: maybe take an executor offline and
+    /// schedule the next tick.
+    ChurnTick,
+    /// An offline executor's outage ends.
+    ExecOnline(ExecutorId),
 }
 
 /// Heap entry ordered by `(time, seq)` for deterministic tie-breaking.
@@ -71,6 +87,9 @@ enum ExecState {
         started: SimTime,
         duration: f64,
     },
+    /// Offline (cluster-dynamics churn): not dispatchable, owned by no
+    /// job, invisible to availability counts until the outage ends.
+    Offline,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -99,6 +118,12 @@ struct JobRt {
     /// Observation-relevant state changed since the pooled observation
     /// was last filled (skips per-node copies for untouched jobs).
     dirty: bool,
+    /// Dynamics task failures charged to the job so far; exceeding the
+    /// spec's `max_retries` kills the job.
+    failures: u32,
+    /// Killed by the dynamics retry bound (implies `finished`, with no
+    /// completion time).
+    failed: bool,
     nodes: Vec<NodeRt>,
     unfinished_nodes: usize,
     executed_work: f64,
@@ -152,6 +177,12 @@ pub struct Simulator {
     /// Pooled observation reused across decisions: steady-state decisions
     /// update it in place and allocate nothing.
     obs_buf: Option<Observation>,
+    /// Offline executors (incremental; see `ExecState::Offline`).
+    offline_count: usize,
+    /// Cluster-dynamics runtime state; `None` when the config's
+    /// [`crate::dynamics::DynamicsSpec`] is disabled, leaving every hot
+    /// path untouched.
+    dynamics: Option<Perturbations>,
 }
 
 #[derive(Clone, Debug)]
@@ -162,6 +193,9 @@ struct ExecMeta {
     /// Last (job, node) this executor ran a task of — used for the
     /// first-wave (cold executor) slowdown.
     last_node: Option<(JobId, u32)>,
+    /// Bumped when a pending `TaskDone`/`ExecReady` for this executor is
+    /// cancelled (churn interrupt, job kill); stale events are dropped.
+    epoch: u32,
 }
 
 impl Simulator {
@@ -178,6 +212,7 @@ impl Simulator {
                     class: ClassId(ci as u16),
                     memory: class.memory,
                     last_node: None,
+                    epoch: 0,
                 });
             }
         }
@@ -210,6 +245,8 @@ impl Simulator {
                 peak_alloc: 0,
                 local_free: 0,
                 dirty: true,
+                failures: 0,
+                failed: false,
                 unfinished_nodes: n,
                 nodes,
                 executed_work: 0.0,
@@ -223,6 +260,24 @@ impl Simulator {
         let mut avail_by_class = vec![0usize; num_classes];
         for em in &execs {
             avail_by_class[em.class.index()] += 1;
+        }
+        // Dynamics runtime state only exists when the model is enabled —
+        // the disabled default leaves every path (and the event queue)
+        // bit-identical to the pre-dynamics engine.
+        let mut dynamics = cfg
+            .dynamics
+            .enabled()
+            .then(|| Perturbations::new(cfg.dynamics, cfg.seed, execs.len()));
+        if let Some(d) = &mut dynamics {
+            if d.spec.churn_iat > 0.0 {
+                let t = SimTime::from_secs(d.next_churn_interval());
+                queue.push(Reverse(QueuedEv {
+                    time: t,
+                    seq,
+                    ev: Ev::ChurnTick,
+                }));
+                seq += 1;
+            }
         }
         Simulator {
             cluster,
@@ -250,6 +305,8 @@ impl Simulator {
             obs_epoch: 0,
             obs_buf_epoch: u64::MAX,
             obs_buf: None,
+            offline_count: 0,
+            dynamics,
         }
     }
 
@@ -259,7 +316,7 @@ impl Simulator {
     /// `alloc` definition: idle-local + running + in flight).
     fn owner_of(state: &ExecState) -> Option<JobId> {
         match *state {
-            ExecState::Free => None,
+            ExecState::Free | ExecState::Offline => None,
             ExecState::Idle(j) => Some(j),
             ExecState::Moving { job, .. } | ExecState::Running { job, .. } => Some(job),
         }
@@ -321,6 +378,15 @@ impl Simulator {
             if let Some(j) = new_owner {
                 self.jobs[j.index()].alloc += 1;
                 self.jobs[j.index()].dirty = true;
+            }
+        }
+        let old_offline = matches!(old, ExecState::Offline);
+        let new_offline = matches!(self.execs[i].state, ExecState::Offline);
+        if old_offline != new_offline {
+            if new_offline {
+                self.offline_count += 1;
+            } else {
+                self.offline_count -= 1;
             }
         }
     }
@@ -412,8 +478,22 @@ impl Simulator {
         true
     }
 
-    fn finish(self) -> EpisodeResult {
+    fn finish(mut self) -> EpisodeResult {
         let tail_penalty = self.cost_integral - self.cost_at_last_action;
+        // Close out open outages so lost capacity is fully accounted.
+        let now = self.now;
+        let dynamics = self
+            .dynamics
+            .take()
+            .map(|mut d| {
+                for since in d.offline_since.iter_mut() {
+                    if let Some(t) = since.take() {
+                        d.counters.lost_exec_seconds += now - t;
+                    }
+                }
+                d.counters
+            })
+            .unwrap_or_default();
         let jobs = self
             .jobs
             .iter()
@@ -426,6 +506,7 @@ impl Simulator {
                 executed_work: j.executed_work,
                 peak_alloc: j.peak_alloc,
                 class_busy: j.class_busy.clone(),
+                failed: j.failed,
             })
             .collect();
         EpisodeResult {
@@ -436,6 +517,7 @@ impl Simulator {
             num_events: self.num_events,
             wasted_actions: self.wasted_actions,
             task_failures: self.task_failures,
+            dynamics,
             gantt: self.gantt,
         }
     }
@@ -474,9 +556,110 @@ impl Simulator {
                 self.bump_obs_epoch();
                 true
             }
-            Ev::TaskDone(e) => self.on_task_done(e),
-            Ev::ExecReady(e) => self.on_exec_ready(e),
+            // Stale executor events (the assignment was interrupted by
+            // churn or a job kill after the event was queued) are
+            // recognized by their epoch and dropped; the interruption
+            // already did the bookkeeping and requested its own pass.
+            Ev::TaskDone(e, ep) => ep == self.execs[e.index()].epoch && self.on_task_done(e),
+            Ev::ExecReady(e, ep) => ep == self.execs[e.index()].epoch && self.on_exec_ready(e),
+            Ev::ChurnTick => self.on_churn_tick(),
+            Ev::ExecOnline(e) => self.on_exec_online(e),
         }
+    }
+
+    // ---- cluster dynamics (see `crate::dynamics`) ----
+
+    /// One churn tick: schedule the next tick, then try to take one
+    /// uniformly-picked executor offline. The tick is skipped (not
+    /// re-targeted) when the pick is already offline or is the last
+    /// online executor — keeping at least one executor up guarantees
+    /// work-conserving episodes stay live.
+    fn on_churn_tick(&mut self) -> bool {
+        // The episode is over once every job finished: stop the churn
+        // process so the event queue can drain.
+        if self.jobs_remaining == 0 {
+            return false;
+        }
+        let n = self.execs.len();
+        let (next, victim, outage) = {
+            let d = self.dynamics.as_mut().expect("churn without dynamics");
+            (d.next_churn_interval(), d.pick_victim(n), d.sample_outage())
+        };
+        self.push_event(self.now + next, Ev::ChurnTick);
+        if self.offline_count + 1 >= n || matches!(self.execs[victim].state, ExecState::Offline) {
+            return false;
+        }
+        self.take_offline(ExecutorId(victim as u32), outage)
+    }
+
+    /// Cancels an executor's current assignment, if any: a running task
+    /// is killed and re-queued (`waiting += 1`, counted as
+    /// `interrupted` when asked), an in-flight move is rolled back, and
+    /// the executor's epoch is bumped so the pending
+    /// `TaskDone`/`ExecReady` is dropped when it pops. The partial run
+    /// is recorded in the Gantt and `last_node` is cleared (the JVM
+    /// dies with the interruption). The executor's *state* is left for
+    /// the caller to set — the one cancellation path shared by churn
+    /// ([`Simulator::take_offline`]) and job kills
+    /// ([`Simulator::fail_job`]).
+    fn cancel_assignment(&mut self, e: ExecutorId, count_interrupted: bool) {
+        let i = e.index();
+        match self.execs[i].state {
+            ExecState::Free | ExecState::Idle(_) | ExecState::Offline => {}
+            ExecState::Moving { job, node } => {
+                self.execs[i].epoch += 1; // cancels the pending ExecReady
+                self.jobs[job.index()].nodes[node as usize].in_flight -= 1;
+                self.jobs[job.index()].dirty = true;
+            }
+            ExecState::Running {
+                job, node, started, ..
+            } => {
+                self.execs[i].epoch += 1; // cancels the pending TaskDone
+                let nrt = &mut self.jobs[job.index()].nodes[node as usize];
+                nrt.running -= 1;
+                nrt.executors_on -= 1;
+                nrt.waiting += 1; // the interrupted task reruns from scratch
+                self.jobs[job.index()].dirty = true;
+                if let Some(g) = &mut self.gantt {
+                    g.record(e, started, self.now, Some(job));
+                }
+                if count_interrupted {
+                    if let Some(d) = &mut self.dynamics {
+                        d.counters.interrupted += 1;
+                    }
+                }
+            }
+        }
+        self.execs[i].last_node = None;
+    }
+
+    /// Takes one online executor offline for `outage` seconds: its
+    /// assignment is cancelled and all availability bookkeeping flows
+    /// through `set_exec_state`.
+    fn take_offline(&mut self, e: ExecutorId, outage: f64) -> bool {
+        debug_assert!(
+            !matches!(self.execs[e.index()].state, ExecState::Offline),
+            "double offline for {e:?}"
+        );
+        self.cancel_assignment(e, true);
+        self.set_exec_state(e, ExecState::Offline);
+        let d = self.dynamics.as_mut().expect("churn without dynamics");
+        d.counters.churn_events += 1;
+        d.offline_since[e.index()] = Some(self.now);
+        self.push_event(self.now + outage, Ev::ExecOnline(e));
+        true
+    }
+
+    /// An outage ends: the executor returns unbound and cold.
+    fn on_exec_online(&mut self, e: ExecutorId) -> bool {
+        debug_assert!(matches!(self.execs[e.index()].state, ExecState::Offline));
+        self.set_exec_state(e, ExecState::Free);
+        if let Some(d) = &mut self.dynamics {
+            if let Some(t) = d.offline_since[e.index()].take() {
+                d.counters.lost_exec_seconds += self.now - t;
+            }
+        }
+        true
     }
 
     fn on_task_done(&mut self, e: ExecutorId) -> bool {
@@ -494,6 +677,13 @@ impl Simulator {
             g.record(e, started, self.now, Some(job_id));
         }
         let failed = self.cfg.failure_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.failure_rate;
+        // Dynamics failure injection draws from its own RNG, so enabling
+        // it never shifts the engine's noise/failure stream.
+        let dyn_failed = !failed
+            && self
+                .dynamics
+                .as_mut()
+                .map_or(false, Perturbations::task_fails);
 
         let ji = job_id.index();
         let v = node as usize;
@@ -503,15 +693,31 @@ impl Simulator {
             let n = &mut self.jobs[ji].nodes[v];
             n.running -= 1;
             n.executors_on -= 1;
-            if failed {
+            if failed || dyn_failed {
                 n.waiting += 1; // re-queue the task
             } else {
                 n.finished += 1;
             }
         }
         self.jobs[ji].dirty = true;
-        if failed {
+        if failed || dyn_failed {
             self.task_failures += 1;
+        }
+        if dyn_failed {
+            let budget = {
+                let d = self.dynamics.as_mut().expect("dyn failure w/o dynamics");
+                d.counters.retries += 1;
+                d.spec.max_retries
+            };
+            self.jobs[ji].failures += 1;
+            if self.jobs[ji].failures > budget {
+                // Retry budget exhausted: the job dies. Park the
+                // executor idle-local first so the kill path releases it
+                // like every other bound executor.
+                self.set_exec_state(e, ExecState::Idle(job_id));
+                self.fail_job(job_id);
+                return true;
+            }
         }
 
         // Same-node continuation: Spark's task-level scheduler keeps the
@@ -582,6 +788,40 @@ impl Simulator {
         self.bump_obs_epoch();
     }
 
+    /// Kills a job whose dynamics retry budget is exhausted: cancels its
+    /// running tasks and in-flight moves, releases every bound executor,
+    /// and retires the job unfinished (reported as failed).
+    fn fail_job(&mut self, job_id: JobId) {
+        let ji = job_id.index();
+        for i in 0..self.execs.len() {
+            let e = ExecutorId(i as u32);
+            let bound = match self.execs[i].state {
+                ExecState::Idle(j)
+                | ExecState::Moving { job: j, .. }
+                | ExecState::Running { job: j, .. } => j == job_id,
+                ExecState::Free | ExecState::Offline => false,
+            };
+            if bound {
+                // Job kills are not churn: the re-queued tasks die with
+                // the job, so they are not counted as `interrupted`.
+                self.cancel_assignment(e, false);
+                self.set_exec_state(e, ExecState::Free);
+            }
+        }
+        self.jobs[ji].finished = true;
+        self.jobs[ji].failed = true;
+        self.jobs[ji].dirty = true;
+        self.jobs_in_system -= 1;
+        self.jobs_remaining -= 1;
+        if let Some(d) = &mut self.dynamics {
+            d.counters.failed_jobs += 1;
+        }
+        let pos = self.active_jobs.partition_point(|&a| a < ji);
+        debug_assert_eq!(self.active_jobs.get(pos), Some(&ji));
+        self.active_jobs.remove(pos);
+        self.bump_obs_epoch();
+    }
+
     fn on_exec_ready(&mut self, e: ExecutorId) -> bool {
         let (job_id, node) = match self.execs[e.index()].state {
             ExecState::Moving { job, node } => (job, node),
@@ -633,6 +873,10 @@ impl Simulator {
         let v = node as usize;
         debug_assert!(self.jobs[ji].nodes[v].waiting > 0);
         debug_assert!(self.jobs[ji].nodes[v].runnable);
+        debug_assert!(
+            !matches!(self.execs[e.index()].state, ExecState::Offline),
+            "dispatched a task to offline executor {e:?}"
+        );
 
         let cold = self.execs[e.index()].last_node != Some((job_id, node));
         let spec = &self.jobs[ji].spec;
@@ -655,6 +899,13 @@ impl Simulator {
             };
             dur *= (s * z - s * s / 2.0).exp();
         }
+        if let Some(d) = &mut self.dynamics {
+            let f = d.straggle_factor();
+            if f > 1.0 {
+                d.counters.straggled += 1;
+                dur *= f;
+            }
+        }
         dur = dur.max(1e-6);
 
         {
@@ -674,7 +925,7 @@ impl Simulator {
                 duration: dur,
             },
         );
-        self.push_event(self.now + dur, Ev::TaskDone(e));
+        self.push_event(self.now + dur, Ev::TaskDone(e, self.execs[e.index()].epoch));
     }
 
     fn push_event(&mut self, time: SimTime, ev: Ev) {
@@ -735,6 +986,7 @@ impl Simulator {
             total_executors: 0,
             num_classes: 0,
             free_total: 0,
+            offline: 0,
             free_by_class: Vec::new(),
             class_memory: Vec::new(),
             jobs: Vec::new(),
@@ -769,6 +1021,7 @@ impl Simulator {
         obs.total_executors = self.execs.len();
         obs.num_classes = num_classes;
         obs.free_total = self.avail_total();
+        obs.offline = self.offline_count;
         obs.free_by_class.clear();
         obs.free_by_class.extend_from_slice(&self.avail_by_class);
         if rebuild {
@@ -846,6 +1099,11 @@ impl Simulator {
             }
         }
         let free_total: usize = free_by_class.iter().sum();
+        let offline = self
+            .execs
+            .iter()
+            .filter(|em| matches!(em.state, ExecState::Offline))
+            .count();
 
         let mut jobs = Vec::new();
         let mut schedulable = Vec::new();
@@ -908,6 +1166,7 @@ impl Simulator {
             total_executors: self.execs.len(),
             num_classes,
             free_total,
+            offline,
             free_by_class,
             class_memory: self.cluster.classes.iter().map(|c| c.memory).collect(),
             jobs,
@@ -1023,7 +1282,10 @@ impl Simulator {
                     g.record(e, self.now, self.now + delay, None);
                 }
             }
-            self.push_event(self.now + delay, Ev::ExecReady(e));
+            self.push_event(
+                self.now + delay,
+                Ev::ExecReady(e, self.execs[e.index()].epoch),
+            );
             dispatched += 1;
         }
 
@@ -1061,6 +1323,9 @@ pub fn obs_equal(a: &Observation, b: &Observation) -> Result<(), String> {
     }
     if a.free_total != b.free_total {
         return Err(format!("free_total: {} vs {}", a.free_total, b.free_total));
+    }
+    if a.offline != b.offline {
+        return Err(format!("offline: {} vs {}", a.offline, b.offline));
     }
     if a.free_by_class != b.free_by_class {
         return Err(format!(
@@ -1560,6 +1825,157 @@ mod tests {
             "the class-0 action must assign nothing"
         );
         assert_eq!(r.completed(), 0, "the scheduler then passed forever");
+    }
+
+    // ---- cluster dynamics ----
+
+    use crate::dynamics::DynamicsSpec;
+
+    #[test]
+    fn dynamics_off_runs_identically_and_counts_nothing() {
+        let mk = |dynamics: DynamicsSpec| {
+            let cfg = SimConfig {
+                noise: 0.2,
+                seed: 5,
+                dynamics,
+                ..bare_cfg()
+            };
+            Simulator::new(cluster(3), vec![one_stage_job(0, 12, 1.0, 0.0)], cfg).run(TestSched)
+        };
+        let off = mk(DynamicsSpec::off());
+        let default = mk(DynamicsSpec::default());
+        assert_eq!(off.avg_jct(), default.avg_jct());
+        assert_eq!(off.num_events, default.num_events);
+        assert_eq!(off.dynamics, crate::dynamics::DynamicsCounters::default());
+    }
+
+    #[test]
+    fn stragglers_inflate_sampled_tasks() {
+        // Probability 1 ⇒ every task straggles: 2 tasks of 1 s on one
+        // executor at factor 2 take exactly 4 s.
+        let cfg = SimConfig {
+            dynamics: DynamicsSpec {
+                straggler_prob: 1.0,
+                straggler_factor: 2.0,
+                ..DynamicsSpec::off()
+            },
+            ..bare_cfg()
+        };
+        let r = Simulator::new(cluster(1), vec![one_stage_job(0, 2, 1.0, 0.0)], cfg).run(TestSched);
+        assert_eq!(r.avg_jct(), Some(4.0));
+        assert_eq!(r.dynamics.straggled, 2);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_job() {
+        // Every task completion fails; a budget of 3 retries means the
+        // 4th failure kills the job.
+        let cfg = SimConfig {
+            dynamics: DynamicsSpec {
+                fail_prob: 1.0,
+                max_retries: 3,
+                ..DynamicsSpec::off()
+            },
+            ..bare_cfg()
+        };
+        let r = Simulator::new(cluster(2), vec![one_stage_job(0, 5, 1.0, 0.0)], cfg).run(TestSched);
+        assert_eq!(r.completed(), 0);
+        assert_eq!(r.failed(), 1);
+        assert!(r.jobs[0].failed && r.jobs[0].completion.is_none());
+        assert_eq!(r.dynamics.failed_jobs, 1);
+        assert_eq!(r.dynamics.retries, 4, "budget + 1 failures were charged");
+        assert_eq!(r.task_failures, 4);
+    }
+
+    #[test]
+    fn failures_within_budget_retry_to_completion() {
+        let cfg = SimConfig {
+            seed: 9,
+            dynamics: DynamicsSpec {
+                fail_prob: 0.3,
+                max_retries: 1000,
+                ..DynamicsSpec::off()
+            },
+            ..bare_cfg()
+        };
+        let r = Simulator::new(cluster(2), vec![one_stage_job(0, 8, 1.0, 0.0)], cfg).run(TestSched);
+        assert_eq!(r.completed(), 1, "generous budget ⇒ the job completes");
+        assert!(r.dynamics.retries > 0, "some tasks must have failed");
+        assert_eq!(r.dynamics.failed_jobs, 0);
+    }
+
+    #[test]
+    fn churn_takes_executors_down_and_episode_still_completes() {
+        // Aggressive churn on a long single-stage job: outages must be
+        // observed, capacity lost, and the work still finishes (at least
+        // one executor is always kept online).
+        let cfg = SimConfig {
+            seed: 13,
+            validate_observations: true,
+            dynamics: DynamicsSpec {
+                churn_iat: 3.0,
+                outage_mean: 4.0,
+                ..DynamicsSpec::off()
+            },
+            ..bare_cfg()
+        };
+        let r =
+            Simulator::new(cluster(3), vec![one_stage_job(0, 40, 1.0, 0.0)], cfg).run(TestSched);
+        assert_eq!(r.completed(), 1);
+        assert!(r.dynamics.churn_events > 0, "no churn observed");
+        assert!(r.dynamics.lost_exec_seconds > 0.0);
+        // Interrupted tasks re-ran, so the ideal 40/3 waves stretched.
+        assert!(r.avg_jct().unwrap() > 40.0 / 3.0);
+    }
+
+    #[test]
+    fn full_dynamics_is_deterministic_at_fixed_seed() {
+        let mk = || {
+            let cfg = SimConfig {
+                noise: 0.1,
+                seed: 21,
+                dynamics: DynamicsSpec::high(),
+                ..SimConfig::default()
+            };
+            Simulator::new(
+                cluster(4),
+                vec![one_stage_job(0, 30, 1.0, 0.0), chain_job(1, 2.0)],
+                cfg,
+            )
+            .run(TestSched)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.avg_jct(), b.avg_jct());
+        assert_eq!(a.num_events, b.num_events);
+        assert_eq!(a.dynamics, b.dynamics);
+        assert_eq!(a.total_penalty(), b.total_penalty());
+    }
+
+    /// The dynamics RNG is decorrelated from the engine RNG: enabling
+    /// stragglers must not change *which* noise values the base stream
+    /// draws (the noisy durations stay in lockstep, only multiplied).
+    #[test]
+    fn dynamics_does_not_disturb_the_engine_rng_stream() {
+        let base = |dynamics: DynamicsSpec| {
+            let cfg = SimConfig {
+                noise: 0.0,
+                seed: 2,
+                failure_rate: 0.2,
+                dynamics,
+                ..bare_cfg()
+            };
+            Simulator::new(cluster(1), vec![one_stage_job(0, 6, 1.0, 0.0)], cfg).run(TestSched)
+        };
+        let off = base(DynamicsSpec::off());
+        // Stragglers at factor 1.0 change durations by nothing, and the
+        // legacy failure draws must land identically.
+        let on = base(DynamicsSpec {
+            straggler_prob: 1.0,
+            straggler_factor: 1.0,
+            ..DynamicsSpec::off()
+        });
+        assert_eq!(off.task_failures, on.task_failures);
+        assert_eq!(off.avg_jct(), on.avg_jct());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! modeled with discrete executor classes (memory capacities) and
 //! per-stage memory demands.
 //!
+//! Beyond the paper's fault-free setting, the [`dynamics`] module adds a
+//! deterministic, seeded cluster-dynamics model — executor churn,
+//! bounded-retry task failures, straggler slowdowns — that is bit-exactly
+//! zero-cost when disabled (the default).
+//!
 //! This crate is CPU-bound, synchronous, and deterministic under a fixed
 //! seed — following the networking-guide guidance, parallelism (for RL
 //! rollouts) is layered on top with plain threads in `decima-rl`, not an
@@ -27,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dynamics;
 pub mod engine;
 pub mod result;
 pub mod sched;
 
 pub use config::{Objective, SimConfig};
+pub use dynamics::{DynamicsCounters, DynamicsSpec};
 pub use engine::{obs_equal, Simulator};
 pub use result::{ActionRecord, EpisodeResult, JobOutcome};
 pub use sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};

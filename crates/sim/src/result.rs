@@ -1,6 +1,7 @@
 //! Episode results: per-action reward records, per-job outcomes, and
 //! aggregate metrics.
 
+use crate::dynamics::DynamicsCounters;
 use decima_core::{Gantt, JobId, SimTime, Summary};
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,9 @@ pub struct JobOutcome {
     /// Executor-seconds consumed by the job, split per executor class
     /// (Figure 12b). Entry `c` is the busy time on class-`c` executors.
     pub class_busy: Vec<f64>,
+    /// The job was killed after exhausting its dynamics retry budget
+    /// (`completion` is then `None`; see [`crate::dynamics`]).
+    pub failed: bool,
 }
 
 impl JobOutcome {
@@ -63,8 +67,11 @@ pub struct EpisodeResult {
     pub num_events: u64,
     /// Actions that assigned no executor (scheduler bugs / passes).
     pub wasted_actions: u64,
-    /// Injected task failures observed.
+    /// Injected task failures observed (legacy `failure_rate` injection
+    /// plus dynamics-driven failures).
     pub task_failures: u64,
+    /// Cluster-dynamics counters (all zero when dynamics is off).
+    pub dynamics: DynamicsCounters,
     /// Gantt chart, when recording was enabled.
     pub gantt: Option<Gantt>,
 }
@@ -108,6 +115,11 @@ impl EpisodeResult {
     /// Number of jobs left unfinished at episode end.
     pub fn unfinished(&self) -> usize {
         self.jobs.len() - self.completed()
+    }
+
+    /// Number of jobs killed by the dynamics retry bound.
+    pub fn failed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.failed).count()
     }
 
     /// Total objective penalty of the episode (sum over actions + tail).
@@ -167,6 +179,7 @@ mod tests {
             executed_work: work,
             peak_alloc: 1,
             class_busy: vec![work],
+            failed: false,
         }
     }
 
@@ -227,5 +240,24 @@ mod tests {
         assert!(r.makespan().is_none());
         assert!(r.rewards().is_empty());
         assert_eq!(r.total_penalty(), 0.0);
+        assert_eq!(r.failed(), 0);
+        assert_eq!(r.dynamics, DynamicsCounters::default());
+    }
+
+    #[test]
+    fn failed_jobs_counted_separately_from_unfinished() {
+        let mut dead = outcome(1, 0.0, None, 2.0);
+        dead.failed = true;
+        let r = EpisodeResult {
+            jobs: vec![
+                outcome(0, 0.0, Some(5.0), 2.0),
+                dead,
+                outcome(2, 0.0, None, 2.0),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.unfinished(), 2, "failed jobs are also unfinished");
+        assert_eq!(r.failed(), 1);
     }
 }

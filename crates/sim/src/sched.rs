@@ -146,6 +146,12 @@ pub struct Observation {
     pub num_classes: usize,
     /// Free executors (unbound or idle-local), in total.
     pub free_total: usize,
+    /// Executors currently offline (cluster dynamics churn). Note
+    /// `free_total + busy + offline ≤ total_executors`: an executor
+    /// still in transit toward a job that finished while it was moving
+    /// is bound but belongs to no active job's counts, so deriving
+    /// `busy` as the difference overcounts it.
+    pub offline: usize,
     /// Free executors per class.
     pub free_by_class: Vec<usize>,
     /// Memory capacity per class.

@@ -6,7 +6,7 @@
 //! incremental counters against first principles at **every** decision.
 
 use decima_core::{ClusterSpec, ExecutorClass, JobBuilder, JobId, SimTime, StageSpec};
-use decima_sim::{Action, Observation, Scheduler, SimConfig, Simulator};
+use decima_sim::{Action, DynamicsSpec, Observation, Scheduler, SimConfig, Simulator};
 use proptest::prelude::*;
 
 /// A work-conserving test scheduler that spreads over all stages.
@@ -51,8 +51,11 @@ impl<S> Invariants<S> {
         self.last_time = obs.time.as_secs();
 
         // Executor accounting: free + per-class splits agree, and no
-        // executor is double-booked (free + busy never exceeds the
-        // cluster size; `busy` counts running and in-flight slots).
+        // executor is double-booked — every executor is in at most one
+        // bucket: free (unbound/idle), busy (running or in flight),
+        // or offline (churn outage). Equality can be missed only by
+        // executors still in transit toward an already-finished job,
+        // which are bound but belong to no active job's counts.
         assert_eq!(
             obs.free_by_class.iter().sum::<usize>(),
             obs.free_total,
@@ -65,9 +68,10 @@ impl<S> Invariants<S> {
             .map(|n| n.executors_on + n.in_flight)
             .sum();
         assert!(
-            obs.free_total + busy as usize <= obs.total_executors,
-            "double-booked executors: {} free + {busy} busy > {} total",
+            obs.free_total + busy as usize + obs.offline <= obs.total_executors,
+            "double-booked executors: {} free + {busy} busy + {} offline > {} total",
             obs.free_total,
+            obs.offline,
             obs.total_executors
         );
 
@@ -297,6 +301,121 @@ proptest! {
         prop_assert_eq!(a.avg_jct(), b.avg_jct());
         prop_assert_eq!(a.num_events, b.num_events);
         prop_assert_eq!(a.total_penalty(), b.total_penalty());
+    }
+
+    /// The full per-decision invariant battery **under cluster
+    /// dynamics**: random churn, bounded-retry failures, and stragglers
+    /// on random multi-class clusters, with the engine's
+    /// incremental-vs-rebuilt observation validation enabled. Tasks stay
+    /// conserved through retries and churn interrupts, the clock stays
+    /// monotone across outages, executor accounting (free/busy/offline)
+    /// never double-books, alloc matches its definition, and no
+    /// schedulable stage ever relies on an offline executor (offline
+    /// executors are absent from `free_by_class`, which the
+    /// schedulable-soundness check consults). Every job either completes
+    /// or is killed by its retry budget.
+    #[test]
+    fn dynamics_invariants_hold_under_perturbation(
+        seed in 0u64..3000, n_jobs in 1usize..4, execs in 2usize..8,
+        churn_iat in 4.0f64..40.0, outage in 1.0f64..10.0,
+        fail in 0.0f64..0.12, retries in 3u32..30,
+        straggle in 0.0f64..0.2,
+    ) {
+        let jobs = random_memory_jobs(seed, n_jobs);
+        let cluster = random_cluster(seed, execs);
+        let cfg = SimConfig {
+            seed,
+            validate_observations: true,
+            dynamics: DynamicsSpec {
+                churn_iat,
+                outage_mean: outage,
+                fail_prob: fail,
+                max_retries: retries,
+                straggler_prob: straggle,
+                straggler_factor: 2.5,
+            },
+            ..SimConfig::default()
+        };
+        let mut sched = Invariants::new(Spread);
+        let r = Simulator::new(cluster, jobs, cfg).run(&mut sched);
+        prop_assert!(sched.decisions > 0, "episode took no decisions");
+        prop_assert_eq!(
+            r.completed() + r.failed(), n_jobs,
+            "every job must either complete or exhaust its retry budget"
+        );
+        prop_assert_eq!(r.failed() as u64, r.dynamics.failed_jobs);
+        // A killed job costs its budget + 1 failures, so the retry
+        // counter must cover at least that much.
+        prop_assert!(r.dynamics.retries >= r.dynamics.failed_jobs * (retries as u64 + 1));
+        prop_assert!(r.dynamics.churn_events == 0 || r.dynamics.lost_exec_seconds > 0.0);
+    }
+
+    /// Task conservation **including retries**: with failure injection
+    /// but a generous budget (no job dies), every job still completes,
+    /// and the re-executed attempts show up as executed work beyond the
+    /// static total.
+    #[test]
+    fn dynamics_retries_conserve_tasks(seed in 0u64..2000, n_jobs in 1usize..4,
+                                       fail in 0.05f64..0.3) {
+        let jobs = random_jobs(seed, n_jobs);
+        let static_work: f64 = jobs.iter().map(|j| j.total_work()).sum();
+        let cfg = SimConfig {
+            first_wave: false,
+            inflation: false,
+            seed,
+            dynamics: DynamicsSpec {
+                fail_prob: fail,
+                max_retries: u32::MAX,
+                ..DynamicsSpec::off()
+            },
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(ClusterSpec::homogeneous(3), jobs, cfg).run(Spread);
+        prop_assert_eq!(r.completed(), n_jobs, "generous budget ⇒ all jobs finish");
+        prop_assert_eq!(r.dynamics.failed_jobs, 0);
+        let executed: f64 = r.jobs.iter().map(|j| j.executed_work).sum();
+        // Every retry re-runs a full task, so executed work exceeds the
+        // static total exactly when failures occurred.
+        if r.dynamics.retries > 0 {
+            prop_assert!(executed > static_work + 1e-9);
+        } else {
+            prop_assert!((executed - static_work).abs() < 1e-6);
+        }
+        prop_assert_eq!(r.task_failures, r.dynamics.retries);
+    }
+
+    /// Same seed + same `DynamicsSpec` ⇒ bit-identical episodes and
+    /// counters, with every perturbation active at once.
+    #[test]
+    fn dynamics_bitwise_determinism(seed in 0u64..1000) {
+        let mk = || {
+            let cfg = SimConfig {
+                noise: 0.1,
+                seed,
+                dynamics: DynamicsSpec {
+                    churn_iat: 8.0,
+                    outage_mean: 5.0,
+                    fail_prob: 0.08,
+                    max_retries: 10,
+                    straggler_prob: 0.1,
+                    straggler_factor: 3.0,
+                },
+                ..SimConfig::default()
+            };
+            Simulator::new(
+                random_cluster(seed, 5),
+                random_memory_jobs(seed, 3),
+                cfg,
+            ).run(Spread)
+        };
+        let (a, b) = (mk(), mk());
+        prop_assert_eq!(a.avg_jct(), b.avg_jct());
+        prop_assert_eq!(a.num_events, b.num_events);
+        prop_assert_eq!(a.dynamics, b.dynamics);
+        prop_assert_eq!(a.total_penalty(), b.total_penalty());
+        let fa: Vec<bool> = a.jobs.iter().map(|j| j.failed).collect();
+        let fb: Vec<bool> = b.jobs.iter().map(|j| j.failed).collect();
+        prop_assert_eq!(fa, fb);
     }
 
     /// Determinism: identical configuration ⇒ identical episode, even

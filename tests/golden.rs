@@ -1,10 +1,13 @@
-//! Golden regression test: the per-scheduler `Summary` of a reduced
-//! `fig09a` run at fixed seeds, snapshotted into `tests/golden/`.
+//! Golden regression tests: the per-scheduler `Summary` of a reduced
+//! `fig09a` run (dynamics off — pins the engine as bit-exactly
+//! unchanged by the dynamics subsystem) and of a reduced `robust` run
+//! at the `med` perturbation level (pins the churn/failure/straggler
+//! model itself), both at fixed seeds, snapshotted into `tests/golden/`.
 //!
-//! The snapshot pins the *scheduling results* of the engine, so perf
+//! The snapshots pin the *scheduling results* of the engine, so perf
 //! work on the decision hot path (incremental observations, cached GNN
 //! structure, ...) cannot silently change what the simulator computes.
-//! If a change is intentionally behavior-altering, refresh the file
+//! If a change is intentionally behavior-altering, refresh the files
 //! with:
 //!
 //! ```text
@@ -57,11 +60,47 @@ fn golden_summaries() -> Vec<(String, Summary)> {
         .collect()
 }
 
-fn golden_path() -> PathBuf {
+/// The reduced `robust` configuration: the heuristic lineup under the
+/// `med` perturbation level — deterministic churn, bounded-retry
+/// failures, and stragglers all active at fixed seeds.
+fn robust_summaries() -> Vec<(String, Summary)> {
+    use decima::sim::DynamicsSpec;
+    let reg = ScenarioRegistry::standard();
+    let mut spec = reg.get("robust").expect("robust registered").spec.clone();
+    spec.set("jobs", "5").unwrap();
+    spec.set("execs", "8").unwrap();
+    spec.seeds = SeedPlan {
+        start: 11000,
+        count: 3,
+    };
+    let lineup: Vec<(String, SchedulerSpec)> = spec
+        .lineup
+        .iter()
+        .filter_map(|e| match &e.sched {
+            // Heuristics only: training is too slow for a test and the
+            // pin targets the dynamics model, not the policy.
+            SchedulerSpec::Decima { .. } | SchedulerSpec::DecimaUntrained { .. } => None,
+            other => Some((e.csv_name(), other.clone())),
+        })
+        .collect();
+
+    let mut env = spec_env(&spec);
+    env.sim.dynamics = DynamicsSpec::med();
+    let seeds = spec.seeds.seeds();
+    lineup
+        .into_iter()
+        .map(|(name, sched)| {
+            let series = eval_series(&name, &name, &sched, &env, &seeds, None, 2);
+            (name, series.summary())
+        })
+        .collect()
+}
+
+fn golden_path(file: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("fig09a_summary.json")
+        .join(file)
 }
 
 fn to_json(summaries: &[(String, Summary)]) -> Json {
@@ -76,15 +115,13 @@ fn to_json(summaries: &[(String, Summary)]) -> Json {
     )])
 }
 
-#[test]
-fn fig09a_summary_matches_golden() {
-    let summaries = golden_summaries();
-    assert_eq!(summaries.len(), 5, "lineup drifted");
-    let path = golden_path();
+/// Updates (under `GOLDEN_UPDATE=1`) or compares one snapshot file.
+fn check_golden(file: &str, summaries: &[(String, Summary)]) {
+    let path = golden_path(file);
 
     if std::env::var("GOLDEN_UPDATE").is_ok() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, to_json(&summaries).render() + "\n").unwrap();
+        std::fs::write(&path, to_json(summaries).render() + "\n").unwrap();
         eprintln!("golden file refreshed: {}", path.display());
         return;
     }
@@ -99,7 +136,7 @@ fn fig09a_summary_matches_golden() {
     let golden = Json::parse(&text).expect("golden file parses");
     let golden = golden.get("schedulers").expect("'schedulers' key");
 
-    for (name, got) in &summaries {
+    for (name, got) in summaries {
         let want = golden
             .get(name)
             .unwrap_or_else(|| panic!("scheduler '{name}' missing from golden file"));
@@ -117,4 +154,18 @@ fn fig09a_summary_matches_golden() {
             );
         }
     }
+}
+
+#[test]
+fn fig09a_summary_matches_golden() {
+    let summaries = golden_summaries();
+    assert_eq!(summaries.len(), 5, "lineup drifted");
+    check_golden("fig09a_summary.json", &summaries);
+}
+
+#[test]
+fn robust_summary_matches_golden() {
+    let summaries = robust_summaries();
+    assert_eq!(summaries.len(), 4, "robust heuristic lineup drifted");
+    check_golden("robust_summary.json", &summaries);
 }
