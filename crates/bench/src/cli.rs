@@ -35,6 +35,7 @@ const RESERVED: &[&str] = &[
     "checkpoint-every",
     "resume",
     "train-log",
+    "no-fast-infer",
 ];
 
 fn usage() {
@@ -70,6 +71,9 @@ fn usage() {
     println!("  --resume          continue bit-exactly from DIR/checkpoint.txt");
     println!("                    (refuses mismatched --jobs/--execs/--iat)");
     println!("  --train-log PATH  JSONL log path (out/train_<recipe>.jsonl)");
+    println!("  --no-fast-infer   evaluate trained policies on the exact f64");
+    println!("                    tape path instead of the f32 fast path");
+    println!("                    (docs/PERF.md; env: DECIMA_NO_FAST_INFER)");
     println!("  --churn S         train under executor churn (mean secs between");
     println!("                    outages); --fail P / --straggle P likewise set");
     println!("                    task-failure / straggler probabilities");
@@ -140,6 +144,9 @@ pub fn exp_main() {
         usage();
         return;
     }
+    if args.has("no-fast-infer") {
+        decima_policy::set_fast_infer(false);
+    }
     if args.has("list") {
         list(&ScenarioRegistry::standard());
         return;
@@ -203,6 +210,9 @@ pub fn artifact_main(name: &str) {
         println!("wrapper for `decima-exp --scenario {name}`\n");
         usage();
         return;
+    }
+    if args.has("no-fast-infer") {
+        decima_policy::set_fast_infer(false);
     }
     if let Err(e) = run(name, &args) {
         eprintln!("error: {e}");

@@ -44,9 +44,29 @@ impl TrainedPolicy {
         Ok(TrainedPolicy::of(&trainer))
     }
 
-    /// A fresh greedy evaluation agent over this snapshot.
+    /// A fresh greedy evaluation agent over this snapshot. Uses the
+    /// tape-free `f32` fast path when the process-wide default allows
+    /// it (see `decima_policy::fast_infer_enabled`; the CLI's
+    /// `--no-fast-infer` flag and the `DECIMA_NO_FAST_INFER` env var
+    /// select the exact `f64` tape path instead).
     pub fn greedy_agent(&self) -> DecimaAgent {
+        if decima_policy::fast_infer_enabled() {
+            self.greedy_agent_fast()
+        } else {
+            self.greedy_agent_tape()
+        }
+    }
+
+    /// A greedy agent pinned to the exact `f64` tape path, regardless
+    /// of the process-wide fast-inference default.
+    pub fn greedy_agent_tape(&self) -> DecimaAgent {
         DecimaAgent::greedy(self.policy.clone(), self.store.clone())
+    }
+
+    /// A greedy agent pinned to the `f32` fast path (falls back to the
+    /// tape internally only for unsupported policy configurations).
+    pub fn greedy_agent_fast(&self) -> DecimaAgent {
+        DecimaAgent::greedy_fast(self.policy.clone(), self.store.clone())
     }
 }
 

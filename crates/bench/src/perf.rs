@@ -13,13 +13,20 @@
 //!   + GNN encode + action heads) with a freshly-initialized greedy
 //!   Decima agent.
 //!
+//! Two observability blocks ride along outside the headline:
+//! `train` (per-iteration training wall-clock through both gradient
+//! paths) and `agent_infer` (a deterministically warmed-up *trained*
+//! policy evaluated on both the f32 fast path and the f64 tape path —
+//! the number ROADMAP item 1 targets). `--check` enforces a floor on
+//! `agent_infer.decisions_per_sec` alongside the headline.
+//!
 //! Workloads, seeds, and policy initialization are all pinned, so the
 //! only thing that moves the numbers is the code (and the machine). CI
 //! runs `--bench --quick --check <baseline>` and fails on a >30%
 //! decisions/sec regression against the committed baseline; see
 //! `docs/PERF.md` for how to read and refresh the file.
 
-use crate::factory::{build_trainer, untrained_agent};
+use crate::factory::{build_trainer, untrained_agent, TrainedPolicy};
 use crate::json::Json;
 use crate::scenario::{PolicySpec, TrainSpec};
 use decima_baselines::SjfCpScheduler;
@@ -208,6 +215,71 @@ fn run_train_component(quick: bool) -> Json {
     ])
 }
 
+/// Measures trained-policy evaluation throughput on both forward paths:
+/// a deterministic 2-iteration warm-up (pinned recipe and seed) stands
+/// in for a committed checkpoint, then the same pinned episodes run
+/// under the `f32` fast path and the exact `f64` tape path. The ratio
+/// is the speedup the inference lane buys; the fast-path rate gets a CI
+/// floor via [`check_regression`].
+fn run_infer_component(quick: bool) -> Json {
+    let warmup_iters = 2usize;
+    let mut trainer = build_trainer(&TrainSpec::standard(warmup_iters, 11), 15);
+    let env = SpecEnv::new(WorkloadSpec::tpch_batch(10, 15));
+    for _ in 0..warmup_iters {
+        trainer.train_iteration(&env);
+    }
+    let snapshot = TrainedPolicy::of(&trainer);
+    let seeds: &[u64] = if quick {
+        &[7]
+    } else {
+        &[7, 8, 9, 10, 11, 12, 13, 14, 15, 16]
+    };
+    // Setup (workload construction, weight packing) stays outside the
+    // timed region: the component pins steady-state decision throughput,
+    // simulator advance included.
+    let measure = |fast: bool| -> (u64, f64) {
+        let mut decisions = 0u64;
+        let mut wall = 0.0f64;
+        for &seed in seeds {
+            let (cluster, jobs, cfg) = env.build(seed);
+            let agent = if fast {
+                snapshot.greedy_agent_fast()
+            } else {
+                snapshot.greedy_agent_tape()
+            };
+            let t0 = Instant::now();
+            let r = Simulator::new(cluster, jobs, cfg).run(agent);
+            wall += t0.elapsed().as_secs_f64();
+            decisions += r.actions.len() as u64;
+        }
+        (decisions, wall)
+    };
+    let (decisions, wall) = measure(true);
+    let (tape_decisions, tape_wall) = measure(false);
+    let rate = decisions as f64 / wall.max(1e-12);
+    let tape_rate = tape_decisions as f64 / tape_wall.max(1e-12);
+    println!(
+        "  {:<24} {:>4} episode(s)  {:>8} decisions  {:>10.0} decisions/s  (tape path: {:>8.0}/s, {:.2}x)",
+        "agent_infer",
+        seeds.len(),
+        decisions,
+        rate,
+        tape_rate,
+        rate / tape_rate.max(1e-12),
+    );
+    Json::obj([
+        ("train_iters", Json::Num(warmup_iters as f64)),
+        ("episodes", Json::Num(seeds.len() as f64)),
+        ("decisions", Json::Num(decisions as f64)),
+        ("wall_secs", Json::Num(wall)),
+        ("decisions_per_sec", Json::Num(rate)),
+        ("tape_decisions", Json::Num(tape_decisions as f64)),
+        ("tape_wall_secs", Json::Num(tape_wall)),
+        ("tape_decisions_per_sec", Json::Num(tape_rate)),
+        ("speedup", Json::Num(rate / tape_rate.max(1e-12))),
+    ])
+}
+
 /// Runs the pinned suite; returns the result document.
 pub fn run_bench(quick: bool) -> Json {
     let mut comps = Vec::new();
@@ -238,10 +310,12 @@ pub fn run_bench(quick: bool) -> Json {
             ("decisions_per_sec", Json::Num(m.decisions_per_sec())),
         ]));
     }
-    // Training throughput rides along for observability but stays out of
-    // the headline decisions/sec, which remains the pinned evaluation
-    // mix (so `total_decisions` is comparable across baselines).
+    // Training and trained-inference throughput ride along for
+    // observability but stay out of the headline decisions/sec, which
+    // remains the pinned evaluation mix (so `total_decisions` is
+    // comparable across baselines).
     let train = run_train_component(quick);
+    let infer = run_infer_component(quick);
     let headline = total_decisions as f64 / total_wall.max(1e-12);
     let rss = peak_rss_kb();
     println!("  {:<24} {headline:>42.0} decisions/s", "TOTAL");
@@ -255,6 +329,7 @@ pub fn run_bench(quick: bool) -> Json {
         ("total_wall_secs", Json::Num(total_wall)),
         ("peak_rss_kb", Json::Num(rss as f64)),
         ("train", train),
+        ("agent_infer", infer),
         ("components", Json::Arr(comps)),
     ])
 }
@@ -278,6 +353,32 @@ pub fn check_regression(result: &Json, baseline: &Json, floor_frac: f64) -> Resu
         ));
     }
     println!("regression check ok: {new:.0} decisions/s vs baseline {base:.0} (floor {floor:.0})");
+
+    // The trained-inference fast path gets its own floor once the
+    // baseline carries it (older baselines predate the component). A
+    // result that *lost* the component against a baseline that has it
+    // is itself a regression — the measurement must not silently drop.
+    let infer_rate = |doc: &Json| {
+        doc.get("agent_infer")
+            .and_then(|c| c.get("decisions_per_sec"))
+            .and_then(Json::as_f64)
+    };
+    if let Some(ibase) = infer_rate(baseline) {
+        let inew = infer_rate(result)
+            .ok_or("baseline has an 'agent_infer' component but the result does not")?;
+        let ifloor = ibase * floor_frac;
+        if inew < ifloor {
+            return Err(format!(
+                "agent_infer decisions/sec regressed: {inew:.0} < {ifloor:.0} \
+                 ({:.0}% of baseline {ibase:.0})",
+                floor_frac * 100.0
+            ));
+        }
+        println!(
+            "regression check ok: agent_infer {inew:.0} decisions/s vs baseline {ibase:.0} \
+             (floor {ifloor:.0})"
+        );
+    }
     Ok(())
 }
 
@@ -372,6 +473,28 @@ mod tests {
         // A looser tolerance (as set via BENCH_TOLERANCE) widens the gate.
         assert!(check_regression(&doc(55.0), &doc(100.0), 0.5).is_ok());
         assert!(check_regression(&doc(45.0), &doc(100.0), 0.5).is_err());
+    }
+
+    #[test]
+    fn regression_check_covers_agent_infer() {
+        let doc = |dps: f64, infer: Option<f64>| {
+            let mut fields = vec![("decisions_per_sec", Json::Num(dps))];
+            if let Some(i) = infer {
+                fields.push((
+                    "agent_infer",
+                    Json::obj([("decisions_per_sec", Json::Num(i))]),
+                ));
+            }
+            Json::obj(fields)
+        };
+        // Baselines without the component skip the extra gate.
+        assert!(check_regression(&doc(100.0, None), &doc(100.0, None), 0.7).is_ok());
+        assert!(check_regression(&doc(100.0, Some(50.0)), &doc(100.0, None), 0.7).is_ok());
+        // With the component, the floor applies to it too.
+        assert!(check_regression(&doc(100.0, Some(71.0)), &doc(100.0, Some(100.0)), 0.7).is_ok());
+        assert!(check_regression(&doc(100.0, Some(69.0)), &doc(100.0, Some(100.0)), 0.7).is_err());
+        // Losing the component against a baseline that has it fails.
+        assert!(check_regression(&doc(100.0, None), &doc(100.0, Some(100.0)), 0.7).is_err());
     }
 
     #[test]

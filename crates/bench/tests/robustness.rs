@@ -11,10 +11,11 @@
 //!   always zero.
 
 use decima_bench::runner::{par_map, spec_env};
-use decima_bench::scenario::SchedulerSpec;
-use decima_bench::{make_scheduler, run_episode, ScenarioRegistry};
+use decima_bench::scenario::{SchedulerSpec, TrainSpec};
+use decima_bench::{build_trainer, make_scheduler, run_episode, ScenarioRegistry, TrainedPolicy};
 use decima_rl::{EnvFactory as _, SpecEnv};
 use decima_sim::{DynamicsCounters, DynamicsSpec, EpisodeResult, Simulator};
+use decima_workload::WorkloadSpec;
 
 fn robust_env(level: DynamicsSpec) -> SpecEnv {
     let reg = ScenarioRegistry::standard();
@@ -102,6 +103,68 @@ fn perturbed_episodes_validate_incremental_observations() {
             }
         }
     }
+}
+
+/// Deterministic 2-iteration trained snapshot on the robust cluster
+/// size (the same warm-up recipe as the bench `agent_infer` component).
+fn warmed_snapshot() -> TrainedPolicy {
+    let mut trainer = build_trainer(&TrainSpec::standard(2, 11), 8);
+    let env = SpecEnv::new(WorkloadSpec::tpch_batch(3, 8));
+    for _ in 0..2 {
+        trainer.train_iteration(&env);
+    }
+    TrainedPolicy::of(&trainer)
+}
+
+fn run_trained_seeds(
+    snapshot: &TrainedPolicy,
+    env: &SpecEnv,
+    seeds: &[u64],
+    threads: usize,
+    fast: bool,
+) -> Vec<EpisodeResult> {
+    par_map(seeds, threads, |&seed| {
+        let (cluster, jobs, cfg) = env.build(seed);
+        let agent = if fast {
+            snapshot.greedy_agent_fast()
+        } else {
+            snapshot.greedy_agent_tape()
+        };
+        run_episode(&cluster, &jobs, &cfg, Box::new(agent))
+    })
+}
+
+/// The f32 fast path and the f64 tape path schedule identically under
+/// active cluster dynamics: at `med` level (churn + failures +
+/// stragglers all firing), every `DynamicsCounters` field — and the
+/// JCTs and penalties around them — is bitwise identical across paths.
+#[test]
+fn fast_and_tape_paths_identical_under_med_dynamics() {
+    let snapshot = warmed_snapshot();
+    let env = robust_env(DynamicsSpec::med());
+    let seeds: Vec<u64> = (11000..11004).collect();
+    let fast = run_trained_seeds(&snapshot, &env, &seeds, 2, true);
+    let tape = run_trained_seeds(&snapshot, &env, &seeds, 2, false);
+    assert_results_identical(&fast, &tape);
+    let total: u64 = fast
+        .iter()
+        .map(|r| r.dynamics.retries + r.dynamics.straggled + r.dynamics.churn_events)
+        .sum();
+    assert!(total > 0, "med level produced no perturbation events");
+}
+
+/// The trained-policy row of the thread-determinism contract: the same
+/// seed plan evaluated with a shared trained snapshot (fast path, as
+/// the runner wires it by default) is bitwise identical on 1 and 4
+/// threads.
+#[test]
+fn trained_policy_dynamics_deterministic_across_threads() {
+    let snapshot = warmed_snapshot();
+    let env = robust_env(DynamicsSpec::med());
+    let seeds: Vec<u64> = (11000..11004).collect();
+    let one = run_trained_seeds(&snapshot, &env, &seeds, 1, true);
+    let four = run_trained_seeds(&snapshot, &env, &seeds, 4, true);
+    assert_results_identical(&one, &four);
 }
 
 /// Dynamics off is zero-cost: no perturbation events, no offline

@@ -90,14 +90,14 @@ pub struct Embeddings {
 /// The graph neural network (six transformations + feature projection).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GnnEncoder {
-    cfg: GnnConfig,
-    prep: Mlp,
-    f_node: Mlp,
-    g_node: Mlp,
-    f_job: Mlp,
-    g_job: Mlp,
-    f_glob: Mlp,
-    g_glob: Mlp,
+    pub(crate) cfg: GnnConfig,
+    pub(crate) prep: Mlp,
+    pub(crate) f_node: Mlp,
+    pub(crate) g_node: Mlp,
+    pub(crate) f_job: Mlp,
+    pub(crate) g_job: Mlp,
+    pub(crate) f_glob: Mlp,
+    pub(crate) g_glob: Mlp,
 }
 
 impl GnnEncoder {

@@ -1,0 +1,408 @@
+//! Tape-free `f32` encoder forward for inference.
+//!
+//! [`InferEncoder`] is the evaluation-only twin of
+//! [`GnnEncoder::forward`]: the seven MLPs are packed once into
+//! contiguous `f32` matrices ([`decima_nn::F32Mlp`]), the bottom-up
+//! sweep runs over flat reusable buffers instead of tape nodes, and the
+//! 0/1 segment matmuls of the tape path become direct per-parent
+//! segment sums driven by child counts. Graph-shape bookkeeping (which
+//! rows each level's parents sum over) is derived once per
+//! `GraphStructure` and cached alongside an `Arc` of that structure, so
+//! the identity comparison can never confuse two structures that reuse
+//! a heap address.
+//!
+//! The output is numerically *exact-enough*, not bit-identical: the
+//! differential suite (`crates/gnn/tests/infer_diff.rs`) bounds the
+//! divergence from the `f64` tape forward at 1e-4 relative error.
+
+use crate::encoder::GnnEncoder;
+use crate::graph::{GraphInput, GraphStructure};
+use decima_nn::{F32Mlp, F32Scratch, ParamStore};
+use std::sync::Arc;
+
+/// Per-structure evaluation order, derived once and reused across every
+/// decision that shares the `GraphStructure`.
+struct InferPlan {
+    /// The structure this plan was built for; holding the `Arc` keeps
+    /// the allocation alive so the pointer identity check in
+    /// [`InferEncoder::forward`] is sound.
+    structure: Arc<GraphStructure>,
+    /// `level_counts[l][i]` = number of children of the `i`-th node of
+    /// level `l` — the segment lengths of the per-parent message sums
+    /// (the tape path encodes the same information as a 0/1 matrix).
+    level_counts: Vec<Vec<u32>>,
+}
+
+impl InferPlan {
+    fn new(structure: Arc<GraphStructure>) -> Self {
+        let mut child_count = vec![0u32; structure.num_nodes];
+        for job in &structure.jobs {
+            for (local, children) in job.children.iter().enumerate() {
+                child_count[job.node_offset + local] = children.len() as u32;
+            }
+        }
+        let level_counts = structure
+            .levels
+            .iter()
+            .map(|plan| plan.nodes.iter().map(|&v| child_count[v]).collect())
+            .collect();
+        InferPlan {
+            structure,
+            level_counts,
+        }
+    }
+}
+
+/// The packed, tape-free encoder. Owns every buffer the forward pass
+/// needs; after the first few decisions of an episode nothing here
+/// allocates.
+pub struct InferEncoder {
+    d: usize,
+    feat_dim: usize,
+    two_level: bool,
+    prep: F32Mlp,
+    f_node: F32Mlp,
+    g_node: F32Mlp,
+    f_job: F32Mlp,
+    g_job: F32Mlp,
+    f_glob: F32Mlp,
+    g_glob: F32Mlp,
+    /// `g_node(0)` — constant for fixed weights, so the leaf broadcast
+    /// of the tape path collapses to one precomputed row.
+    g_zero: Vec<f32>,
+    plan: Option<InferPlan>,
+    scratch: F32Scratch,
+    feat: Vec<f32>,
+    p: Vec<f32>,
+    swept: Vec<f32>,
+    gathered: Vec<f32>,
+    fmsg: Vec<f32>,
+    summed: Vec<f32>,
+    agg: Vec<f32>,
+    nodes: Vec<f32>,
+    fj: Vec<f32>,
+    jsum: Vec<f32>,
+    jobs: Vec<f32>,
+    fg: Vec<f32>,
+    gsum: Vec<f32>,
+    glob: Vec<f32>,
+}
+
+impl InferEncoder {
+    /// Packs a [`GnnEncoder`]'s parameters from `store` into `f32`
+    /// inference form. Returns `None` if any MLP uses an activation the
+    /// fused kernel does not cover.
+    pub fn pack(enc: &GnnEncoder, store: &ParamStore) -> Option<Self> {
+        let d = enc.cfg.embed_dim;
+        let prep = F32Mlp::pack(&enc.prep, store)?;
+        let f_node = F32Mlp::pack(&enc.f_node, store)?;
+        let g_node = F32Mlp::pack(&enc.g_node, store)?;
+        let f_job = F32Mlp::pack(&enc.f_job, store)?;
+        let g_job = F32Mlp::pack(&enc.g_job, store)?;
+        let f_glob = F32Mlp::pack(&enc.f_glob, store)?;
+        let g_glob = F32Mlp::pack(&enc.g_glob, store)?;
+        let mut scratch = F32Scratch::default();
+        let mut g_zero = Vec::new();
+        if enc.cfg.two_level {
+            g_node.forward(1, &vec![0.0; d], &mut scratch, &mut g_zero);
+        }
+        Some(InferEncoder {
+            d,
+            feat_dim: enc.cfg.feat_dim,
+            two_level: enc.cfg.two_level,
+            prep,
+            f_node,
+            g_node,
+            f_job,
+            g_job,
+            f_glob,
+            g_glob,
+            g_zero,
+            plan: None,
+            scratch,
+            feat: Vec::new(),
+            p: Vec::new(),
+            swept: Vec::new(),
+            gathered: Vec::new(),
+            fmsg: Vec::new(),
+            summed: Vec::new(),
+            agg: Vec::new(),
+            nodes: Vec::new(),
+            fj: Vec::new(),
+            jsum: Vec::new(),
+            jobs: Vec::new(),
+            fg: Vec::new(),
+            gsum: Vec::new(),
+            glob: Vec::new(),
+        })
+    }
+
+    /// Embedding width.
+    pub fn embed_dim(&self) -> usize {
+        self.d
+    }
+
+    /// Runs the encoder over `g`, filling the node/job/global embedding
+    /// buffers (read them with [`node_row`](Self::node_row) /
+    /// [`job_row`](Self::job_row) / [`global_row`](Self::global_row)).
+    pub fn forward(&mut self, g: &GraphInput) {
+        let s = &g.structure;
+        let n = s.num_nodes;
+        let d = self.d;
+        assert!(n > 0, "encoder needs at least one node");
+        assert_eq!(g.features.cols(), self.feat_dim, "feature dim");
+
+        if self
+            .plan
+            .as_ref()
+            .is_none_or(|p| !Arc::ptr_eq(&p.structure, &g.structure))
+        {
+            self.plan = Some(InferPlan::new(Arc::clone(&g.structure)));
+        }
+
+        // Feature projection p_v for every node at once.
+        self.feat.clear();
+        self.feat
+            .extend(g.features.data().iter().map(|&v| v as f32));
+        self.prep
+            .forward(n, &self.feat, &mut self.scratch, &mut self.p);
+
+        // Bottom-up sweep; level blocks land contiguously in `swept`
+        // (the same row layout the tape path's concat produces, so
+        // `child_rows` and `perm` index it directly). Pre-sized once so
+        // level blocks are written with straight-line slice stores.
+        self.swept.clear();
+        self.swept.resize(n * d, 0.0);
+        let mut filled = 0usize;
+        let plan = self.plan.as_ref().unwrap();
+        for (li, level) in s.levels.iter().enumerate() {
+            let nv = level.nodes.len();
+            if level.child_rows.is_empty() {
+                // All leaves: e = g(0) + p (or just p single-level).
+                for &v in &level.nodes {
+                    let prow = &self.p[v * d..(v + 1) * d];
+                    let dst = &mut self.swept[filled..filled + d];
+                    if self.two_level {
+                        for ((o, gz), pv) in dst.iter_mut().zip(&self.g_zero).zip(prow) {
+                            *o = gz + pv;
+                        }
+                    } else {
+                        dst.copy_from_slice(prow);
+                    }
+                    filled += d;
+                }
+                continue;
+            }
+
+            // Gather child embeddings from the rows already swept.
+            let nc = level.child_rows.len();
+            self.gathered.clear();
+            for &cr in &level.child_rows {
+                let row = &self.swept[cr * d..(cr + 1) * d];
+                self.gathered.extend_from_slice(row);
+            }
+            self.f_node
+                .forward(nc, &self.gathered, &mut self.scratch, &mut self.fmsg);
+
+            // Per-parent segment sums (child_rows are grouped per
+            // parent, in parent order — same invariant the 0/1 segment
+            // matrix of the tape path encodes).
+            self.summed.clear();
+            self.summed.resize(nv * d, 0.0);
+            let counts = &plan.level_counts[li];
+            let mut off = 0usize;
+            for (i, &cnt) in counts.iter().enumerate() {
+                let drow = i * d;
+                for c in 0..cnt as usize {
+                    let srow = (off + c) * d;
+                    for j in 0..d {
+                        self.summed[drow + j] += self.fmsg[srow + j];
+                    }
+                }
+                off += cnt as usize;
+            }
+            debug_assert_eq!(off, nc, "child segments must cover the gather");
+
+            if self.two_level {
+                self.g_node
+                    .forward(nv, &self.summed, &mut self.scratch, &mut self.agg);
+            } else {
+                self.agg.clear();
+                self.agg.extend_from_slice(&self.summed);
+            }
+            for (i, &v) in level.nodes.iter().enumerate() {
+                let arow = &self.agg[i * d..(i + 1) * d];
+                let prow = &self.p[v * d..(v + 1) * d];
+                let dst = &mut self.swept[filled..filled + d];
+                for ((o, av), pv) in dst.iter_mut().zip(arow).zip(prow) {
+                    *o = av + pv;
+                }
+                filled += d;
+            }
+        }
+        debug_assert_eq!(filled, n * d);
+
+        // Restore original node order: perm[v] = swept row of node v.
+        self.nodes.clear();
+        for &row in &s.perm {
+            let src = &self.swept[row * d..(row + 1) * d];
+            self.nodes.extend_from_slice(src);
+        }
+
+        // Job summaries: y_i = g2(Σ_{v ∈ G_i} f2(e_v)); node ranges per
+        // job are contiguous in original order.
+        let nj = s.jobs.len();
+        self.f_job
+            .forward(n, &self.nodes, &mut self.scratch, &mut self.fj);
+        self.jsum.clear();
+        self.jsum.resize(nj * d, 0.0);
+        for (ji, job) in s.jobs.iter().enumerate() {
+            let drow = ji * d;
+            for v in job.node_offset..job.node_offset + job.num_nodes {
+                let srow = v * d;
+                for j in 0..d {
+                    self.jsum[drow + j] += self.fj[srow + j];
+                }
+            }
+        }
+        if self.two_level {
+            self.g_job
+                .forward(nj, &self.jsum, &mut self.scratch, &mut self.jobs);
+        } else {
+            self.jobs.clear();
+            self.jobs.extend_from_slice(&self.jsum);
+        }
+
+        // Global summary: z = g3(Σ_i f3(y_i)).
+        self.f_glob
+            .forward(nj, &self.jobs, &mut self.scratch, &mut self.fg);
+        self.gsum.clear();
+        self.gsum.resize(d, 0.0);
+        for ji in 0..nj {
+            let srow = ji * d;
+            for j in 0..d {
+                self.gsum[j] += self.fg[srow + j];
+            }
+        }
+        if self.two_level {
+            self.g_glob
+                .forward(1, &self.gsum, &mut self.scratch, &mut self.glob);
+        } else {
+            self.glob.clear();
+            self.glob.extend_from_slice(&self.gsum);
+        }
+    }
+
+    /// Embedding row of node `v` (original node order) from the last
+    /// [`forward`](Self::forward).
+    pub fn node_row(&self, v: usize) -> &[f32] {
+        &self.nodes[v * self.d..(v + 1) * self.d]
+    }
+
+    /// Summary row of job `i` from the last forward.
+    pub fn job_row(&self, i: usize) -> &[f32] {
+        &self.jobs[i * self.d..(i + 1) * self.d]
+    }
+
+    /// The global summary row from the last forward.
+    pub fn global_row(&self) -> &[f32] {
+        &self.glob[..self.d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decima_core::DagTopology;
+    use decima_nn::{Tape, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy_input() -> GraphInput {
+        let d1 = DagTopology::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let d2 = DagTopology::new(2, &[(0, 1)]).unwrap();
+        let f1 = Tensor::from_vec(4, 3, (0..12).map(|i| i as f64 * 0.1).collect());
+        let f2 = Tensor::from_vec(2, 3, vec![0.5; 6]);
+        GraphInput::new(&[&d1, &d2], &[f1, f2])
+    }
+
+    fn encoder(two_level: bool) -> (GnnEncoder, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let cfg = crate::encoder::GnnConfig {
+            feat_dim: 3,
+            embed_dim: 4,
+            hidden: vec![8],
+            two_level,
+        };
+        let enc = GnnEncoder::new(cfg, &mut store, &mut rng);
+        (enc, store)
+    }
+
+    fn assert_close(fast: &[f32], tape: &[f64], what: &str) {
+        assert_eq!(fast.len(), tape.len(), "{what}: length");
+        for (a, b) in fast.iter().zip(tape) {
+            assert!(
+                (*a as f64 - b).abs() <= 1e-4 * b.abs().max(1.0),
+                "{what}: fast {a} vs tape {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_tape() {
+        for two_level in [true, false] {
+            let (enc, store) = encoder(two_level);
+            let g = toy_input();
+            let mut tape = Tape::new();
+            let e = enc.forward(&mut tape, &store, &g);
+            let mut fast = InferEncoder::pack(&enc, &store).unwrap();
+            fast.forward(&g);
+            for v in 0..6 {
+                assert_close(
+                    fast.node_row(v),
+                    tape.value(e.nodes).row_slice(v),
+                    "node emb",
+                );
+            }
+            for i in 0..2 {
+                assert_close(fast.job_row(i), tape.value(e.jobs).row_slice(i), "job emb");
+            }
+            assert_close(
+                fast.global_row(),
+                tape.value(e.global).row_slice(0),
+                "global emb",
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_is_identity_keyed() {
+        let (enc, store) = encoder(true);
+        let mut fast = InferEncoder::pack(&enc, &store).unwrap();
+        let g1 = toy_input();
+        fast.forward(&g1);
+        let first = fast.global_row().to_vec();
+        // Same structure Arc, same result; fresh structure, plan rebuilds.
+        let g1b = GraphInput::with_structure(Arc::clone(&g1.structure), g1.features.clone());
+        fast.forward(&g1b);
+        assert_eq!(fast.global_row(), &first[..]);
+        let g2 = toy_input();
+        fast.forward(&g2);
+        assert_eq!(fast.global_row(), &first[..]);
+    }
+
+    #[test]
+    fn single_node_job() {
+        let (enc, store) = encoder(true);
+        let d = DagTopology::single();
+        let f = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let g = GraphInput::new(&[&d], &[f]);
+        let mut tape = Tape::new();
+        let e = enc.forward(&mut tape, &store, &g);
+        let mut fast = InferEncoder::pack(&enc, &store).unwrap();
+        fast.forward(&g);
+        assert_close(fast.node_row(0), tape.value(e.nodes).row_slice(0), "node");
+        assert_close(fast.global_row(), tape.value(e.global).row_slice(0), "glob");
+    }
+}

@@ -11,8 +11,10 @@ pub mod critical_path;
 pub mod encoder;
 pub mod features;
 pub mod graph;
+pub mod infer;
 
 pub use critical_path::{random_cp_example, CpExample, CpHarness};
 pub use encoder::{Embeddings, GnnConfig, GnnEncoder};
 pub use features::{FeatureConfig, GraphCache, FEAT_DIM};
 pub use graph::{GraphInput, GraphStructure, JobGraph, LevelPlan};
+pub use infer::InferEncoder;

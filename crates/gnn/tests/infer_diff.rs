@@ -1,0 +1,155 @@
+//! Differential property tests: the tape-free [`InferEncoder`] against
+//! the tape [`GnnEncoder`] over random job DAGs, random features, and
+//! random (He-initialised) weights.
+//!
+//! The contract matches `crates/nn/tests/infer_diff.rs`: every node,
+//! job, and global embedding agrees within 1e-4 relative error against
+//! `max(1, |tape value|)`.
+
+use decima_core::DagTopology;
+use decima_gnn::{GnnConfig, GnnEncoder, GraphInput, InferEncoder};
+use decima_nn::{ParamStore, Tape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random DAG on `n` nodes: each forward edge (i, j), i < j, is kept
+/// with probability `density`.
+fn random_dag(rng: &mut SmallRng, n: usize, density: f64) -> DagTopology {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_bool(density) {
+                edges.push((i, j));
+            }
+        }
+    }
+    DagTopology::new(n, &edges).expect("forward edges form a DAG")
+}
+
+struct Case {
+    enc: GnnEncoder,
+    store: ParamStore,
+    input: GraphInput,
+    num_nodes: usize,
+    num_jobs: usize,
+}
+
+/// Builds a random encoder + multi-job graph input from one seed.
+fn random_case(seed: u64) -> Case {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let feat_dim = rng.gen_range(2..5);
+    let cfg = GnnConfig {
+        feat_dim,
+        embed_dim: rng.gen_range(2..6),
+        hidden: vec![rng.gen_range(3..10)],
+        two_level: rng.gen_bool(0.5),
+    };
+    let mut store = ParamStore::new();
+    let enc = GnnEncoder::new(cfg, &mut store, &mut rng);
+
+    let num_jobs = rng.gen_range(1..4);
+    let mut dags = Vec::with_capacity(num_jobs);
+    let mut feats = Vec::with_capacity(num_jobs);
+    let mut num_nodes = 0;
+    for _ in 0..num_jobs {
+        let n = rng.gen_range(1..8);
+        num_nodes += n;
+        let density = rng.gen_range(0.2..0.8);
+        dags.push(random_dag(&mut rng, n, density));
+        feats.push(Tensor::from_vec(
+            n,
+            feat_dim,
+            (0..n * feat_dim)
+                .map(|_| rng.gen_range(-1.5..1.5))
+                .collect(),
+        ));
+    }
+    let refs: Vec<&DagTopology> = dags.iter().collect();
+    let input = GraphInput::new(&refs, &feats);
+    Case {
+        enc,
+        store,
+        input,
+        num_nodes,
+        num_jobs,
+    }
+}
+
+/// Max |fast − tape| / max(1, |tape|) over every node, job, and global
+/// embedding of the case.
+fn case_divergence(case: &Case) -> f64 {
+    let mut tape = Tape::new();
+    let e = case.enc.forward(&mut tape, &case.store, &case.input);
+    let mut fast = InferEncoder::pack(&case.enc, &case.store).expect("leaky-relu gnn packs");
+    fast.forward(&case.input);
+
+    let rel = |fast_row: &[f32], tape_row: &[f64]| {
+        assert_eq!(fast_row.len(), tape_row.len());
+        fast_row
+            .iter()
+            .zip(tape_row)
+            .map(|(a, b)| (*a as f64 - b).abs() / b.abs().max(1.0))
+            .fold(0.0, f64::max)
+    };
+
+    let mut worst = 0.0f64;
+    for v in 0..case.num_nodes {
+        worst = worst.max(rel(fast.node_row(v), tape.value(e.nodes).row_slice(v)));
+    }
+    for i in 0..case.num_jobs {
+        worst = worst.max(rel(fast.job_row(i), tape.value(e.jobs).row_slice(i)));
+    }
+    worst.max(rel(fast.global_row(), tape.value(e.global).row_slice(0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random (weights, DAG shapes, features) ⇒ fast sweep within 1e-4
+    /// relative error of the tape sweep on every embedding row.
+    #[test]
+    fn fast_gnn_matches_tape_within_tolerance(seed in 0u64..1_000_000) {
+        let case = random_case(seed);
+        let err = case_divergence(&case);
+        prop_assert!(
+            err <= 1e-4,
+            "divergence {err:.3e} exceeds 1e-4 (seed {seed}, {} nodes, {} jobs)",
+            case.num_nodes,
+            case.num_jobs
+        );
+    }
+
+    /// Re-sweeping the same input must be deterministic: the plan cache
+    /// and reused buffers may not leak state between forwards.
+    #[test]
+    fn repeated_fast_sweeps_are_bit_identical(seed in 0u64..1_000_000) {
+        let case = random_case(seed);
+        let mut fast = InferEncoder::pack(&case.enc, &case.store).unwrap();
+        fast.forward(&case.input);
+        let first: Vec<f32> = fast.global_row().to_vec();
+        for _ in 0..3 {
+            fast.forward(&case.input);
+            prop_assert_eq!(fast.global_row(), &first[..]);
+        }
+    }
+}
+
+/// Deterministic worst-case sweep over a fixed 150-graph corpus,
+/// logging the observed maximum divergence across all embeddings.
+#[test]
+fn worst_case_divergence_over_corpus() {
+    let mut worst = 0.0f64;
+    let mut worst_seed = 0u64;
+    for seed in 500..650u64 {
+        let case = random_case(seed);
+        let err = case_divergence(&case);
+        if err > worst {
+            worst = err;
+            worst_seed = seed;
+        }
+    }
+    eprintln!("worst f32-vs-tape GNN divergence over 150 graphs: {worst:.3e} (seed {worst_seed})");
+    assert!(worst <= 1e-4, "worst case {worst:.3e} exceeds the contract");
+    assert!(worst > 0.0, "f32 sweep must differ from f64 somewhere");
+}

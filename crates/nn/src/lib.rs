@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod adam;
+pub mod infer;
 pub mod mlp;
 pub mod store;
 pub mod tape;
 pub mod tensor;
 
 pub use adam::Adam;
+pub use infer::{F32Mlp, F32Scratch};
 pub use mlp::{Activation, Mlp};
 pub use store::{ParamStore, PARAM_FORMAT_HEADER, PARAM_FORMAT_VERSION};
 pub use tape::{Tape, TensorId};

@@ -89,6 +89,17 @@ impl Mlp {
         *self.layers.last().expect("MLP has at least one layer")
     }
 
+    /// Parameter indices `(weight, bias)` of every layer, in order.
+    /// The inference packer reads weights out of the store through this.
+    pub fn layers(&self) -> &[(usize, usize)] {
+        &self.layers
+    }
+
+    /// The hidden-layer activation.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
     /// Scales the final layer's weights and bias by `s`. Initializing a
     /// policy head near zero makes the initial action distribution close
     /// to uniform — maximal entropy for early exploration.

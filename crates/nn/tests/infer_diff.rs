@@ -1,0 +1,158 @@
+//! Differential property tests: the tape-free `f32` MLP forward against
+//! the `f64` tape forward, over random shapes, weights, and inputs.
+//!
+//! The committed contract (see `crates/nn/src/infer.rs`): outputs agree
+//! within 1e-4 relative error, where "relative" is against
+//! `max(1, |reference|)` so near-zero outputs are held to an absolute
+//! 1e-4 rather than an impossible relative one.
+
+use decima_nn::{Activation, F32Mlp, F32Scratch, Mlp, ParamStore, Tape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Max |fast − tape| / max(1, |tape|) over all outputs.
+fn max_rel_err(fast: &[f32], tape: &[f64]) -> f64 {
+    assert_eq!(fast.len(), tape.len());
+    fast.iter()
+        .zip(tape)
+        .map(|(a, b)| (*a as f64 - b).abs() / b.abs().max(1.0))
+        .fold(0.0, f64::max)
+}
+
+fn random_mlp(rng: &mut SmallRng, hidden_layers: usize) -> (Mlp, ParamStore, Vec<usize>) {
+    let mut dims = vec![rng.gen_range(1..12)];
+    for _ in 0..hidden_layers {
+        dims.push(rng.gen_range(1..16));
+    }
+    dims.push(rng.gen_range(1..8));
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "m", &dims, Activation::LeakyRelu(0.2), rng);
+    // Replace He-init values with a wider spread so outputs exercise
+    // both ReLU branches at decisive magnitudes.
+    for i in 0..store.len() {
+        for v in store.value_mut(i).data_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+    }
+    (mlp, store, dims)
+}
+
+fn tape_forward(mlp: &Mlp, store: &ParamStore, x: &Tensor) -> Vec<f64> {
+    let mut tape = Tape::new();
+    let xid = tape.input(x.clone());
+    let y = mlp.forward(&mut tape, store, xid);
+    tape.value(y).data().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random (shape, weights, input) ⇒ the packed `f32` forward stays
+    /// within 1e-4 relative error of the `f64` tape forward.
+    #[test]
+    fn fast_mlp_matches_tape_within_tolerance(
+        seed in 0u64..100_000,
+        hidden_layers in 1usize..4,
+        rows in 1usize..12,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mlp, store, dims) = random_mlp(&mut rng, hidden_layers);
+        let x = Tensor::from_vec(
+            rows,
+            dims[0],
+            (0..rows * dims[0]).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        );
+        let want = tape_forward(&mlp, &store, &x);
+
+        let fast = F32Mlp::pack(&mlp, &store).expect("leaky-relu packs");
+        let xf: Vec<f32> = x.data().iter().map(|&v| v as f32).collect();
+        let mut scratch = F32Scratch::default();
+        let mut out = Vec::new();
+        fast.forward(rows, &xf, &mut scratch, &mut out);
+
+        let err = max_rel_err(&out, &want);
+        prop_assert!(
+            err <= 1e-4,
+            "divergence {err:.3e} exceeds 1e-4 (seed {seed}, dims {dims:?}, rows {rows})"
+        );
+    }
+
+    /// The fast path must preserve the tape's greedy pick: argmax over
+    /// a column of scores, last maximum winning ties.
+    #[test]
+    fn fast_mlp_preserves_argmax(seed in 0u64..100_000, rows in 2usize..16) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mlp, store, dims) = random_mlp(&mut rng, 2);
+        let x = Tensor::from_vec(
+            rows,
+            dims[0],
+            (0..rows * dims[0]).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        );
+        let want = tape_forward(&mlp, &store, &x);
+        let fast = F32Mlp::pack(&mlp, &store).unwrap();
+        let xf: Vec<f32> = x.data().iter().map(|&v| v as f32).collect();
+        let mut scratch = F32Scratch::default();
+        let mut out = Vec::new();
+        fast.forward(rows, &xf, &mut scratch, &mut out);
+
+        // Compare the per-row argmax over output columns (the node head
+        // is out_dim=1 over candidate rows; this is the transposed but
+        // equivalent property). Skip rows where the top two reference
+        // scores are closer than the divergence bound — those ties are
+        // legitimately allowed to flip.
+        let cols = dims[dims.len() - 1];
+        for r in 0..rows {
+            let wrow = &want[r * cols..(r + 1) * cols];
+            let orow = &out[r * cols..(r + 1) * cols];
+            let mut sorted: Vec<f64> = wrow.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let near_tie = cols > 1
+                && (sorted[cols - 1] - sorted[cols - 2]).abs()
+                    <= 2e-4 * sorted[cols - 1].abs().max(1.0);
+            if near_tie {
+                continue;
+            }
+            let am_tape = (0..cols).fold(0, |b, i| if wrow[i] >= wrow[b] { i } else { b });
+            let am_fast = (0..cols).fold(0, |b, i| if orow[i] >= orow[b] { i } else { b });
+            prop_assert_eq!(am_tape, am_fast, "argmax flipped away from a clear max");
+        }
+    }
+}
+
+/// Deterministic worst-case sweep: a fixed corpus of random networks,
+/// logging the observed maximum divergence (the number the 1e-4
+/// contract is calibrated against).
+#[test]
+fn worst_case_divergence_over_corpus() {
+    let mut worst = 0.0f64;
+    let mut worst_seed = 0u64;
+    for seed in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mlp, store, dims) = random_mlp(&mut rng, (seed % 3) as usize + 1);
+        let rows = (seed % 10) as usize + 1;
+        let x = Tensor::from_vec(
+            rows,
+            dims[0],
+            (0..rows * dims[0])
+                .map(|_| rng.gen_range(-2.0..2.0))
+                .collect(),
+        );
+        let want = tape_forward(&mlp, &store, &x);
+        let fast = F32Mlp::pack(&mlp, &store).unwrap();
+        let xf: Vec<f32> = x.data().iter().map(|&v| v as f32).collect();
+        let mut scratch = F32Scratch::default();
+        let mut out = Vec::new();
+        fast.forward(rows, &xf, &mut scratch, &mut out);
+        let err = max_rel_err(&out, &want);
+        if err > worst {
+            worst = err;
+            worst_seed = seed;
+        }
+    }
+    eprintln!(
+        "worst f32-vs-tape MLP divergence over 200 networks: {worst:.3e} (seed {worst_seed})"
+    );
+    assert!(worst <= 1e-4, "worst case {worst:.3e} exceeds the contract");
+    assert!(worst > 0.0, "f32 must differ from f64 somewhere");
+}

@@ -18,6 +18,7 @@
 //! of the episode is needed, which is how the trajectory-based trainer
 //! in `decima-rl` halves its per-iteration simulation work.
 
+use crate::infer::InferSession;
 use crate::policy::{argmax_logp, sample_from_logp, DecimaPolicy, ParallelismMode};
 use decima_core::{ClassId, StageId};
 use decima_nn::{ParamStore, Tape};
@@ -73,6 +74,9 @@ pub struct DecimaAgent {
     /// Cached static graph structure, reused across an episode's
     /// decisions and cleared at episode start.
     cache: decima_gnn::GraphCache,
+    /// Tape-free `f32` fast path; present only on greedy agents built
+    /// with [`DecimaAgent::greedy_fast`] for a supported configuration.
+    infer: Option<InferSession>,
 }
 
 impl DecimaAgent {
@@ -88,6 +92,7 @@ impl DecimaAgent {
             decide_secs: Vec::new(),
             entropy_sum: 0.0,
             cache: decima_gnn::GraphCache::default(),
+            infer: None,
         }
     }
 
@@ -106,9 +111,48 @@ impl DecimaAgent {
         agent
     }
 
-    /// Evaluation agent: deterministic argmax actions.
+    /// Evaluation agent: deterministic argmax actions on the exact
+    /// `f64` tape path.
     pub fn greedy(policy: DecimaPolicy, store: ParamStore) -> Self {
         Self::with_mode(policy, store, Mode::Greedy, 0)
+    }
+
+    /// Evaluation agent on the tape-free `f32` fast path: pre-packs the
+    /// weights into an [`InferSession`] and scores each decision's
+    /// whole candidate batch without building a tape. Falls back to the
+    /// exact tape path (identical to [`DecimaAgent::greedy`]) when the
+    /// policy configuration is not covered by the fast path.
+    pub fn greedy_fast(policy: DecimaPolicy, store: ParamStore) -> Self {
+        let mut agent = Self::greedy(policy, store);
+        agent.infer = InferSession::try_new(&agent.policy, &agent.store);
+        agent
+    }
+
+    /// Whether decisions run through the `f32` fast path.
+    pub fn uses_fast_infer(&self) -> bool {
+        self.infer.is_some()
+    }
+
+    /// One fast-path decision; only called when `self.infer` is set
+    /// (greedy mode, supported configuration).
+    fn decide_fast(&mut self, obs: &Observation) -> Option<Action> {
+        let t0 = Instant::now();
+        if self.record_obs {
+            self.observations.push(obs.clone());
+        }
+        let session = self.infer.as_mut().expect("fast path requires a session");
+        let fd = session.decide_greedy(&self.policy, obs, &mut self.cache);
+        self.entropy_sum += fd.entropy;
+        self.decide_secs.push(t0.elapsed().as_secs_f64());
+        let mut action = Action::new(
+            obs.jobs[fd.cand.job_idx].id,
+            StageId(fd.cand.stage),
+            fd.limit,
+        );
+        if self.policy.cfg.parallelism == ParallelismMode::StageLevel {
+            action = action.stage_scoped();
+        }
+        Some(action)
     }
 
     /// Gradient-replay agent: feeds back `choices` while accumulating
@@ -181,6 +225,9 @@ impl Scheduler for DecimaAgent {
     }
 
     fn decide(&mut self, obs: &Observation) -> Option<Action> {
+        if self.infer.is_some() {
+            return self.decide_fast(obs);
+        }
         let t0 = Instant::now();
         if self.record_obs {
             self.observations.push(obs.clone());
@@ -459,6 +506,92 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "param {i} gradient differs");
             }
         }
+    }
+
+    /// A scheduler wrapper that records every action it forwards —
+    /// `EpisodeResult` only keeps times/penalties, so comparing the
+    /// tape and fast paths decision-by-decision needs the actions.
+    struct RecordingScheduler {
+        inner: DecimaAgent,
+        actions: Vec<Action>,
+    }
+
+    impl Scheduler for RecordingScheduler {
+        fn on_episode_start(&mut self) {
+            self.inner.on_episode_start();
+        }
+        fn decide(&mut self, obs: &Observation) -> Option<Action> {
+            let a = self.inner.decide(obs);
+            if let Some(a) = a.clone() {
+                self.actions.push(a);
+            }
+            a
+        }
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+    }
+
+    /// Decorrelates the near-uniform initial policy (0.01-scaled heads
+    /// would make every comparison a coin-flip over ties) by replacing
+    /// all parameters with decisive random values.
+    fn randomize_store(store: &mut ParamStore, seed: u64) {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for i in 0..store.len() {
+            for v in store.value_mut(i).data_mut() {
+                *v = rng.gen_range(-0.5..0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_greedy_agent_matches_tape_greedy_episodes() {
+        for seed in [1u64, 2, 3] {
+            let (policy, mut store) = make_policy(5, ParallelismMode::JobLevel);
+            randomize_store(&mut store, 100 + seed);
+            let run = |agent: DecimaAgent| {
+                let mut rec = RecordingScheduler {
+                    inner: agent,
+                    actions: Vec::new(),
+                };
+                let sim = Simulator::new(
+                    ClusterSpec::homogeneous(5).with_move_delay(0.5),
+                    tiny_batch(),
+                    SimConfig::default().with_seed(seed),
+                );
+                let r = sim.run(&mut rec);
+                (r, rec.actions, rec.inner.entropy_sum)
+            };
+            let tape_agent = DecimaAgent::greedy(policy.clone(), store.clone());
+            assert!(!tape_agent.uses_fast_infer());
+            let fast_agent = DecimaAgent::greedy_fast(policy.clone(), store.clone());
+            assert!(fast_agent.uses_fast_infer(), "small config must pack");
+
+            let (r1, a1, e1) = run(tape_agent);
+            let (r2, a2, e2) = run(fast_agent);
+            assert_eq!(a1, a2, "seed {seed}: action sequences diverged");
+            assert_eq!(r1.avg_jct(), r2.avg_jct());
+            assert_eq!(r1.num_events, r2.num_events);
+            // Entropies come from different precisions; close, not equal.
+            assert!(
+                (e1 - e2).abs() <= 1e-3 * e1.abs().max(1.0),
+                "entropy logging diverged: {e1} vs {e2}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_greedy_falls_back_on_unsupported_configs() {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cfg = PolicyConfig {
+            gnn: None,
+            ..PolicyConfig::small(5)
+        };
+        let policy = DecimaPolicy::new(cfg, &mut store, &mut rng);
+        let agent = DecimaAgent::greedy_fast(policy, store);
+        assert!(!agent.uses_fast_infer(), "no-GNN ablation stays on tape");
     }
 
     #[test]

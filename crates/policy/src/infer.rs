@@ -1,0 +1,280 @@
+//! The inference-only decision fast path.
+//!
+//! [`InferSession`] is the evaluation twin of the tape-based
+//! `forward_nodes_cached` → `forward_limits` pipeline: weights are
+//! packed once from the `f64` [`ParamStore`] into contiguous `f32`
+//! matrices, the GNN runs through [`decima_gnn::InferEncoder`], and
+//! both heads score their whole candidate batch with one fused matmul
+//! each — no tape nodes, no gradient bookkeeping, and no allocations in
+//! steady state.
+//!
+//! Two properties define the contract with the tape path:
+//!
+//! * **Exact-enough.** Logits diverge from the `f64` reference only by
+//!   `f32` rounding (bounded at 1e-4 relative error by the differential
+//!   suites); argmax ties break identically (last maximum wins, the
+//!   same rule as [`crate::policy::argmax_logp`], and `log_softmax` is
+//!   monotonic so raw scores order exactly like log-probabilities).
+//! * **Narrow.** Only the greedy single-class configurations evaluation
+//!   actually uses are supported; [`InferSession::try_new`] returns
+//!   `None` for everything else (no GNN, one-hot limit head,
+//!   multi-class clusters) and the agent silently stays on the tape.
+//!
+//! Whether trained-policy evaluation defaults to this path is a
+//! process-wide switch ([`set_fast_infer`] / [`fast_infer_enabled`]),
+//! exposed on the CLI as `--no-fast-infer`.
+
+use crate::policy::{Candidate, DecimaPolicy, ParallelismMode};
+use decima_gnn::{GraphCache, GraphInput, InferEncoder};
+use decima_nn::{F32Mlp, F32Scratch, ParamStore};
+use decima_sim::Observation;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = unresolved, 1 = fast path on, 2 = fast path off.
+static FAST_INFER: AtomicU8 = AtomicU8::new(0);
+
+/// Whether trained-policy evaluation should use the tape-free `f32`
+/// fast path. Defaults to on; the `DECIMA_NO_FAST_INFER` environment
+/// variable (any value) or [`set_fast_infer`]`(false)` — wired to the
+/// CLI's `--no-fast-infer` flag — selects the exact `f64` tape path.
+pub fn fast_infer_enabled() -> bool {
+    match FAST_INFER.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var_os("DECIMA_NO_FAST_INFER").is_none();
+            FAST_INFER.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the process-wide fast-inference default (see
+/// [`fast_infer_enabled`]).
+pub fn set_fast_infer(enabled: bool) {
+    FAST_INFER.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// One greedy decision produced by the fast path.
+#[derive(Clone, Copy, Debug)]
+pub struct FastDecision {
+    /// The chosen candidate (job index + stage).
+    pub cand: Candidate,
+    /// The chosen parallelism limit (total executors when parallelism
+    /// control is disabled).
+    pub limit: usize,
+    /// Entropy of the node softmax (nats), for the agent's logging.
+    pub entropy: f64,
+}
+
+/// Pre-packed `f32` inference state for one policy: encoder, node head,
+/// limit head, and every reusable buffer a decision needs.
+pub struct InferSession {
+    enc: InferEncoder,
+    q_net: F32Mlp,
+    w_net: F32Mlp,
+    scratch: F32Scratch,
+    qin: Vec<f32>,
+    qscore: Vec<f32>,
+    win: Vec<f32>,
+    wtail: Vec<f32>,
+    wscore: Vec<f32>,
+    cands: Vec<Candidate>,
+}
+
+impl InferSession {
+    /// Packs `policy`'s parameters for tape-free inference. Returns
+    /// `None` for configurations the fast path does not cover (no GNN,
+    /// one-hot limit head, multi-class clusters) — callers fall back to
+    /// the exact tape path.
+    pub fn try_new(policy: &DecimaPolicy, store: &ParamStore) -> Option<Self> {
+        if policy.cfg.num_classes > 1 || policy.cfg.parallelism == ParallelismMode::OneHot {
+            return None;
+        }
+        let enc = InferEncoder::pack(policy.encoder.as_ref()?, store)?;
+        let q_net = F32Mlp::pack(&policy.q_net, store)?;
+        let w_net = F32Mlp::pack(&policy.w_net, store)?;
+        Some(InferSession {
+            enc,
+            q_net,
+            w_net,
+            scratch: F32Scratch::default(),
+            qin: Vec::new(),
+            qscore: Vec::new(),
+            win: Vec::new(),
+            wtail: Vec::new(),
+            wscore: Vec::new(),
+            cands: Vec::new(),
+        })
+    }
+
+    /// Raw node-head scores of the last [`decide_greedy`]
+    /// (one per candidate, softmax-equivalent to the tape path's
+    /// log-probabilities up to a constant shift).
+    ///
+    /// [`decide_greedy`]: Self::decide_greedy
+    pub fn node_scores(&self) -> &[f32] {
+        &self.qscore
+    }
+
+    /// One greedy decision: encodes the observation, scores every
+    /// schedulable candidate in one batched matmul, and scores every
+    /// valid limit of the winner in another.
+    pub fn decide_greedy(
+        &mut self,
+        policy: &DecimaPolicy,
+        obs: &Observation,
+        cache: &mut GraphCache,
+    ) -> FastDecision {
+        assert!(
+            !obs.schedulable.is_empty(),
+            "policy invoked with no schedulable nodes"
+        );
+        let graph: GraphInput = policy.cfg.feat.graph_input_cached(obs, cache);
+        self.enc.forward(&graph);
+        let d = self.enc.embed_dim();
+
+        // Node head: all candidate (e_v | y_i | z) rows in one batch.
+        self.cands.clear();
+        self.cands
+            .extend(obs.schedulable.iter().map(|&(job_idx, stage)| Candidate {
+                job_idx,
+                stage: stage.0,
+            }));
+        let c = self.cands.len();
+        self.qin.clear();
+        for cand in &self.cands {
+            let row = graph.jobs()[cand.job_idx].node_offset + cand.stage as usize;
+            self.qin.extend_from_slice(self.enc.node_row(row));
+            self.qin.extend_from_slice(self.enc.job_row(cand.job_idx));
+            self.qin.extend_from_slice(self.enc.global_row());
+        }
+        self.q_net
+            .forward(c, &self.qin, &mut self.scratch, &mut self.qscore);
+        // log_softmax is monotonic: argmax over raw scores equals argmax
+        // over log-probs. `>=` keeps the tape's last-max tie-breaking.
+        let node_idx = argmax_last(&self.qscore);
+        let entropy = softmax_entropy(&self.qscore);
+        let cand = self.cands[node_idx];
+
+        // Limit head for the winner: every row scores the same
+        // [y_i | z] context with only the normalized value differing,
+        // so the shared prefix runs through the first layer once.
+        let limit = if policy.cfg.parallelism == ParallelismMode::Disabled {
+            obs.total_executors
+        } else {
+            let values = policy.limit_values(obs, cand);
+            let l = values.len();
+            self.win.clear();
+            self.win.extend_from_slice(self.enc.job_row(cand.job_idx));
+            self.win.extend_from_slice(self.enc.global_row());
+            debug_assert_eq!(self.win.len(), 2 * d);
+            self.wtail.clear();
+            self.wtail.extend(
+                values
+                    .iter()
+                    .map(|&v| (v as f64 / policy.cfg.total_executors as f64) as f32),
+            );
+            self.w_net.forward_shared_prefix(
+                l,
+                &self.win,
+                &self.wtail,
+                &mut self.scratch,
+                &mut self.wscore,
+            );
+            values[argmax_last(&self.wscore)]
+        };
+
+        FastDecision {
+            cand,
+            limit,
+            entropy,
+        }
+    }
+}
+
+/// Argmax with the tape path's tie rule: the *last* maximum wins
+/// (`Iterator::max_by` keeps later elements on `Ordering::Equal`).
+fn argmax_last(scores: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s >= scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Entropy (nats) of the softmax over raw scores, computed stably via
+/// the log-sum-exp shift.
+fn softmax_entropy(scores: &[f32]) -> f64 {
+    let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let mut z = 0.0f64;
+    for &s in scores {
+        z += (s as f64 - m).exp();
+    }
+    let lse = m + z.ln();
+    let mut h = 0.0f64;
+    for &s in scores {
+        let logp = s as f64 - lse;
+        h -= logp.exp() * logp;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn policy_with(cfg: PolicyConfig) -> (DecimaPolicy, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let policy = DecimaPolicy::new(cfg, &mut store, &mut rng);
+        (policy, store)
+    }
+
+    #[test]
+    fn unsupported_configs_fall_back() {
+        let (p, s) = policy_with(PolicyConfig {
+            gnn: None,
+            ..PolicyConfig::small(5)
+        });
+        assert!(InferSession::try_new(&p, &s).is_none(), "no-GNN ablation");
+        let (p, s) = policy_with(PolicyConfig {
+            parallelism: ParallelismMode::OneHot,
+            ..PolicyConfig::small(5)
+        });
+        assert!(InferSession::try_new(&p, &s).is_none(), "one-hot head");
+        let (p, s) = policy_with(PolicyConfig {
+            num_classes: 4,
+            ..PolicyConfig::small(5)
+        });
+        assert!(InferSession::try_new(&p, &s).is_none(), "multi-class");
+        let (p, s) = policy_with(PolicyConfig::small(5));
+        assert!(InferSession::try_new(&p, &s).is_some(), "standard config");
+    }
+
+    #[test]
+    fn argmax_last_matches_tape_tie_rule() {
+        assert_eq!(argmax_last(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax_last(&[2.0, 2.0, 2.0]), 2, "last max wins");
+        assert_eq!(argmax_last(&[2.0, 3.0, 3.0, 1.0]), 2);
+    }
+
+    #[test]
+    fn softmax_entropy_of_uniform_is_log_n() {
+        let h = softmax_entropy(&[0.5; 8]);
+        assert!((h - (8f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_infer_switch_round_trips() {
+        set_fast_infer(false);
+        assert!(!fast_infer_enabled());
+        set_fast_infer(true);
+        assert!(fast_infer_enabled());
+    }
+}

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod infer;
 pub mod policy;
 
 pub use agent::{ActionChoice, DecimaAgent};
+pub use infer::{fast_infer_enabled, set_fast_infer, FastDecision, InferSession};
 pub use policy::{
     argmax_logp, sample_from_logp, Candidate, ClassForward, DecimaPolicy, LimitForward,
     ParallelismMode, PolicyConfig, PolicyForward,

@@ -160,12 +160,12 @@ pub struct ClassForward {
 pub struct DecimaPolicy {
     /// Construction options.
     pub cfg: PolicyConfig,
-    encoder: Option<GnnEncoder>,
-    q_net: Mlp,
-    w_net: Mlp,
+    pub(crate) encoder: Option<GnnEncoder>,
+    pub(crate) q_net: Mlp,
+    pub(crate) w_net: Mlp,
     /// One-hot limit head (only in `ParallelismMode::OneHot`).
-    w_onehot: Option<Mlp>,
-    class_net: Option<Mlp>,
+    pub(crate) w_onehot: Option<Mlp>,
+    pub(crate) class_net: Option<Mlp>,
 }
 
 impl DecimaPolicy {

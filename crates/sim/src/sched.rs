@@ -27,7 +27,7 @@ pub enum LimitScope {
 
 /// One scheduling decision: run `stage` of `job`, with parallelism limit
 /// `limit`, optionally restricted to one executor class.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Action {
     /// Target job.
     pub job: JobId,

@@ -115,8 +115,18 @@ fn to_json(summaries: &[(String, Summary)]) -> Json {
     )])
 }
 
-/// Updates (under `GOLDEN_UPDATE=1`) or compares one snapshot file.
+/// Updates (under `GOLDEN_UPDATE=1`) or compares one snapshot file at
+/// the engine-pin tolerance (1e-9 relative).
 fn check_golden(file: &str, summaries: &[(String, Summary)]) {
+    check_golden_tol(file, summaries, 1e-9);
+}
+
+/// [`check_golden`] with a caller-chosen relative tolerance. The
+/// trained-policy snapshot under the f32 fast path uses a looser bound
+/// than the engine pins: a future parameter-nudging change may flip a
+/// genuinely tied greedy decision without breaking the fast path's
+/// 1e-4 logit contract.
+fn check_golden_tol(file: &str, summaries: &[(String, Summary)], tol: f64) {
     let path = golden_path(file);
 
     if std::env::var("GOLDEN_UPDATE").is_ok() {
@@ -149,11 +159,107 @@ fn check_golden(file: &str, summaries: &[(String, Summary)]) {
         for (key, val) in [("mean", got.mean), ("p50", got.p50), ("p95", got.p95)] {
             let want = field(key);
             assert!(
-                (val - want).abs() <= 1e-9 * want.abs().max(1.0),
+                (val - want).abs() <= tol * want.abs().max(1.0),
                 "{name}: {key} drifted from golden: got {val}, want {want}"
             );
         }
     }
+}
+
+/// Deterministic 2-iteration trained snapshot: the same warm-up the
+/// `agent_infer` bench component and the bench differential harness
+/// use, so every trained-policy pin in the repo evaluates one model.
+fn warmed_snapshot() -> decima_bench::TrainedPolicy {
+    use decima::rl::SpecEnv;
+    use decima::workload::WorkloadSpec;
+    use decima_bench::scenario::TrainSpec;
+    let mut trainer = decima_bench::build_trainer(&TrainSpec::standard(2, 11), 10);
+    let env = SpecEnv::new(WorkloadSpec::tpch_batch(3, 10));
+    for _ in 0..2 {
+        trainer.train_iteration(&env);
+    }
+    decima_bench::TrainedPolicy::of(&trainer)
+}
+
+/// Per-seed average JCTs of a greedy agent on the reduced fig09a
+/// environment (same jobs/execs/seeds as the heuristic golden).
+fn decima_ckpt_jcts(
+    mut make_agent: impl FnMut() -> Box<dyn decima::sim::Scheduler + Send>,
+) -> Vec<f64> {
+    use decima::rl::EnvFactory as _;
+    let reg = ScenarioRegistry::standard();
+    let mut spec = reg.get("fig09a").expect("fig09a registered").spec.clone();
+    spec.set("jobs", "6").unwrap();
+    spec.set("execs", "10").unwrap();
+    spec.seeds = SeedPlan {
+        start: 1000,
+        count: 3,
+    };
+    let env = spec_env(&spec);
+    spec.seeds
+        .seeds()
+        .iter()
+        .map(|&seed| {
+            let (cluster, jobs, cfg) = env.build(seed);
+            decima::sim::Simulator::new(cluster, jobs, cfg)
+                .run(make_agent())
+                .avg_jct()
+                .expect("batch episode completes jobs")
+        })
+        .collect()
+}
+
+/// The trained-checkpoint entry of the fig09a lineup, pinned under the
+/// f32 fast path — plus the exactness guarantees around it: the fast
+/// path and the `--no-fast-infer` tape path produce bit-identical
+/// scheduling results (so the tape numbers of earlier PRs are
+/// untouched), and the mode switch actually routes between them.
+#[test]
+fn decima_ckpt_fig09a_matches_golden_and_paths_agree() {
+    let snapshot = warmed_snapshot();
+
+    let fast = decima_ckpt_jcts(|| Box::new(snapshot.greedy_agent_fast()));
+    let tape = decima_ckpt_jcts(|| Box::new(snapshot.greedy_agent_tape()));
+    assert_eq!(fast.len(), tape.len());
+    for (seed, (a, b)) in fast.iter().zip(&tape).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "seed index {seed}: fast path changed the scheduling result \
+             (fast {a}, tape {b})"
+        );
+    }
+
+    // The mode switch routes greedy_agent() between the two paths; the
+    // default (no flag, no env var) is the fast path.
+    decima::policy::set_fast_infer(false);
+    assert!(!snapshot.greedy_agent().uses_fast_infer());
+    decima::policy::set_fast_infer(true);
+    assert!(snapshot.greedy_agent().uses_fast_infer());
+
+    // Default wiring through the scenario factory must reproduce the
+    // direct runs (bitwise — the two paths already proved equal above).
+    let via_factory = decima_ckpt_jcts(|| {
+        let spec = SchedulerSpec::Decima {
+            train: decima_bench::scenario::TrainSpec::standard(2, 11),
+        };
+        decima_bench::make_scheduler(&spec, 10, Some(&snapshot))
+    });
+    for (a, b) in via_factory.iter().zip(&fast) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    let series = decima_bench::report::SeriesReport {
+        label: "decima-ckpt".into(),
+        csv: "decima-ckpt".into(),
+        avg_jcts: fast,
+        unfinished: 0,
+    };
+    check_golden_tol(
+        "decima_ckpt_summary.json",
+        &[("decima-ckpt".to_string(), series.summary())],
+        1e-6,
+    );
 }
 
 #[test]
