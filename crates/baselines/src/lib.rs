@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-baselines
 //!
 //! The seven baseline scheduling algorithms the paper compares against

@@ -338,7 +338,7 @@ mod tests {
         assert!(cfg.dynamics.enabled());
         let sched = make_scheduler(&spec, robust.executors(), None);
         let r = Simulator::new(cluster, jobs, cfg).run(sched);
-        assert!(r.actions.len() > 0, "the loaded policy must act");
+        assert!(!r.actions.is_empty(), "the loaded policy must act");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

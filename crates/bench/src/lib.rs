@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-bench
 //!
 //! The experiment layer of the reproduction, built around a declarative

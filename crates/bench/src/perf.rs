@@ -9,9 +9,9 @@
 //! * `sim_heuristic_{small,medium,large}` — pure simulator throughput
 //!   (event loop + observation build) under the SJF-CP heuristic at three
 //!   cluster sizes.
-//! * `agent_untrained_small` — the full decision step (observation build
-//!   + GNN encode + action heads) with a freshly-initialized greedy
-//!   Decima agent.
+//! * `agent_untrained_small` — the full decision step (observation
+//!   build + GNN encode + action heads) with a freshly-initialized
+//!   greedy Decima agent.
 //!
 //! Two observability blocks ride along outside the headline:
 //! `train` (per-iteration training wall-clock through both gradient

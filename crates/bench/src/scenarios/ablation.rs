@@ -224,10 +224,11 @@ pub fn run_fig15a(spec: &ScenarioSpec, _opts: &RunOptions) -> ScenarioReport {
     }
 
     let mut rows = Vec::new();
-    for i in 0..curves[0].len() {
+    for ((&(iter, job_level), &(_, one_hot)), &(_, stage_level)) in
+        curves[0].iter().zip(&curves[1]).zip(&curves[2])
+    {
         rows.push(format!(
-            "{},{:.2},{:.2},{:.2}",
-            curves[0][i].0, curves[0][i].1, curves[1][i].1, curves[2][i].1
+            "{iter},{job_level:.2},{one_hot:.2},{stage_level:.2}"
         ));
     }
     let mut report = ScenarioReport::new();

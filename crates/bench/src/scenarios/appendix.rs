@@ -192,8 +192,8 @@ pub fn run_fig19(spec: &ScenarioSpec, _opts: &RunOptions) -> ScenarioReport {
         }
         if i < iters {
             let lo = (i * 8) % (train.len() - 8);
-            two.train_step(&train[lo..lo + 8].to_vec());
-            one.train_step(&train[lo..lo + 8].to_vec());
+            two.train_step(&train[lo..lo + 8]);
+            one.train_step(&train[lo..lo + 8]);
         }
     }
     let mut report = ScenarioReport::new();

@@ -156,10 +156,7 @@ fn to_json(stats: &DiffStats, episodes: usize, agreement: f64) -> Json {
         (
             "worst",
             Json::obj([
-                (
-                    "rel_err",
-                    Json::str(&format!("{:.3e}", stats.worst.rel_err)),
-                ),
+                ("rel_err", Json::str(format!("{:.3e}", stats.worst.rel_err))),
                 ("seed", Json::Num(stats.worst.seed as f64)),
                 ("decision", Json::Num(stats.worst.decision as f64)),
                 ("candidates", Json::Num(stats.worst.candidates as f64)),

@@ -99,7 +99,7 @@ fn perturbed_episodes_validate_incremental_observations() {
                 cfg.validate_observations = true;
                 cfg.max_events = 500_000;
                 let r = Simulator::new(cluster, jobs, cfg).run(make_scheduler(&sched, 8, None));
-                assert!(r.actions.len() > 0);
+                assert!(!r.actions.is_empty());
             }
         }
     }

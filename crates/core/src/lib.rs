@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-core
 //!
 //! Core data model for the Rust reproduction of *Learning Scheduling

@@ -132,7 +132,7 @@ mod tests {
     fn arithmetic() {
         let mut t = SimTime::ZERO;
         t += 1.5;
-        t = t + 2.5;
+        let t = t + 2.5;
         assert_eq!(t.as_secs(), 4.0);
         assert!(t.is_finite());
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima
 //!
 //! Facade crate for the Rust reproduction of *Learning Scheduling

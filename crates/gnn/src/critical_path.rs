@@ -169,11 +169,11 @@ mod tests {
         let test: Vec<CpExample> = (0..40).map(|_| random_cp_example(10, &mut rng)).collect();
 
         let mut h = CpHarness::new(true, 7);
-        let first = h.train_step(&train[..8].to_vec());
+        let first = h.train_step(&train[..8]);
         let mut last = first;
         for epoch in 0..40 {
             let lo = (epoch * 8) % 16;
-            last = h.train_step(&train[lo..lo + 8].to_vec());
+            last = h.train_step(&train[lo..lo + 8]);
         }
         assert!(
             last < first,

@@ -152,11 +152,11 @@ impl InferEncoder {
         assert!(n > 0, "encoder needs at least one node");
         assert_eq!(g.features.cols(), self.feat_dim, "feature dim");
 
-        if self
+        let plan_current = self
             .plan
             .as_ref()
-            .is_none_or(|p| !Arc::ptr_eq(&p.structure, &g.structure))
-        {
+            .is_some_and(|p| Arc::ptr_eq(&p.structure, &g.structure));
+        if !plan_current {
             self.plan = Some(InferPlan::new(Arc::clone(&g.structure)));
         }
 

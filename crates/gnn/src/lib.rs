@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-gnn
 //!
 //! The graph neural network of §5.1: per-node embeddings via two-level

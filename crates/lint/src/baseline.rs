@@ -1,0 +1,211 @@
+//! The W001 ratchet baseline: per-crate counts of grandfathered
+//! `unwrap()`/`expect()` sites, pinned in `LINT_BASELINE.json` at the
+//! workspace root.
+//!
+//! The file is plain JSON, but the whole workspace is offline (the
+//! vendored `serde` is a no-op stub), so this module hand-rolls the
+//! tiny subset needed: one object of objects of integers. Keys are
+//! written sorted (`BTreeMap`) so the file is byte-deterministic and
+//! `--update-baseline` produces minimal diffs.
+
+use std::collections::BTreeMap;
+
+/// Format version written to the file.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// The parsed baseline: rule id → crate name → pinned count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// The pinned count for `(rule, krate)`; crates absent from the
+    /// baseline ratchet from zero.
+    pub fn count(&self, rule: &str, krate: &str) -> u64 {
+        self.counts
+            .get(rule)
+            .and_then(|m| m.get(krate))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serializes to the canonical on-disk form.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"version\": {BASELINE_VERSION}"));
+        for (rule, crates) in &self.counts {
+            out.push_str(&format!(",\n  \"{rule}\": {{\n"));
+            let body: Vec<String> = crates
+                .iter()
+                .map(|(k, n)| format!("    \"{k}\": {n}"))
+                .collect();
+            out.push_str(&body.join(",\n"));
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses the on-disk form. Tolerates arbitrary whitespace but
+    /// nothing beyond the object-of-objects-of-integers shape.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            i: 0,
+        };
+        let mut counts = BTreeMap::new();
+        p.expect_byte(b'{')?;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.expect_byte(b':')?;
+            p.skip_ws();
+            if key == "version" {
+                let v = p.number()?;
+                if v != BASELINE_VERSION {
+                    return Err(format!(
+                        "unsupported baseline version {v} (this build reads v{BASELINE_VERSION})"
+                    ));
+                }
+            } else {
+                let mut crates = BTreeMap::new();
+                p.expect_byte(b'{')?;
+                loop {
+                    p.skip_ws();
+                    if p.peek() == Some(b'}') {
+                        p.i += 1;
+                        break;
+                    }
+                    let name = p.string()?;
+                    p.expect_byte(b':')?;
+                    let n = p.number()?;
+                    crates.insert(name, n);
+                    p.skip_ws();
+                    if p.peek() == Some(b',') {
+                        p.i += 1;
+                    }
+                }
+                counts.insert(key, crates);
+            }
+            p.skip_ws();
+            if p.peek() == Some(b',') {
+                p.i += 1;
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\n' | b'\r' | b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline: expected `{}` at byte {}",
+                b as char, self.i
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let start = self.i;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = String::from_utf8_lossy(&self.bytes[start..self.i]).into_owned();
+                self.i += 1;
+                return Ok(s);
+            }
+            self.i += 1;
+        }
+        Err("baseline: unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("baseline: expected a number at byte {start}"));
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.i])
+            .parse()
+            .map_err(|_| "baseline: bad number".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut b = Baseline::default();
+        let mut w = BTreeMap::new();
+        w.insert("decima-sim".to_string(), 12);
+        w.insert("decima-core".to_string(), 3);
+        b.counts.insert("W001".to_string(), w);
+        b
+    }
+
+    #[test]
+    fn round_trips() {
+        let b = sample();
+        let text = b.render();
+        let r = Baseline::parse(&text).unwrap();
+        assert_eq!(r, b);
+        // Canonical form is stable.
+        assert_eq!(r.render(), text);
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let text = sample().render();
+        let core = text.find("decima-core").unwrap();
+        let sim = text.find("decima-sim").unwrap();
+        assert!(core < sim);
+    }
+
+    #[test]
+    fn missing_crates_ratchet_from_zero() {
+        let b = sample();
+        assert_eq!(b.count("W001", "decima-core"), 3);
+        assert_eq!(b.count("W001", "decima-new"), 0);
+        assert_eq!(b.count("W999", "decima-core"), 0);
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let text = "{\n  \"version\": 9\n}\n";
+        assert!(Baseline::parse(text).unwrap_err().contains("version 9"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"W001\": [1,2]}").is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! A minimal Rust lexer: strips comments and string/char literals so the
+//! rule matchers never fire inside them, extracts `decima-lint:`
+//! suppression annotations from the comments it strips, and tracks which
+//! lines live inside `#[cfg(test)]` items.
+//!
+//! The lexer is deliberately token-free — it only needs to know *where
+//! code is*, not what it means. It handles the constructs that matter
+//! for that job: line comments (`//`, `///`, `//!`), nested block
+//! comments, string literals with escapes, raw strings (`r"…"`,
+//! `r#"…"#`, any number of `#`s), byte/C-string prefixes (`b`, `br`,
+//! `c`, `cr`), and the char-literal-vs-lifetime ambiguity (`'a'` vs
+//! `'a`). Everything it strips is replaced by spaces, so byte offsets
+//! and line numbers in the masked text match the original source.
+
+/// Marker comments look like `// decima-lint: allow(D002) — reason`.
+pub const ANNOTATION_PREFIX: &str = "decima-lint:";
+
+/// A parsed suppression annotation.
+///
+/// A suppression on line `L` covers findings on lines `L` and `L + 1`,
+/// so both the trailing-comment style and the comment-above style work:
+///
+/// ```text
+/// let t0 = Instant::now(); // decima-lint: allow(D002) — wall clock
+/// // decima-lint: allow(D002) — wall clock
+/// let t0 = Instant::now();
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the annotation comment sits on.
+    pub line: usize,
+    /// Rule ids named in `allow(...)`, e.g. `["D002"]`.
+    pub rules: Vec<String>,
+    /// The free-text justification after the `allow(...)` clause.
+    pub reason: String,
+}
+
+/// A malformed annotation (unparsable `allow` clause or missing
+/// reason). These are reported as hard errors so a typo can never
+/// silently suppress nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BadAnnotation {
+    pub line: usize,
+    pub problem: String,
+}
+
+/// Result of stripping one source file.
+pub struct Stripped {
+    /// The source with every comment and string/char literal replaced by
+    /// spaces (newlines preserved).
+    pub masked: String,
+    /// Well-formed suppression annotations found in comments.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed annotations.
+    pub bad_annotations: Vec<BadAnnotation>,
+}
+
+impl Stripped {
+    /// Per-line test-context map (1-based line `i` is `lines[i - 1]`):
+    /// `true` for lines inside a `#[cfg(test)]` item.
+    pub fn test_lines(&self) -> Vec<bool> {
+        test_line_map(&self.masked)
+    }
+}
+
+/// Strips `source`, collecting annotations along the way.
+pub fn strip(source: &str) -> Stripped {
+    let bytes = source.as_bytes();
+    let mut masked = String::with_capacity(source.len());
+    let mut suppressions = Vec::new();
+    let mut bad_annotations = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes `n` source bytes as blanks, preserving newlines.
+    let blank = |masked: &mut String, line: &mut usize, bytes: &[u8], from: usize, to: usize| {
+        for &b in &bytes[from..to] {
+            if b == b'\n' {
+                masked.push('\n');
+                *line += 1;
+            } else {
+                masked.push(' ');
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &source[start..i];
+                parse_annotation(comment, line, &mut suppressions, &mut bad_annotations);
+                blank(&mut masked, &mut line, bytes, start, i);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut masked, &mut line, bytes, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(bytes, i);
+                blank(&mut masked, &mut line, bytes, start, i);
+            }
+            b'r' | b'b' | b'c' if is_literal_prefix(bytes, i) => {
+                let start = i;
+                // Consume the prefix letters, then the literal body.
+                let mut j = i;
+                while j < bytes.len() && matches!(bytes[j], b'r' | b'b' | b'c') {
+                    j += 1;
+                }
+                let raw = source[i..j].contains('r');
+                i = if raw {
+                    skip_raw_string(bytes, j)
+                } else {
+                    skip_string(bytes, j)
+                };
+                blank(&mut masked, &mut line, bytes, start, i);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut masked, &mut line, bytes, i, end);
+                    i = end;
+                } else {
+                    // A lifetime: keep the tick and move on.
+                    masked.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                if b == b'\n' {
+                    line += 1;
+                }
+                // Source is valid UTF-8; push the full char.
+                let ch = source[i..].chars().next().unwrap_or(' ');
+                masked.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+
+    Stripped {
+        masked,
+        suppressions,
+        bad_annotations,
+    }
+}
+
+/// True when the `r`/`b`/`c` at `i` starts a string-literal prefix
+/// (e.g. `r"`, `br#"`, `c"`), as opposed to a plain identifier.
+fn is_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    // Not a prefix if the previous byte continues an identifier
+    // (e.g. the `r` in `for` or `var`).
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    while j < bytes.len() && matches!(bytes[j], b'r' | b'b' | b'c') && j - i < 2 {
+        j += 1;
+    }
+    if j >= bytes.len() {
+        return false;
+    }
+    match bytes[j] {
+        b'"' => true,
+        b'#' => bytes[i..j].contains(&b'r'),
+        _ => false,
+    }
+}
+
+/// Skips a `"…"` literal starting at the opening quote; returns the
+/// index just past the closing quote.
+fn skip_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips an `r#*"…"#*` literal starting at the first `#` or `"`;
+/// returns the index just past the closing delimiter.
+fn skip_raw_string(bytes: &[u8], mut i: usize) -> usize {
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// If the `'` at `i` opens a char literal, returns the index just past
+/// its closing quote; `None` for a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    // `'X'` (where X may be multi-byte): find a close quote within the
+    // next handful of bytes, before any whitespace.
+    let mut j = i + 1;
+    let limit = (i + 6).min(bytes.len());
+    while j < limit {
+        match bytes[j] {
+            b'\'' if j > i + 1 => return Some(j + 1),
+            b' ' | b'\t' | b'\n' => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parses one line comment for a `decima-lint:` annotation.
+fn parse_annotation(
+    comment: &str,
+    line: usize,
+    suppressions: &mut Vec<Suppression>,
+    bad: &mut Vec<BadAnnotation>,
+) {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let Some(rest) = body.strip_prefix(ANNOTATION_PREFIX) else {
+        return;
+    };
+    let rest = rest.trim();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        bad.push(BadAnnotation {
+            line,
+            problem: format!("expected `allow(RULE, …) — reason`, got `{rest}`"),
+        });
+        return;
+    };
+    let Some(close) = args.find(')') else {
+        bad.push(BadAnnotation {
+            line,
+            problem: "unclosed `allow(`".to_string(),
+        });
+        return;
+    };
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        bad.push(BadAnnotation {
+            line,
+            problem: "empty `allow()` — name at least one rule".to_string(),
+        });
+        return;
+    }
+    let reason: String = args[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        bad.push(BadAnnotation {
+            line,
+            problem: format!(
+                "suppression of {} has no reason — write `allow({}) — why`",
+                rules.join(", "),
+                rules.join(", ")
+            ),
+        });
+        return;
+    }
+    suppressions.push(Suppression {
+        line,
+        rules,
+        reason,
+    });
+}
+
+/// Computes, from masked source, which 1-based lines are inside a
+/// `#[cfg(test)]` item (a `mod tests { … }` block or a single
+/// annotated item).
+fn test_line_map(masked: &str) -> Vec<bool> {
+    let mut map = Vec::new();
+    let mut depth = 0usize;
+    // Brace depths at which an active `#[cfg(test)]` item closes.
+    let mut test_close: Vec<usize> = Vec::new();
+    // An attribute was seen; the next `{` opens its item (or a `;`
+    // ends a braceless item).
+    let mut pending = false;
+
+    for raw_line in masked.lines() {
+        let starts_test = raw_line.trim_start().starts_with("#[cfg(test)]");
+        if starts_test {
+            pending = true;
+        }
+        map.push(!test_close.is_empty() || pending);
+        for ch in raw_line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        test_close.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if test_close.last() == Some(&depth) {
+                        test_close.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' if pending => {
+                    // `#[cfg(test)] mod tests;` — item over, no block.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 1;\n";
+        let s = strip(src);
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains("let a ="));
+        assert!(s.masked.contains("let b = 1;"));
+        assert_eq!(s.masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strips_raw_and_prefixed_strings() {
+        let src = "let a = r#\"Instant::now\"#; let b = b\"x\"; let c = br#\"y\"#;";
+        let s = strip(src);
+        assert!(!s.masked.contains("Instant"));
+        assert!(!s.masked.contains('x'));
+        assert!(!s.masked.contains('y'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* nested */ still comment */ let x = 1;";
+        let s = strip(src);
+        assert!(!s.masked.contains("nested"));
+        assert!(s.masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }";
+        let s = strip(src);
+        // The quote char literal must not open a string.
+        assert!(s.masked.contains("let n ="));
+        assert!(s.masked.contains("&'a str"));
+    }
+
+    #[test]
+    fn annotation_roundtrip() {
+        let src = "x(); // decima-lint: allow(D002) — wall clock, not sim time\n";
+        let s = strip(src);
+        assert_eq!(s.suppressions.len(), 1);
+        assert_eq!(s.suppressions[0].line, 1);
+        assert_eq!(s.suppressions[0].rules, vec!["D002"]);
+        assert!(s.suppressions[0].reason.contains("wall clock"));
+        assert!(s.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn annotation_without_reason_is_rejected() {
+        let s = strip("// decima-lint: allow(D001)\n");
+        assert!(s.suppressions.is_empty());
+        assert_eq!(s.bad_annotations.len(), 1);
+        assert!(s.bad_annotations[0].problem.contains("no reason"));
+    }
+
+    #[test]
+    fn annotation_with_multiple_rules() {
+        let s = strip("// decima-lint: allow(D001, W001) — test helper\n");
+        assert_eq!(s.suppressions[0].rules, vec!["D001", "W001"]);
+    }
+
+    #[test]
+    fn malformed_annotation_is_reported() {
+        let s = strip("// decima-lint: disallow(D001)\n");
+        assert!(s.suppressions.is_empty());
+        assert_eq!(s.bad_annotations.len(), 1);
+    }
+
+    #[test]
+    fn test_line_map_tracks_cfg_test_mod() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let s = strip(src);
+        assert_eq!(s.test_lines(), vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_line_map_handles_braceless_item() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() {}\n";
+        let s = strip(src);
+        assert_eq!(s.test_lines(), vec![true, true, false]);
+    }
+}

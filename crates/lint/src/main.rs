@@ -1,0 +1,149 @@
+#![forbid(unsafe_code)]
+//! `decima-lint` — the determinism-contract checker.
+//!
+//! ```text
+//! decima-lint --check               # scan + compare against LINT_BASELINE.json
+//! decima-lint --update-baseline     # scan + rewrite the W001 ratchet pins
+//! decima-lint --list-rules          # print the rule table
+//! decima-lint --check --root PATH   # scan a different tree (fixtures, CI)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or baseline drift, 2 usage/IO
+//! error.
+
+use decima_lint::rules::{Severity, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    check: bool,
+    update_baseline: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        check: false,
+        update_baseline: false,
+        list_rules: false,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => args.check = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "decima-lint: determinism-contract checker\n\
+                     \n\
+                     usage: decima-lint [--check | --update-baseline | --list-rules] [--root PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if !args.check && !args.update_baseline && !args.list_rules {
+        args.check = true;
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+
+    if args.list_rules {
+        for r in RULES {
+            let tier = match r.severity {
+                Severity::Deny => "deny",
+                Severity::Ratchet => "ratchet",
+            };
+            let summary: String = r.summary.split_whitespace().collect::<Vec<_>>().join(" ");
+            println!("{}  [{tier}]  {summary}", r.id);
+        }
+        return Ok(true);
+    }
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
+            decima_lint::find_workspace_root(&cwd)
+                .ok_or("not inside a Cargo workspace (or pass --root)")?
+        }
+    };
+
+    let report = decima_lint::scan(&root)?;
+
+    if args.update_baseline {
+        // Deny rules still gate --update-baseline: the ratchet pins
+        // W001 counts, it is not an escape hatch for D-rules.
+        let deny: Vec<String> = report
+            .deny_violations()
+            .map(|f| format!("{}:{}: {} {}", f.path, f.line, f.rule_id, f.what))
+            .collect();
+        if !deny.is_empty() {
+            for d in &deny {
+                eprintln!("error: {d}");
+            }
+            return Ok(false);
+        }
+        let path = root.join(decima_lint::BASELINE_FILE);
+        std::fs::write(&path, report.to_baseline().render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "wrote {} ({} files scanned)",
+            path.display(),
+            report.files_scanned
+        );
+        return Ok(true);
+    }
+
+    let baseline = decima_lint::load_baseline(&root)?;
+    let errors = report.check(&baseline);
+    for w in &report.unused_suppressions {
+        eprintln!(
+            "warning: {}:{}: unused suppression of {} — remove the stale annotation",
+            w.path,
+            w.line,
+            w.rules.join(", ")
+        );
+    }
+    if errors.is_empty() {
+        let suppressed = report.findings.iter().filter(|f| f.suppressed).count();
+        println!(
+            "decima-lint: clean ({} files, {} rules, {} annotated exemption(s))",
+            report.files_scanned,
+            RULES.len(),
+            suppressed
+        );
+        Ok(true)
+    } else {
+        for e in &errors {
+            eprintln!("error: {e}");
+        }
+        eprintln!(
+            "decima-lint: {} error(s) — see docs/DETERMINISM.md for the contract",
+            errors.len()
+        );
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("decima-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: a hash collection in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn iteration_order_hazard() -> usize {
+    let mut m = HashMap::new();
+    m.insert("a", 1);
+    m.len()
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: ambient entropy and wall-clock reads in a
+//! non-timing crate.
+use rand::thread_rng;
+use std::time::Instant;
+
+pub fn nondeterministic() -> bool {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::now();
+    let _rng = thread_rng();
+    t0.elapsed().as_secs() > 0
+}

@@ -1,0 +1,5 @@
+//! Known-bad fixture: executor-state writes outside the choke point.
+pub fn bypass_the_choke_point(execs: &mut [Exec], i: usize) {
+    execs[i].state = ExecState::Free;
+    let _old = std::mem::replace(&mut execs[i].state, ExecState::Offline);
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: unsafe code (even inside a test module).
+pub fn launder(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_flagged_in_tests() {
+        let x = 1u8;
+        let _ = unsafe { *(&x as *const u8) };
+    }
+}

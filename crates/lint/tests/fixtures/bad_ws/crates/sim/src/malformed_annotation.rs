@@ -1,0 +1,8 @@
+//! Known-bad fixture: suppressions that don't parse or lack a reason
+//! must be hard errors, never silent no-ops.
+use std::collections::HashSet; // decima-lint: allow(D001)
+
+pub fn reasonless() -> HashSet<u32> {
+    // decima-lint: silence(D001) — not a verb the tool knows
+    HashSet::new()
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: panicking extractors in library code. These are
+//! ratcheted (W001), so they fail against a baseline that pins zero.
+pub fn panicky(o: Option<u32>, r: Result<u32, String>) -> u32 {
+    o.unwrap() + r.expect("boom")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_are_free() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

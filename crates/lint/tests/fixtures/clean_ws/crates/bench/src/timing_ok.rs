@@ -1,0 +1,15 @@
+//! Fixture for the D002 timing allowlist: the measurement crate may
+//! read wall-clock time without annotations — and D001 does not apply
+//! outside the deterministic crates.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn measure<T>(f: impl FnOnce() -> T) -> f64 {
+    let t0 = Instant::now();
+    let _ = f();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn scratch() -> HashMap<String, f64> {
+    HashMap::new()
+}

@@ -1,0 +1,28 @@
+//! Annotated-ok fixture for D001: an exemption with a reviewable
+//! reason, plus the compliant alternatives that need none.
+use std::collections::BTreeMap;
+// decima-lint: allow(D001) — counts are drained through a sort before anything iterates
+use std::collections::HashMap;
+
+pub fn ordered() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+// decima-lint: allow(D001) — same justified exemption, comment-above style
+pub fn exempted() -> HashMap<u32, u32> {
+    HashMap::new() // decima-lint: allow(D001) — same justified exemption, trailing style
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope for D001: iteration order cannot leak
+    // into simulation results from here.
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniqueness_check() {
+        let mut s = HashSet::new();
+        s.insert(1);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Annotated-ok fixture for D002: wall-clock telemetry that never
+//! feeds back into simulated time.
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // decima-lint: allow(D002) — wall-clock telemetry, not sim time
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}

@@ -1,0 +1,11 @@
+//! Annotated-ok fixture for D003: the one blessed mutation site (a
+//! choke point mirroring `set_exec_state`) plus ordinary reads, which
+//! never need an annotation.
+pub fn set_exec_state(execs: &mut [Exec], i: usize, new: ExecState) -> ExecState {
+    // decima-lint: allow(D003) — this is the fixture's choke point
+    std::mem::replace(&mut execs[i].state, new)
+}
+
+pub fn reads_are_fine(execs: &[Exec], i: usize) -> bool {
+    matches!(execs[i].state, ExecState::Free) && execs[i].state == execs[i].state
+}

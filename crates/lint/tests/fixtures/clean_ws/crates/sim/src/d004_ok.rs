@@ -1,0 +1,9 @@
+//! Annotated-ok fixture for D004: the forbid attribute itself, plus
+//! prose mentions, must not trip the rule.
+#![forbid(unsafe_code)]
+
+/// Strings and comments may say unsafe freely: "unsafe { }" is inert
+/// here.
+pub fn safe() -> &'static str {
+    "unsafe is only a token inside this string literal"
+}

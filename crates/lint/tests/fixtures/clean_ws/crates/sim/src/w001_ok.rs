@@ -1,0 +1,19 @@
+//! Fixture for the W001 ratchet: one annotated exemption (not
+//! counted), one grandfathered bare site (pinned by the fixture's
+//! `LINT_BASELINE.json`), and test code (out of scope).
+pub fn annotated(o: Option<u32>) -> u32 {
+    // decima-lint: allow(W001) — invariant: caller checked is_some()
+    o.unwrap()
+}
+
+pub fn grandfathered(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn free_in_tests() {
+        assert_eq!(Some(2).unwrap(), 2);
+    }
+}

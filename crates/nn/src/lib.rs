@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-nn
 //!
 //! A minimal, self-contained neural-network substrate for the Decima

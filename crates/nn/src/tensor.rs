@@ -166,8 +166,7 @@ impl Tensor {
                 }
                 p += 4;
             }
-            for p in p..k {
-                let a = arow[p];
+            for (p, &a) in arow.iter().enumerate().take(k).skip(p) {
                 if a == 0.0 {
                     continue;
                 }

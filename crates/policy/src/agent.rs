@@ -136,6 +136,7 @@ impl DecimaAgent {
     /// One fast-path decision; only called when `self.infer` is set
     /// (greedy mode, supported configuration).
     fn decide_fast(&mut self, obs: &Observation) -> Option<Action> {
+        // decima-lint: allow(D002) — wall-clock decide_time telemetry, never fed back into the sim
         let t0 = Instant::now();
         if self.record_obs {
             self.observations.push(obs.clone());
@@ -228,6 +229,7 @@ impl Scheduler for DecimaAgent {
         if self.infer.is_some() {
             return self.decide_fast(obs);
         }
+        // decima-lint: allow(D002) — wall-clock decide_time telemetry, never fed back into the sim
         let t0 = Instant::now();
         if self.record_obs {
             self.observations.push(obs.clone());
@@ -522,7 +524,7 @@ mod tests {
         }
         fn decide(&mut self, obs: &Observation) -> Option<Action> {
             let a = self.inner.decide(obs);
-            if let Some(a) = a.clone() {
+            if let Some(a) = a {
                 self.actions.push(a);
             }
             a

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-policy
 //!
 //! Decima's scheduling policy (§5.2): the GNN-backed policy network with

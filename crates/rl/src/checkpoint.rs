@@ -51,7 +51,7 @@ use decima_sim::DynamicsSpec;
 use decima_workload::{ArrivalProcess, WorkloadSource, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The shape of the environment a training run rolled out on, echoed
@@ -183,9 +183,12 @@ fn usizes(v: &[usize]) -> String {
 // Parsing helpers
 // ---------------------------------------------------------------------------
 
-/// The head section as a key → value map plus the ordered history lines.
+/// The head section as a key → value map plus the ordered history
+/// lines. Ordered (`BTreeMap`) so anything that ever iterates the head
+/// — today only lookups, tomorrow perhaps a diff or dump tool — is
+/// deterministic by construction.
 struct Head {
-    map: HashMap<String, String>,
+    map: BTreeMap<String, String>,
     history: Vec<String>,
 }
 
@@ -259,7 +262,7 @@ fn split_sections(text: &str) -> Result<(Head, &str, &str), String> {
             "unsupported checkpoint version v{ver} (this build reads v{CHECKPOINT_VERSION})"
         ));
     }
-    let mut map = HashMap::new();
+    let mut map = BTreeMap::new();
     let mut history = Vec::new();
     for line in lines {
         if line.trim().is_empty() {

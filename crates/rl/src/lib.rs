@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-rl
 //!
 //! Reinforcement-learning infrastructure for Decima (§5.3, Appendices B

@@ -334,6 +334,7 @@ impl Simulator {
         };
         let new_free = matches!(new, ExecState::Free);
         let new_owner = Self::owner_of(&new);
+        // decima-lint: allow(D003) — this IS the choke point every other site must go through
         let old = std::mem::replace(&mut self.execs[i].state, new);
         let old_idle = match old {
             ExecState::Idle(j) => Some(j),
@@ -683,7 +684,7 @@ impl Simulator {
             && self
                 .dynamics
                 .as_mut()
-                .map_or(false, Perturbations::task_fails);
+                .is_some_and(Perturbations::task_fails);
 
         let ji = job_id.index();
         let v = node as usize;

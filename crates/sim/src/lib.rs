@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-sim
 //!
 //! Discrete-event simulator of a Spark-like cluster, reproducing the

@@ -156,7 +156,7 @@ mod tests {
         for i in 0..200 {
             let j = alibaba_job(&cfg, JobId(i), SimTime::ZERO, &mut rng);
             assert!(j.validate().is_ok());
-            assert!(j.dag.len() >= 1 && j.dag.len() <= cfg.max_stages);
+            assert!(!j.dag.is_empty() && j.dag.len() <= cfg.max_stages);
         }
     }
 

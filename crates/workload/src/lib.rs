@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decima-workload
 //!
 //! Synthetic workload generators for the Decima reproduction:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Support library for the workspace's integration tests and examples.
 //!
 //! The real code lives in the `decima-*` crates under `crates/`; this

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
 //! benchmark harness (see `vendor/README.md` for why dependencies are
 //! vendored).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
 //! crate (see `vendor/README.md` for why dependencies are vendored).
 //!

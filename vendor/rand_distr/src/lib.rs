@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
 //! crate (see `vendor/README.md` for why dependencies are vendored).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
 //! crate (see `vendor/README.md` for why dependencies are vendored).
 //!

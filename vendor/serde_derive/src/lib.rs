@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! No-op derive macros backing the vendored `serde` stub.
 //!
 //! The stub's `Serialize`/`Deserialize` traits are blanket-implemented
