@@ -6,6 +6,7 @@
 //! `PolicyConfig` overrides — is constructible here, so experiments
 //! never hand-roll scheduler setup.
 
+use crate::fleet::{LeastLoaded, RoundRobin, Router, ShortestQueue};
 use crate::scenario::{PolicySpec, SchedulerSpec, TrainSpec};
 use decima_baselines::{
     FifoScheduler, GrapheneScheduler, RandomScheduler, SjfCpScheduler, TetrisScheduler,
@@ -116,6 +117,24 @@ pub fn scheduler_spec_by_name(name: &str) -> Option<SchedulerSpec> {
         },
         _ => return None,
     })
+}
+
+/// Router names the fleet factory accepts (canonical forms; see
+/// [`make_router`] for accepted aliases).
+pub const ROUTER_NAMES: &[&str] = &["rr", "jsq", "least-loaded"];
+
+/// Resolves a router name to a fresh routing policy for the fleet
+/// front-end — the router-side counterpart of [`make_scheduler`].
+pub fn make_router(name: &str) -> Result<Box<dyn Router>, String> {
+    match name {
+        "rr" | "round-robin" => Ok(Box::new(RoundRobin::default())),
+        "jsq" | "shortest-queue" => Ok(Box::new(ShortestQueue)),
+        "least-loaded" | "ll" => Ok(Box::new(LeastLoaded)),
+        other => Err(format!(
+            "unknown router '{other}' (valid: {})",
+            ROUTER_NAMES.join(", ")
+        )),
+    }
 }
 
 /// Parses a [`PolicySpec::parallelism`] key.

@@ -25,6 +25,7 @@
 
 pub mod cli;
 pub mod factory;
+pub mod fleet;
 pub mod json;
 pub mod perf;
 pub mod registry;

@@ -13,12 +13,14 @@
 //!   build + GNN encode + action heads) with a freshly-initialized
 //!   greedy Decima agent.
 //!
-//! Two observability blocks ride along outside the headline:
+//! Three observability blocks ride along outside the headline:
 //! `train` (per-iteration training wall-clock through both gradient
-//! paths) and `agent_infer` (a deterministically warmed-up *trained*
+//! paths), `agent_infer` (a deterministically warmed-up *trained*
 //! policy evaluated on both the f32 fast path and the f64 tape path —
-//! the number ROADMAP item 1 targets). `--check` enforces a floor on
-//! `agent_infer.decisions_per_sec` alongside the headline.
+//! the number ROADMAP item 1 targets), and `fleet` (aggregate
+//! decisions/sec of the 4-shard serving driver, ROADMAP item 2).
+//! `--check` enforces a floor on `agent_infer.decisions_per_sec` and
+//! `fleet.decisions_per_sec` alongside the headline.
 //!
 //! Workloads, seeds, and policy initialization are all pinned, so the
 //! only thing that moves the numbers is the code (and the machine). CI
@@ -280,6 +282,67 @@ fn run_infer_component(quick: bool) -> Json {
     ])
 }
 
+/// Measures the sharded fleet driver end to end: a pinned 4-shard
+/// fleet (streaming TPC-H trace, join-shortest-queue routing, FIFO
+/// shards, 4 pool workers) routed and simulated per seed. The rate is
+/// aggregate decisions/sec across all shards — the serving-side
+/// counterpart of the headline, with its own CI floor via
+/// [`check_regression`].
+fn run_fleet_component(quick: bool) -> Json {
+    use crate::factory::make_router;
+    use crate::fleet::{run_fleet, ShardPool};
+    use crate::scenario::SchedulerSpec;
+
+    let shards = 4usize;
+    let env = SpecEnv::new(WorkloadSpec::tpch_stream(40, 8, 12.0));
+    let seeds: &[u64] = if quick {
+        &[7]
+    } else {
+        &[7, 8, 9, 10, 11, 12, 13, 14, 15, 16]
+    };
+    let pool = ShardPool::new(4);
+    let mut decisions = 0u64;
+    let mut routed = 0u64;
+    let t0 = Instant::now();
+    for &seed in seeds {
+        let (cluster, jobs, cfg) = env.build(seed);
+        let mut router = match make_router("jsq") {
+            Ok(r) => r,
+            Err(e) => unreachable!("pinned router name: {e}"),
+        };
+        let fleet = run_fleet(
+            &cluster,
+            &jobs,
+            &cfg,
+            shards,
+            &mut *router,
+            &SchedulerSpec::Fifo,
+            None,
+            &pool,
+        );
+        decisions += fleet.total_decisions();
+        routed += fleet.routed_jobs();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let rate = decisions as f64 / wall.max(1e-12);
+    println!(
+        "  {:<24} {:>4} episode(s)  {:>8} decisions  {:>10.0} decisions/s  ({shards} shards, {} jobs routed)",
+        "fleet",
+        seeds.len(),
+        decisions,
+        rate,
+        routed,
+    );
+    Json::obj([
+        ("shards", Json::Num(shards as f64)),
+        ("episodes", Json::Num(seeds.len() as f64)),
+        ("routed_jobs", Json::Num(routed as f64)),
+        ("decisions", Json::Num(decisions as f64)),
+        ("wall_secs", Json::Num(wall)),
+        ("decisions_per_sec", Json::Num(rate)),
+    ])
+}
+
 /// Runs the pinned suite; returns the result document.
 pub fn run_bench(quick: bool) -> Json {
     let mut comps = Vec::new();
@@ -316,6 +379,7 @@ pub fn run_bench(quick: bool) -> Json {
     // comparable across baselines).
     let train = run_train_component(quick);
     let infer = run_infer_component(quick);
+    let fleet = run_fleet_component(quick);
     let headline = total_decisions as f64 / total_wall.max(1e-12);
     let rss = peak_rss_kb();
     println!("  {:<24} {headline:>42.0} decisions/s", "TOTAL");
@@ -330,6 +394,7 @@ pub fn run_bench(quick: bool) -> Json {
         ("peak_rss_kb", Json::Num(rss as f64)),
         ("train", train),
         ("agent_infer", infer),
+        ("fleet", fleet),
         ("components", Json::Arr(comps)),
     ])
 }
@@ -354,28 +419,32 @@ pub fn check_regression(result: &Json, baseline: &Json, floor_frac: f64) -> Resu
     }
     println!("regression check ok: {new:.0} decisions/s vs baseline {base:.0} (floor {floor:.0})");
 
-    // The trained-inference fast path gets its own floor once the
-    // baseline carries it (older baselines predate the component). A
-    // result that *lost* the component against a baseline that has it
-    // is itself a regression — the measurement must not silently drop.
-    let infer_rate = |doc: &Json| {
-        doc.get("agent_infer")
+    // Rider components (trained inference, the sharded fleet driver)
+    // get their own floor once the baseline carries them (older
+    // baselines predate them). A result that *lost* a component against
+    // a baseline that has it is itself a regression — the measurement
+    // must not silently drop.
+    let rider_rate = |doc: &Json, name: &str| {
+        doc.get(name)
             .and_then(|c| c.get("decisions_per_sec"))
             .and_then(Json::as_f64)
     };
-    if let Some(ibase) = infer_rate(baseline) {
-        let inew = infer_rate(result)
-            .ok_or("baseline has an 'agent_infer' component but the result does not")?;
+    for name in ["agent_infer", "fleet"] {
+        let Some(ibase) = rider_rate(baseline, name) else {
+            continue;
+        };
+        let inew = rider_rate(result, name)
+            .ok_or_else(|| format!("baseline has a '{name}' component but the result does not"))?;
         let ifloor = ibase * floor_frac;
         if inew < ifloor {
             return Err(format!(
-                "agent_infer decisions/sec regressed: {inew:.0} < {ifloor:.0} \
+                "{name} decisions/sec regressed: {inew:.0} < {ifloor:.0} \
                  ({:.0}% of baseline {ibase:.0})",
                 floor_frac * 100.0
             ));
         }
         println!(
-            "regression check ok: agent_infer {inew:.0} decisions/s vs baseline {ibase:.0} \
+            "regression check ok: {name} {inew:.0} decisions/s vs baseline {ibase:.0} \
              (floor {ifloor:.0})"
         );
     }
@@ -490,6 +559,24 @@ mod tests {
         // Baselines without the component skip the extra gate.
         assert!(check_regression(&doc(100.0, None), &doc(100.0, None), 0.7).is_ok());
         assert!(check_regression(&doc(100.0, Some(50.0)), &doc(100.0, None), 0.7).is_ok());
+        // With the component, the floor applies to it too.
+        assert!(check_regression(&doc(100.0, Some(71.0)), &doc(100.0, Some(100.0)), 0.7).is_ok());
+        assert!(check_regression(&doc(100.0, Some(69.0)), &doc(100.0, Some(100.0)), 0.7).is_err());
+        // Losing the component against a baseline that has it fails.
+        assert!(check_regression(&doc(100.0, None), &doc(100.0, Some(100.0)), 0.7).is_err());
+    }
+
+    #[test]
+    fn regression_check_covers_the_fleet_component() {
+        let doc = |dps: f64, fleet: Option<f64>| {
+            let mut fields = vec![("decisions_per_sec", Json::Num(dps))];
+            if let Some(f) = fleet {
+                fields.push(("fleet", Json::obj([("decisions_per_sec", Json::Num(f))])));
+            }
+            Json::obj(fields)
+        };
+        // Baselines without the component skip the extra gate.
+        assert!(check_regression(&doc(100.0, None), &doc(100.0, None), 0.7).is_ok());
         // With the component, the floor applies to it too.
         assert!(check_regression(&doc(100.0, Some(71.0)), &doc(100.0, Some(100.0)), 0.7).is_ok());
         assert!(check_regression(&doc(100.0, Some(69.0)), &doc(100.0, Some(100.0)), 0.7).is_err());

@@ -49,6 +49,7 @@ impl ScenarioRegistry {
             fig19(),
             fig22(),
             fig23(),
+            fleet(),
             robust(),
             table2(),
             table3(),
@@ -482,6 +483,30 @@ fn fig23() -> Scenario {
     )
 }
 
+/// The fleet-scale serving driver (not a paper artifact): N sharded
+/// cluster simulators behind one routed arrival front-end, swept over
+/// shard count × arrival rate to locate the saturation knee
+/// (docs/FLEET.md).
+fn fleet() -> Scenario {
+    custom(
+        ScenarioBuilder::new(
+            "fleet",
+            "Fleet: sharded serving swept over shard count × arrival rate",
+        )
+        .paper_ref("— (fleet ext)")
+        .workload(WorkloadSpec::tpch_stream(40, 8, 12.0))
+        .seeds(13000, 2)
+        .entry("fifo", SchedulerSpec::Fifo)
+        .note("Shards are independent simulators at derived seeds; one streaming")
+        .note("front-end routes jobs (--set router=rr|jsq|least-loaded). Sweep with")
+        .note("--set shards=1,2,4,8 and rates=1,2,4 (rate multiplies arrival rate);")
+        .note("--set sched=<name> picks the per-shard scheduler (decima-ckpt:<path>")
+        .note("serves a trained checkpoint). See docs/FLEET.md.")
+        .build(),
+        scenarios::fleet::run_fleet_scenario,
+    )
+}
+
 /// The robustness scenario family (not a paper artifact): the §7.1
 /// lineup plus trained/untrained Decima evaluated under escalating
 /// cluster-dynamics levels — executor churn, bounded-retry task
@@ -513,8 +538,9 @@ fn robust() -> Scenario {
         .decima(TrainSpec::standard(30, 11))
         .note("Levels sweep off → low → med → high (pick one with --set level=…;")
         .note("level=custom uses --set churn=/fail=/straggle= directly). Decima")
-        .note("trains on the unperturbed environment; evaluate perturbation-trained")
-        .note("checkpoints via decima-ckpt:<path> entries (docs/ROBUSTNESS.md).")
+        .note("trains unperturbed for preset sweeps, but under the spec's own")
+        .note("dynamics at level=custom; evaluate perturbation-trained checkpoints")
+        .note("via decima-ckpt:<path> entries (docs/ROBUSTNESS.md).")
         .build(),
         scenarios::robust::run_robust,
     )
@@ -670,8 +696,8 @@ mod tests {
         assert!(!reg.is_empty());
         for name in [
             "fig02", "fig03", "fig07", "fig09a", "fig09b", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15a", "fig15b", "fig16", "fig18", "fig19", "fig22", "fig23", "robust",
-            "table2", "table3",
+            "fig14", "fig15a", "fig15b", "fig16", "fig18", "fig19", "fig22", "fig23", "fleet",
+            "robust", "table2", "table3",
         ] {
             assert!(reg.get(name).is_some(), "scenario '{name}' missing");
         }

@@ -498,7 +498,9 @@ impl ScenarioSpec {
         }
     }
 
-    fn param(&self, key: &str) -> Option<&ParamValue> {
+    /// Raw parameter lookup (scenario code usually wants the typed
+    /// accessors below; sweep lists need the variant itself).
+    pub fn param(&self, key: &str) -> Option<&ParamValue> {
         self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
@@ -555,7 +557,18 @@ impl ScenarioSpec {
             // A named perturbation preset. "all" (the robust scenario's
             // full sweep) and "custom" (use the churn=/fail=/straggle=
             // knobs as set) leave the structured dynamics untouched.
+            // Only the robust scenario interprets the level parameter;
+            // everywhere else it would be silently ignored, so reject it
+            // loudly instead of letting `--set level=high` do nothing.
             "level" => {
+                if self.name != "robust" {
+                    return Err(format!(
+                        "'level' is a robust-only parameter (scenario '{}' would ignore it); \
+                         to perturb this scenario set the dynamics knobs directly: \
+                         churn=, outage=, fail=, retries=, straggle=, straggle-factor=",
+                        self.name
+                    ));
+                }
                 if value != "all" && value != "custom" {
                     self.sim.dynamics = DynamicsSpec::level(value).ok_or_else(|| {
                         format!(
@@ -1551,6 +1564,8 @@ mod tests {
         assert!(spec.sim.dynamics.enabled());
         assert!(spec.set("fail", "lots").is_err(), "non-numeric rejected");
 
+        // `level` is interpreted by the robust scenario only.
+        spec.name = "robust".into();
         // Presets overwrite the whole model and record the level param.
         spec.set("level", "high").unwrap();
         assert_eq!(spec.sim.dynamics, DynamicsSpec::high());
@@ -1567,6 +1582,25 @@ mod tests {
         assert_eq!(spec.sim.dynamics.churn_iat, 50.0);
         assert_eq!(spec.text_param("level", "x"), "custom");
         assert!(spec.set("level", "apocalyptic").is_err());
+    }
+
+    /// `--set level=` outside the robust scenario is a hard error (it
+    /// would be silently ignored), and the error names the knobs that
+    /// do work everywhere.
+    #[test]
+    fn level_outside_robust_is_rejected() {
+        let mut spec = demo_spec();
+        for value in ["high", "all", "custom"] {
+            let err = spec.set("level", value).unwrap_err();
+            assert!(err.contains("robust-only"), "{err}");
+            assert!(
+                err.contains("churn="),
+                "error must name the valid knobs: {err}"
+            );
+        }
+        // The direct dynamics knobs stay available to every scenario.
+        spec.set("churn", "120").unwrap();
+        assert_eq!(spec.sim.dynamics.churn_iat, 120.0);
     }
 
     #[test]

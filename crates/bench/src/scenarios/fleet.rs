@@ -1,0 +1,300 @@
+//! The `fleet` scenario: the sharded multi-cluster serving driver
+//! swept over shard count × arrival rate to locate the saturation knee
+//! (ROADMAP item 2: fleet-scale serving).
+//!
+//! Each cell routes one streaming arrival trace across `shards`
+//! independent cluster shards — every shard a full [`Simulator`] at its
+//! own derived seed — and reports aggregate fleet metrics: completed
+//! jobs per simulated second, pooled tail JCT (p95 across shards), and
+//! routed-work imbalance. As the rate multiplier grows past what
+//! `shards × executors` can serve, `jobs_per_sim_sec` flattens and
+//! `jct_p95` blows up: that corner is the knee.
+//!
+//! Knobs (all via `--set`):
+//!
+//! * `shards=4` or `shards=1,2,4,8` — shard counts to sweep.
+//! * `rates=1,2,4` — arrival-rate multipliers on the base workload
+//!   (rate 2 halves the mean interarrival time).
+//! * `router=rr|jsq|least-loaded` — routing policy (default `jsq`).
+//! * `sched=<factory name>` — per-shard scheduler (default `fifo`;
+//!   `decima-ckpt:<path>` serves a trained checkpoint, resolved once
+//!   and shared across shards).
+//!
+//! Determinism: `out/fleet.csv` and the `cells` JSON are bit-identical
+//! for a fixed spec regardless of `--threads` — shard episodes run on a
+//! persistent worker pool and results are re-sorted before aggregation
+//! (see docs/FLEET.md for the contract and its wall-clock exclusion).
+//!
+//! [`Simulator`]: decima_sim::Simulator
+
+use crate::factory::{make_router, scheduler_spec_by_name, TrainedPolicy};
+use crate::fleet::{run_fleet, FleetResult, ShardPool};
+use crate::json::Json;
+use crate::report::{ScenarioReport, SeriesReport};
+use crate::runner::{spec_env, RunOptions};
+use crate::scenario::{ParamValue, ScenarioSpec, SchedulerSpec};
+use crate::write_csv;
+use decima_rl::EnvFactory as _;
+use std::sync::Arc;
+
+/// Reads a sweep-list parameter: `--set shards=4` (parsed as a number)
+/// or `--set shards=1,2,4,8` (parsed as text) both work.
+fn list_param(spec: &ScenarioSpec, key: &str, default: &[f64]) -> Vec<f64> {
+    let parsed = match spec.param(key) {
+        None => default.to_vec(),
+        Some(ParamValue::Num(n)) => vec![*n],
+        Some(ParamValue::Text(t)) => t
+            .split(',')
+            .map(|s| match s.trim().parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => panic!("'{key}' expects a number or comma list, got '{t}'"),
+            })
+            .collect(),
+        Some(other) => panic!("'{key}' expects a number or comma list, got {other:?}"),
+    };
+    assert!(!parsed.is_empty(), "'{key}' must not be empty");
+    parsed
+}
+
+/// Resolves the per-shard scheduler. Training inside the fleet driver
+/// is unsupported — a fleet serves policies, it does not produce them —
+/// so `decima`/train entries are rejected with the checkpoint route.
+fn resolve_sched(
+    spec: &ScenarioSpec,
+    executors: usize,
+) -> (SchedulerSpec, Option<Arc<TrainedPolicy>>) {
+    let name = spec.text_param("sched", "fifo");
+    let Some(sched) = scheduler_spec_by_name(&name) else {
+        panic!("unknown scheduler '{name}' for --set sched= (see --list)");
+    };
+    match &sched {
+        SchedulerSpec::Decima { .. } => panic!(
+            "the fleet driver serves policies, it does not train them; train separately and \
+             point --set sched=decima-ckpt:<path> at the checkpoint"
+        ),
+        SchedulerSpec::DecimaCheckpoint { path } => {
+            let snapshot = match TrainedPolicy::from_checkpoint(path) {
+                Ok(s) => s,
+                Err(e) => panic!("cannot load checkpoint '{path}': {e}"),
+            };
+            crate::runner::check_snapshot_compat(&snapshot, executors, path);
+            (sched.clone(), Some(Arc::new(snapshot)))
+        }
+        _ => (sched, None),
+    }
+}
+
+/// One sweep cell's deterministic result: per-seed fleet aggregates.
+pub struct FleetCell {
+    /// Shard count.
+    pub shards: usize,
+    /// Arrival-rate multiplier.
+    pub rate: f64,
+    /// Per-seed fleet results, in seed order.
+    pub per_seed: Vec<FleetResult>,
+}
+
+impl FleetCell {
+    fn mean(&self, f: impl Fn(&FleetResult) -> f64) -> f64 {
+        self.per_seed.iter().map(&f).sum::<f64>() / self.per_seed.len().max(1) as f64
+    }
+}
+
+/// Runs the shard-count × arrival-rate sweep and returns the cells in
+/// sweep order. Public (rather than an implementation detail of
+/// [`run_fleet_scenario`]) so the determinism tests can compare
+/// rendered cell JSON across `--threads` settings.
+pub fn sweep(spec: &ScenarioSpec, opts: &RunOptions) -> Vec<FleetCell> {
+    let env = spec_env(spec);
+    let executors = env.workload.executors;
+    let shard_counts: Vec<usize> = list_param(spec, "shards", &[1.0, 2.0, 4.0, 8.0])
+        .iter()
+        .map(|&s| {
+            assert!(
+                s >= 1.0 && s.fract() == 0.0,
+                "shards must be whole and ≥ 1, got {s}"
+            );
+            s as usize
+        })
+        .collect();
+    let rates = list_param(spec, "rates", &[1.0, 2.0, 4.0]);
+    let router_name = spec.text_param("router", "jsq");
+    let (sched, trained) = resolve_sched(spec, executors);
+    let Some(base_iat) = env.workload.mean_iat() else {
+        panic!("the fleet scenario needs a streaming workload with a mean interarrival time");
+    };
+    let seeds = spec.seeds.seeds();
+    let pool = ShardPool::new(opts.threads.max(1));
+
+    let mut cells = Vec::new();
+    for &shards in &shard_counts {
+        for &rate in &rates {
+            assert!(rate > 0.0, "rate multipliers must be positive, got {rate}");
+            let mut cell_env = env.clone();
+            cell_env.workload.set_mean_iat(base_iat / rate);
+            let per_seed: Vec<FleetResult> = seeds
+                .iter()
+                .map(|&seed| {
+                    // One arrival trace per seed, routed once; shard s
+                    // simulates at shard_seed(cfg.seed, s).
+                    let (cluster, jobs, cfg) = cell_env.build(seed);
+                    let mut router = match make_router(&router_name) {
+                        Ok(r) => r,
+                        Err(e) => panic!("{e}"),
+                    };
+                    run_fleet(
+                        &cluster,
+                        &jobs,
+                        &cfg,
+                        shards,
+                        &mut *router,
+                        &sched,
+                        trained.as_ref(),
+                        &pool,
+                    )
+                })
+                .collect();
+            cells.push(FleetCell {
+                shards,
+                rate,
+                per_seed,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs the fleet sweep and writes `out/fleet.{csv,json}`.
+pub fn run_fleet_scenario(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
+    let mut report = ScenarioReport::new();
+    let cells = sweep(spec, opts);
+
+    println!(
+        "{:>6} {:>6} {:>8} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "shards", "rate", "routed", "completed", "decisions", "jobs/s(sim)", "jct p95", "imbalance"
+    );
+    let mut rows = Vec::new();
+    let mut cell_objs = Vec::new();
+    for cell in &cells {
+        let routed: u64 = cell.per_seed.iter().map(FleetResult::routed_jobs).sum();
+        let completed: usize = cell.per_seed.iter().map(FleetResult::completed).sum();
+        let unfinished: usize = cell.per_seed.iter().map(FleetResult::unfinished).sum();
+        let decisions: u64 = cell.per_seed.iter().map(FleetResult::total_decisions).sum();
+        let jobs_per_sec = cell.mean(FleetResult::jobs_per_sim_sec);
+        let jct_p95 = cell.mean(|f| f.jct.p95);
+        let imbalance = cell.mean(FleetResult::imbalance);
+        println!(
+            "{:>6} {:>6.1} {:>8} {:>10} {:>12} {:>11.4} {:>9.1}s {:>10.3}",
+            cell.shards, cell.rate, routed, completed, decisions, jobs_per_sec, jct_p95, imbalance
+        );
+        rows.push(format!(
+            "{},{:.3},{routed},{completed},{unfinished},{decisions},{jobs_per_sec:.6},{jct_p95:.4},{imbalance:.6}",
+            cell.shards, cell.rate
+        ));
+        cell_objs.push(Json::obj([
+            ("shards", Json::Num(cell.shards as f64)),
+            ("rate", Json::Num(cell.rate)),
+            ("routed_jobs", Json::Num(routed as f64)),
+            ("completed", Json::Num(completed as f64)),
+            ("unfinished", Json::Num(unfinished as f64)),
+            ("total_decisions", Json::Num(decisions as f64)),
+            ("jobs_per_sim_sec", Json::Num(jobs_per_sec)),
+            ("jct_p95", Json::Num(jct_p95)),
+            ("imbalance", Json::Num(imbalance)),
+            (
+                "per_seed",
+                Json::Arr(cell.per_seed.iter().map(FleetResult::to_json).collect()),
+            ),
+        ]));
+        report.push_series(SeriesReport {
+            label: format!("{} shard(s) @ rate {:.1}", cell.shards, cell.rate),
+            csv: format!("s{}_r{}", cell.shards, cell.rate),
+            avg_jcts: cell.per_seed.iter().map(|f| f.jct.mean).collect(),
+            unfinished,
+        });
+    }
+
+    report.push_extra("router", Json::str(spec.text_param("router", "jsq")));
+    report.push_extra("cells", Json::Arr(cell_objs));
+    let path = write_csv(
+        &spec.name,
+        "shards,rate,routed_jobs,completed,unfinished,total_decisions,\
+         jobs_per_sim_sec,jct_p95,imbalance",
+        &rows,
+    );
+    report.push_csv(path);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ScenarioRegistry;
+
+    fn fleet_spec() -> ScenarioSpec {
+        ScenarioRegistry::standard()
+            .get("fleet")
+            .expect("fleet registered")
+            .spec
+            .clone()
+    }
+
+    fn tiny(spec: &mut ScenarioSpec) {
+        spec.set("jobs", "6").unwrap();
+        spec.set("seeds", "42..43").unwrap();
+        spec.set("shards", "2").unwrap();
+        spec.set("rates", "1").unwrap();
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_and_routes_every_job() {
+        let mut spec = fleet_spec();
+        tiny(&mut spec);
+        spec.set("shards", "1,2").unwrap();
+        spec.set("rates", "1,2").unwrap();
+        let cells = sweep(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(cells.len(), 4, "2 shard counts × 2 rates");
+        for cell in &cells {
+            for fleet in &cell.per_seed {
+                assert_eq!(fleet.routed_jobs(), 6, "front-end must route every job");
+                assert_eq!(fleet.shards.len(), cell.shards);
+                assert!(fleet.total_decisions() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_rate_never_lowers_offered_load() {
+        let mut spec = fleet_spec();
+        tiny(&mut spec);
+        spec.set("rates", "1,4").unwrap();
+        let cells = sweep(&spec, &RunOptions::default());
+        // Same jobs, arriving 4× faster: the fleet finishes no earlier
+        // at rate 1 than at rate 4.
+        assert!(cells[0].per_seed[0].end_time() >= cells[1].per_seed[0].end_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not train")]
+    fn training_entries_are_rejected() {
+        let mut spec = fleet_spec();
+        tiny(&mut spec);
+        spec.set("sched", "decima").unwrap();
+        sweep(&spec, &RunOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown router")]
+    fn unknown_router_is_rejected() {
+        let mut spec = fleet_spec();
+        tiny(&mut spec);
+        spec.set("router", "bogus").unwrap();
+        sweep(&spec, &RunOptions::default());
+    }
+}

@@ -23,6 +23,7 @@ use crate::runner::{par_map, spec_env, train_decima_entry, RunOptions};
 use crate::scenario::{dynamics_json, ScenarioSpec, SchedulerSpec};
 use crate::{run_episode, write_csv};
 use decima_rl::EnvFactory as _;
+use decima_rl::SpecEnv;
 use decima_sim::{DynamicsCounters, DynamicsSpec, EpisodeResult};
 
 /// The perturbation levels this run sweeps, by the `level` parameter.
@@ -48,7 +49,17 @@ fn resolve_levels(spec: &ScenarioSpec) -> Vec<(String, DynamicsSpec)> {
             vec![("custom".into(), spec.sim.dynamics)]
         }
         // The spec's own dynamics knobs (set via --set churn=… etc.).
-        "custom" => vec![("custom".into(), spec.sim.dynamics)],
+        // Without any knob the "custom" spec is indistinguishable from
+        // `off`, which is never what the caller meant — refuse instead
+        // of silently running unperturbed.
+        "custom" => {
+            assert!(
+                spec.sim.dynamics.enabled(),
+                "level=custom without any dynamics knob would run unperturbed; set at least \
+                 one of churn=, fail=, or straggle= (or pick a preset: off, low, med, high)"
+            );
+            vec![("custom".into(), spec.sim.dynamics)]
+        }
         name => {
             assert!(
                 DynamicsSpec::level(name).is_some(),
@@ -59,6 +70,20 @@ fn resolve_levels(spec: &ScenarioSpec) -> Vec<(String, DynamicsSpec)> {
             vec![(name.to_string(), spec.sim.dynamics)]
         }
     }
+}
+
+/// The environment Decima lineup entries train on: unperturbed for the
+/// preset sweep (measuring how clean-trained policies degrade), but the
+/// spec's own dynamics for a single `custom` level — explicit
+/// `churn=/fail=/straggle=` knobs describe the deployment the caller
+/// wants a policy *for*, so training silently dropping them was a bug.
+fn robust_train_env(env: &SpecEnv, levels: &[(String, DynamicsSpec)]) -> SpecEnv {
+    let mut train_env = env.clone();
+    train_env.sim.dynamics = match levels {
+        [(name, dynamics)] if name == "custom" => *dynamics,
+        _ => DynamicsSpec::off(),
+    };
+    train_env
 }
 
 fn sum_counters(results: &[EpisodeResult]) -> DynamicsCounters {
@@ -105,14 +130,14 @@ pub fn run_robust(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
     let seeds = spec.seeds.seeds();
     let levels = resolve_levels(spec);
 
-    // Resolve the lineup once: Decima entries train (or load their
-    // checkpoint) on the *unperturbed* evaluation environment — even
-    // when the spec carries dynamics knobs (level=custom) — so the
-    // sweep measures how clean-trained policies degrade. To evaluate a
-    // perturbation-trained model instead, point a `decima-ckpt:<path>`
-    // entry at a checkpoint produced with `--train --churn/--fail/...`.
-    let mut train_env = env.clone();
-    train_env.sim.dynamics = DynamicsSpec::off();
+    // Resolve the lineup once. For the named preset sweep, Decima
+    // entries train (or load their checkpoint) on the *unperturbed*
+    // evaluation environment, so the sweep measures how clean-trained
+    // policies degrade. A `custom` level is different: the caller asked
+    // for one explicit perturbation point, so the entry trains under
+    // exactly those dynamics. (To evaluate a separately trained model,
+    // point a `decima-ckpt:<path>` entry at its checkpoint.)
+    let train_env = robust_train_env(&env, &levels);
     let resolved: Vec<(String, String, SchedulerSpec, Option<TrainedPolicy>)> = spec
         .lineup
         .iter()
@@ -287,5 +312,62 @@ mod tests {
         assert_eq!(levels.len(), 1);
         assert_eq!(levels[0].0, "custom");
         assert_eq!(levels[0].1.churn_iat, 60.0);
+    }
+
+    /// `level=custom` with no knob set would run unperturbed — refuse.
+    #[test]
+    #[should_panic(expected = "level=custom without any dynamics knob")]
+    fn custom_level_without_knobs_is_rejected() {
+        let mut spec = robust_spec();
+        spec.set("level", "custom").unwrap();
+        resolve_levels(&spec);
+    }
+
+    /// The named presets keep the documented unperturbed-training
+    /// behavior: the sweep measures clean-trained degradation.
+    #[test]
+    fn preset_levels_train_unperturbed() {
+        let mut spec = robust_spec();
+        spec.set("level", "med").unwrap();
+        let env = spec_env(&spec);
+        let train_env = robust_train_env(&env, &resolve_levels(&spec));
+        assert_eq!(train_env.sim.dynamics, DynamicsSpec::off());
+        let sweep = robust_train_env(&env, &resolve_levels(&robust_spec()));
+        assert_eq!(sweep.sim.dynamics, DynamicsSpec::off());
+    }
+
+    /// Regression (PR-5 caveat): under `level=custom` the Decima entry
+    /// now trains on the spec's own dynamics instead of silently
+    /// training on the unperturbed environment — a training episode
+    /// records the custom perturbation's counters, where the old
+    /// training environment recorded all zeros.
+    #[test]
+    fn custom_level_trains_under_its_own_dynamics() {
+        let mut spec = robust_spec();
+        spec.set("churn", "60").unwrap();
+        spec.set("fail", "0.2").unwrap();
+        spec.set("level", "custom").unwrap();
+        let env = spec_env(&spec);
+        let train_env = robust_train_env(&env, &resolve_levels(&spec));
+        assert_eq!(train_env.sim.dynamics, spec.sim.dynamics);
+        assert!(train_env.sim.dynamics.enabled());
+
+        let executors = env.workload.executors;
+        let run = |e: &SpecEnv| {
+            let (cluster, jobs, cfg) = e.build(11_000);
+            crate::run_episode(
+                &cluster,
+                &jobs,
+                &cfg,
+                make_scheduler(&SchedulerSpec::Fifo, executors, None),
+            )
+        };
+        let perturbed = run(&train_env);
+        let clean = run(&robust_train_env(&env, &resolve_levels(&robust_spec())));
+        assert_eq!(clean.dynamics, DynamicsCounters::default());
+        assert_ne!(
+            perturbed.dynamics, clean.dynamics,
+            "custom training episodes must actually be perturbed"
+        );
     }
 }

@@ -108,14 +108,6 @@ fn run() -> Result<bool, String> {
 
     let baseline = decima_lint::load_baseline(&root)?;
     let errors = report.check(&baseline);
-    for w in &report.unused_suppressions {
-        eprintln!(
-            "warning: {}:{}: unused suppression of {} — remove the stale annotation",
-            w.path,
-            w.line,
-            w.rules.join(", ")
-        );
-    }
     if errors.is_empty() {
         let suppressed = report.findings.iter().filter(|f| f.suppressed).count();
         println!(

@@ -55,8 +55,8 @@ pub struct BadAnnotation {
     pub problem: String,
 }
 
-/// A well-formed annotation that suppressed nothing (reported as a
-/// warning so stale exemptions get cleaned up).
+/// A well-formed annotation that suppressed nothing (a `--check`
+/// failure, so stale exemptions can't accumulate).
 #[derive(Clone, Debug)]
 pub struct UnusedSuppression {
     pub path: String,
@@ -121,6 +121,18 @@ impl Report {
             errors.push(format!(
                 "{}:{}: bad decima-lint annotation: {}",
                 a.path, a.line, a.problem
+            ));
+        }
+        // A suppression that no longer suppresses anything is a dead
+        // exemption: the code it excused was fixed or moved, and leaving
+        // the annotation around invites re-use without review. Fail the
+        // check instead of warning so stale allowances can't accumulate.
+        for u in &self.unused_suppressions {
+            errors.push(format!(
+                "{}:{}: unused suppression of {} — remove the stale annotation",
+                u.path,
+                u.line,
+                u.rules.join(", ")
             ));
         }
         for rule in rules::RULES {
@@ -400,6 +412,15 @@ mod tests {
             &mut r,
         );
         assert_eq!(r.unused_suppressions.len(), 1);
+        // Stale annotations fail the check outright (not a warning).
+        let errs = r.check(&Baseline::default());
+        assert_eq!(errs.len(), 1);
+        assert!(
+            errs[0].contains("unused suppression of D001"),
+            "{}",
+            errs[0]
+        );
+        assert!(errs[0].contains("x.rs:1"), "{}", errs[0]);
     }
 
     #[test]

@@ -192,6 +192,29 @@ fn an_improvement_requires_ratcheting_the_baseline_down() {
     assert!(errors[0].contains("ratchet down"), "{}", errors[0]);
 }
 
+/// A stale suppression (an annotation that no longer suppresses
+/// anything) fails `check()` outright — dead exemptions used to be
+/// warnings only and could accumulate unnoticed.
+#[test]
+fn a_stale_suppression_fails_the_check() {
+    let mut report = clean_report();
+    decima_lint::scan_source(
+        "crates/sim/src/stale.rs",
+        "decima-sim",
+        "// decima-lint: allow(D002) — excuse with nothing left to excuse\nfn f() {}\n",
+        &mut report,
+    );
+    let baseline = decima_lint::load_baseline(&fixture("clean_ws")).unwrap();
+    let errors = report.check(&baseline);
+    assert_eq!(errors.len(), 1, "{errors:#?}");
+    assert!(
+        errors[0].contains("unused suppression of D002"),
+        "{}",
+        errors[0]
+    );
+    assert!(errors[0].contains("stale.rs:1"), "{}", errors[0]);
+}
+
 #[test]
 fn update_baseline_output_matches_the_pinned_fixture_file() {
     let report = clean_report();

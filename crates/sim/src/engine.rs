@@ -24,7 +24,7 @@
 
 use crate::config::{Objective, SimConfig};
 use crate::dynamics::Perturbations;
-use crate::result::{ActionRecord, EpisodeResult, JobOutcome};
+use crate::result::{ActionRecord, EpisodeOutcome, EpisodeResult, JobOutcome};
 use crate::sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};
 use decima_core::{ClassId, ClusterSpec, ExecutorId, Gantt, JobId, JobSpec, SimTime, StageId};
 use rand::rngs::SmallRng;
@@ -179,6 +179,15 @@ pub struct Simulator {
     obs_buf: Option<Observation>,
     /// Offline executors (incremental; see `ExecState::Offline`).
     offline_count: usize,
+    /// Why event processing stopped (stamped on the early exits;
+    /// `Drained` until something else ends the episode).
+    outcome: EpisodeOutcome,
+    /// Tasks started so far — the progress signal the churn-livelock
+    /// detector watches.
+    tasks_started: u64,
+    /// `tasks_started` snapshot at the previous churn tick (`None`
+    /// until one full cycle has been observed).
+    tasks_at_last_churn_tick: Option<u64>,
     /// Cluster-dynamics runtime state; `None` when the config's
     /// [`crate::dynamics::DynamicsSpec`] is disabled, leaving every hot
     /// path untouched.
@@ -306,6 +315,9 @@ impl Simulator {
             obs_buf_epoch: u64::MAX,
             obs_buf: None,
             offline_count: 0,
+            outcome: EpisodeOutcome::Drained,
+            tasks_started: 0,
+            tasks_at_last_churn_tick: None,
             dynamics,
         }
     }
@@ -454,17 +466,22 @@ impl Simulator {
                 if q.time.as_secs() > limit {
                     // Account cost up to the horizon, then stop.
                     self.advance_clock(SimTime::from_secs(limit));
+                    self.outcome = EpisodeOutcome::Horizon;
                     return false;
                 }
             }
             self.num_events += 1;
             if self.num_events > self.cfg.max_events {
+                self.outcome = EpisodeOutcome::EventBudget;
                 return false;
             }
             processed += 1;
             self.advance_clock(q.time);
             if self.handle_event(q.ev) {
                 self.pending_sched = true;
+            }
+            if self.outcome == EpisodeOutcome::Livelock {
+                return false;
             }
             // Coalesce same-time events before invoking the scheduler so
             // one scheduling pass sees the full state at this instant.
@@ -519,6 +536,7 @@ impl Simulator {
             wasted_actions: self.wasted_actions,
             task_failures: self.task_failures,
             dynamics,
+            outcome: self.outcome,
             gantt: self.gantt,
         }
     }
@@ -581,6 +599,23 @@ impl Simulator {
         if self.jobs_remaining == 0 {
             return false;
         }
+        // No-progress livelock: every remaining job has arrived, the
+        // whole cluster is online with nothing moving or running (so no
+        // TaskDone/ExecReady/ExecOnline can arrive), and the full cycle
+        // since the previous tick started zero tasks. Only churn ticks
+        // keep the queue alive — a never-scheduling policy would replay
+        // them until `max_events`. End the episode with an explicit
+        // outcome instead.
+        let nothing_in_flight = self.free_set.len() + self.idle_set.len() == self.execs.len()
+            && self.offline_count == 0;
+        if self.jobs_in_system == self.jobs_remaining
+            && nothing_in_flight
+            && self.tasks_at_last_churn_tick == Some(self.tasks_started)
+        {
+            self.outcome = EpisodeOutcome::Livelock;
+            return false; // no next tick: the episode ends here
+        }
+        self.tasks_at_last_churn_tick = Some(self.tasks_started);
         let n = self.execs.len();
         let (next, victim, outage) = {
             let d = self.dynamics.as_mut().expect("churn without dynamics");
@@ -870,6 +905,7 @@ impl Simulator {
 
     /// Starts one task of `(job, node)` on executor `e` right now.
     fn start_task(&mut self, e: ExecutorId, job_id: JobId, node: u32) {
+        self.tasks_started += 1;
         let ji = job_id.index();
         let v = node as usize;
         debug_assert!(self.jobs[ji].nodes[v].waiting > 0);
@@ -1431,6 +1467,7 @@ mod tests {
         assert_eq!(r.completed(), 1);
         assert_eq!(r.avg_jct(), Some(4.0));
         assert_eq!(r.makespan(), Some(4.0));
+        assert_eq!(r.outcome, EpisodeOutcome::Drained);
     }
 
     #[test]
@@ -1530,6 +1567,7 @@ mod tests {
         assert!(r.end_time.as_secs() <= 3.5 + 1e-9);
         // Penalty accrues only to the horizon: 1 job * 3.5s.
         assert!((r.total_penalty() - 3.5).abs() < 1e-9);
+        assert_eq!(r.outcome, EpisodeOutcome::Horizon);
     }
 
     #[test]
@@ -1547,6 +1585,60 @@ mod tests {
         );
         let r = sim.run(Idle);
         assert_eq!(r.completed(), 0);
+        // Without churn there is nothing to keep the queue alive: the
+        // episode drains (it never even reaches the horizon).
+        assert_eq!(r.outcome, EpisodeOutcome::Drained);
+    }
+
+    /// Regression: churn plus a never-scheduling policy and no
+    /// `time_limit` used to grind churn ticks all the way to
+    /// `max_events` (50M by default). The livelock detector now ends
+    /// the episode explicitly after one fruitless churn cycle.
+    #[test]
+    fn deny_all_scheduler_under_churn_ends_as_livelock() {
+        struct DenyAll;
+        impl Scheduler for DenyAll {
+            fn decide(&mut self, _: &Observation) -> Option<Action> {
+                None
+            }
+        }
+        let dynamics = DynamicsSpec {
+            churn_iat: 40.0,
+            ..DynamicsSpec::off()
+        };
+        let sim = Simulator::new(
+            cluster(3),
+            vec![one_stage_job(0, 2, 1.0, 0.0)],
+            bare_cfg().with_dynamics(dynamics),
+        );
+        let r = sim.run(DenyAll);
+        assert_eq!(r.outcome, EpisodeOutcome::Livelock);
+        assert_eq!(r.completed(), 0);
+        assert!(
+            r.num_events < 1_000,
+            "livelock must end long before max_events: {} events",
+            r.num_events
+        );
+    }
+
+    /// A scheduler that denies everything until churn capacity comes
+    /// back is not livelocked while outages are pending: the detector
+    /// only fires when the whole cluster is online for a full idle
+    /// churn cycle, so episodes that do make progress end `Drained`.
+    #[test]
+    fn churned_episode_with_progress_ends_drained() {
+        let dynamics = DynamicsSpec {
+            churn_iat: 2.0,
+            ..DynamicsSpec::off()
+        };
+        let sim = Simulator::new(
+            cluster(3),
+            vec![one_stage_job(0, 6, 1.0, 0.0)],
+            bare_cfg().with_dynamics(dynamics),
+        );
+        let r = sim.run(TestSched);
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.outcome, EpisodeOutcome::Drained);
     }
 
     #[test]

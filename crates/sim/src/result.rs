@@ -52,6 +52,25 @@ impl JobOutcome {
     }
 }
 
+/// Why an episode stopped processing events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpisodeOutcome {
+    /// The event queue drained: every job reached a terminal state (or
+    /// nothing left could generate further events).
+    #[default]
+    Drained,
+    /// The configured `time_limit` horizon was reached.
+    Horizon,
+    /// The `max_events` safety cap was exhausted.
+    EventBudget,
+    /// No-progress livelock: churn ticks were the only thing keeping
+    /// the event queue alive — every remaining job had arrived, no
+    /// executor was moving or running, and a full churn cycle passed
+    /// without a single task start. The engine stops the episode
+    /// instead of grinding churn events until `max_events`.
+    Livelock,
+}
+
 /// Everything measured during one simulated episode.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct EpisodeResult {
@@ -72,6 +91,8 @@ pub struct EpisodeResult {
     pub task_failures: u64,
     /// Cluster-dynamics counters (all zero when dynamics is off).
     pub dynamics: DynamicsCounters,
+    /// Why event processing stopped.
+    pub outcome: EpisodeOutcome,
     /// Gantt chart, when recording was enabled.
     pub gantt: Option<Gantt>,
 }

@@ -185,6 +185,21 @@ impl WorkloadSpec {
         }
     }
 
+    /// Mean interarrival time, where the source has one (`None` for
+    /// batched-arrival sources) — the inverse knob of
+    /// [`Self::set_mean_iat`], used by rate sweeps to scale the base
+    /// load.
+    pub fn mean_iat(&self) -> Option<f64> {
+        match &self.source {
+            WorkloadSource::Tpch {
+                arrivals: ArrivalProcess::Poisson { mean_iat },
+                ..
+            } => Some(*mean_iat),
+            WorkloadSource::Alibaba { mean_iat, .. } => Some(*mean_iat),
+            _ => None,
+        }
+    }
+
     /// Sets the TPC-H task-count divisor where the source has one.
     pub fn set_task_scale(&mut self, scale: f64) {
         match &mut self.source {
@@ -421,6 +436,7 @@ mod tests {
         spec.set_mean_iat(7.0);
         spec.set_task_scale(2.0);
         assert_eq!(spec.num_jobs(), 3);
+        assert_eq!(spec.mean_iat(), Some(7.0));
         match spec.source {
             WorkloadSource::Tpch {
                 arrivals,
