@@ -31,7 +31,7 @@ use crate::factory::{make_scheduler, TrainedPolicy};
 use crate::json::Json;
 use crate::scenario::SchedulerSpec;
 use decima_core::{ClusterSpec, JobSpec, Summary};
-use decima_sim::{EpisodeResult, SimConfig, Simulator};
+use decima_sim::{EpisodeResult, MemCounters, SimConfig, Simulator};
 use decima_workload::renumber;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -374,6 +374,9 @@ pub struct ShardStats {
     pub end_time: f64,
     /// Mean JCT of completed jobs (NaN when none completed).
     pub avg_jct: f64,
+    /// Memory-scaling telemetry of the shard's episode (live-job peak,
+    /// pool high-water marks) — deterministic, see [`MemCounters`].
+    pub mem: MemCounters,
 }
 
 /// Aggregated outcome of one fleet run (a set of shard episodes fed by
@@ -412,6 +415,7 @@ impl FleetResult {
                     events: r.num_events,
                     end_time: r.end_time.as_secs(),
                     avg_jct: r.avg_jct().unwrap_or(f64::NAN),
+                    mem: r.mem,
                 }
             })
             .collect();
@@ -457,6 +461,18 @@ impl FleetResult {
         }
     }
 
+    /// Peak concurrently-live jobs, summed across shards: the fleet's
+    /// worst-case resident job state. Under the streaming lifecycle
+    /// this bounds memory, not the (much larger) routed-job total.
+    pub fn live_jobs_peak(&self) -> u64 {
+        self.shards.iter().map(|s| s.mem.live_jobs_peak).sum()
+    }
+
+    /// Jobs retired into compact outcomes across all shards.
+    pub fn retired_jobs(&self) -> u64 {
+        self.shards.iter().map(|s| s.mem.retired_jobs).sum()
+    }
+
     /// Routed-work imbalance: max shard work over mean shard work
     /// (1.0 = perfectly balanced; 0 work everywhere reports 1.0).
     pub fn imbalance(&self) -> f64 {
@@ -481,6 +497,8 @@ impl FleetResult {
             ("end_time", Json::Num(self.end_time())),
             ("jobs_per_sim_sec", Json::Num(self.jobs_per_sim_sec())),
             ("imbalance", Json::Num(self.imbalance())),
+            ("live_jobs_peak", Json::Num(self.live_jobs_peak() as f64)),
+            ("retired_jobs", Json::Num(self.retired_jobs() as f64)),
             ("jct_mean", Json::Num(self.jct.mean)),
             ("jct_p95", Json::Num(self.jct.p95)),
             ("jct_max", Json::Num(self.jct.max)),
@@ -498,6 +516,8 @@ impl FleetResult {
                                 ("decisions", Json::Num(s.decisions as f64)),
                                 ("events", Json::Num(s.events as f64)),
                                 ("end_time", Json::Num(s.end_time)),
+                                ("live_jobs_peak", Json::Num(s.mem.live_jobs_peak as f64)),
+                                ("retired_jobs", Json::Num(s.mem.retired_jobs as f64)),
                             ])
                         })
                         .collect(),

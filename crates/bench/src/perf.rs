@@ -13,14 +13,18 @@
 //!   build + GNN encode + action heads) with a freshly-initialized
 //!   greedy Decima agent.
 //!
-//! Three observability blocks ride along outside the headline:
+//! Four observability blocks ride along outside the headline:
 //! `train` (per-iteration training wall-clock through both gradient
 //! paths), `agent_infer` (a deterministically warmed-up *trained*
 //! policy evaluated on both the f32 fast path and the f64 tape path —
-//! the number ROADMAP item 1 targets), and `fleet` (aggregate
-//! decisions/sec of the 4-shard serving driver, ROADMAP item 2).
-//! `--check` enforces a floor on `agent_infer.decisions_per_sec` and
-//! `fleet.decisions_per_sec` alongside the headline.
+//! the number ROADMAP item 1 targets), `fleet` (aggregate
+//! decisions/sec of the 4-shard serving driver, ROADMAP item 2), and
+//! `scale` (a long fair-shared streaming episode exercising the
+//! job-retirement arena — the memory-scaling path). `--check` enforces a floor on
+//! `agent_infer.decisions_per_sec`, `fleet.decisions_per_sec`, and
+//! `scale.decisions_per_sec` alongside the headline, plus a *ceiling*
+//! on the top-level `peak_rss_kb` (at most baseline ÷ tolerance) so
+//! memory growth gates CI exactly like throughput loss.
 //!
 //! Workloads, seeds, and policy initialization are all pinned, so the
 //! only thing that moves the numbers is the code (and the machine). CI
@@ -31,7 +35,7 @@
 use crate::factory::{build_trainer, untrained_agent, TrainedPolicy};
 use crate::json::Json;
 use crate::scenario::{PolicySpec, TrainSpec};
-use decima_baselines::SjfCpScheduler;
+use decima_baselines::{SjfCpScheduler, WeightedFairScheduler};
 use decima_rl::{EnvFactory, SpecEnv};
 use decima_sim::{Scheduler, Simulator};
 use decima_workload::WorkloadSpec;
@@ -343,6 +347,53 @@ fn run_fleet_component(quick: bool) -> Json {
     ])
 }
 
+/// Measures the streaming-lifecycle serving path at a pinned reduced
+/// point of the `scale` scenario: one long fair-shared streaming
+/// episode whose job count far exceeds the live-job peak, so the slot
+/// arena retires and recycles continuously (mean interarrival time
+/// scaled to hold per-executor load at the 8-executor base; fair
+/// sharing keeps service stable as the cluster grows). Decisions/sec
+/// gets a CI floor via [`check_regression`]; the memory side is covered
+/// by the recorded `live_jobs_peak` and the top-level `peak_rss_kb`
+/// ceiling. Quick mode keeps the cluster and arrival rate identical
+/// and only shortens the horizon, so its rate stays comparable to a
+/// full-mode baseline (same per-decision regime, like `fleet`'s
+/// seed-count-only split).
+fn run_scale_component(quick: bool) -> Json {
+    let execs = 64usize;
+    let jobs = if quick { 800usize } else { 4000usize };
+    let env = SpecEnv::new(WorkloadSpec::tpch_stream(
+        jobs,
+        execs,
+        96.0 * 8.0 / execs as f64,
+    ));
+    let t0 = Instant::now();
+    let (cluster, job_specs, cfg) = env.build(7);
+    let r = Simulator::new(cluster, job_specs, cfg).run(WeightedFairScheduler::fair());
+    let wall = t0.elapsed().as_secs_f64();
+    let decisions = r.actions.len() as u64;
+    let rate = decisions as f64 / wall.max(1e-12);
+    println!(
+        "  {:<24} {:>4} episode(s)  {:>8} decisions  {:>10.0} decisions/s  ({execs} execs, {jobs} jobs, live peak {})",
+        "scale",
+        1,
+        decisions,
+        rate,
+        r.mem.live_jobs_peak,
+    );
+    Json::obj([
+        ("executors", Json::Num(execs as f64)),
+        ("jobs", Json::Num(jobs as f64)),
+        ("decisions", Json::Num(decisions as f64)),
+        ("events", Json::Num(r.num_events as f64)),
+        ("wall_secs", Json::Num(wall)),
+        ("decisions_per_sec", Json::Num(rate)),
+        ("live_jobs_peak", Json::Num(r.mem.live_jobs_peak as f64)),
+        ("slots_hwm", Json::Num(r.mem.slots_hwm as f64)),
+        ("retired_jobs", Json::Num(r.mem.retired_jobs as f64)),
+    ])
+}
+
 /// Runs the pinned suite; returns the result document.
 pub fn run_bench(quick: bool) -> Json {
     let mut comps = Vec::new();
@@ -380,6 +431,7 @@ pub fn run_bench(quick: bool) -> Json {
     let train = run_train_component(quick);
     let infer = run_infer_component(quick);
     let fleet = run_fleet_component(quick);
+    let scale = run_scale_component(quick);
     let headline = total_decisions as f64 / total_wall.max(1e-12);
     let rss = peak_rss_kb();
     println!("  {:<24} {headline:>42.0} decisions/s", "TOTAL");
@@ -395,6 +447,7 @@ pub fn run_bench(quick: bool) -> Json {
         ("train", train),
         ("agent_infer", infer),
         ("fleet", fleet),
+        ("scale", scale),
         ("components", Json::Arr(comps)),
     ])
 }
@@ -419,17 +472,17 @@ pub fn check_regression(result: &Json, baseline: &Json, floor_frac: f64) -> Resu
     }
     println!("regression check ok: {new:.0} decisions/s vs baseline {base:.0} (floor {floor:.0})");
 
-    // Rider components (trained inference, the sharded fleet driver)
-    // get their own floor once the baseline carries them (older
-    // baselines predate them). A result that *lost* a component against
-    // a baseline that has it is itself a regression — the measurement
-    // must not silently drop.
+    // Rider components (trained inference, the sharded fleet driver,
+    // the streaming-lifecycle scale episode) get their own floor once
+    // the baseline carries them (older baselines predate them). A
+    // result that *lost* a component against a baseline that has it is
+    // itself a regression — the measurement must not silently drop.
     let rider_rate = |doc: &Json, name: &str| {
         doc.get(name)
             .and_then(|c| c.get("decisions_per_sec"))
             .and_then(Json::as_f64)
     };
-    for name in ["agent_infer", "fleet"] {
+    for name in ["agent_infer", "fleet", "scale"] {
         let Some(ibase) = rider_rate(baseline, name) else {
             continue;
         };
@@ -446,6 +499,31 @@ pub fn check_regression(result: &Json, baseline: &Json, floor_frac: f64) -> Resu
         println!(
             "regression check ok: {name} {inew:.0} decisions/s vs baseline {ibase:.0} \
              (floor {ifloor:.0})"
+        );
+    }
+
+    // Peak-RSS ceiling: memory gates CI symmetrically to throughput.
+    // The result may hold at most `baseline ÷ floor_frac` kB (the
+    // default 0.7 floor allows ~43% growth; BENCH_TOLERANCE loosens it
+    // the same way it loosens the decisions/sec floors). Skipped when
+    // either document lacks a positive `peak_rss_kb` — old baselines,
+    // or platforms without `/proc/self/status`.
+    let rss = |doc: &Json| {
+        doc.get("peak_rss_kb")
+            .and_then(Json::as_f64)
+            .filter(|v| *v > 0.0)
+    };
+    if let (Some(new_rss), Some(base_rss)) = (rss(result), rss(baseline)) {
+        let ceiling = base_rss / floor_frac;
+        if new_rss > ceiling {
+            return Err(format!(
+                "peak RSS regressed: {new_rss:.0} kB > ceiling {ceiling:.0} kB \
+                 (baseline {base_rss:.0} kB ÷ tolerance {floor_frac:.2})"
+            ));
+        }
+        println!(
+            "regression check ok: peak RSS {new_rss:.0} kB vs baseline {base_rss:.0} kB \
+             (ceiling {ceiling:.0})"
         );
     }
     Ok(())
@@ -582,6 +660,49 @@ mod tests {
         assert!(check_regression(&doc(100.0, Some(69.0)), &doc(100.0, Some(100.0)), 0.7).is_err());
         // Losing the component against a baseline that has it fails.
         assert!(check_regression(&doc(100.0, None), &doc(100.0, Some(100.0)), 0.7).is_err());
+    }
+
+    #[test]
+    fn regression_check_covers_the_scale_component() {
+        let doc = |dps: f64, scale: Option<f64>| {
+            let mut fields = vec![("decisions_per_sec", Json::Num(dps))];
+            if let Some(s) = scale {
+                fields.push(("scale", Json::obj([("decisions_per_sec", Json::Num(s))])));
+            }
+            Json::obj(fields)
+        };
+        // Baselines without the component skip the extra gate.
+        assert!(check_regression(&doc(100.0, None), &doc(100.0, None), 0.7).is_ok());
+        // With the component, the floor applies to it too.
+        assert!(check_regression(&doc(100.0, Some(71.0)), &doc(100.0, Some(100.0)), 0.7).is_ok());
+        assert!(check_regression(&doc(100.0, Some(69.0)), &doc(100.0, Some(100.0)), 0.7).is_err());
+        // Losing the component against a baseline that has it fails.
+        assert!(check_regression(&doc(100.0, None), &doc(100.0, Some(100.0)), 0.7).is_err());
+    }
+
+    #[test]
+    fn regression_check_enforces_the_peak_rss_ceiling() {
+        let doc = |dps: f64, rss: f64| {
+            Json::obj([
+                ("decisions_per_sec", Json::Num(dps)),
+                ("peak_rss_kb", Json::Num(rss)),
+            ])
+        };
+        // Within the ceiling (baseline ÷ floor): ok. 100/0.7 ≈ 142.9.
+        assert!(check_regression(&doc(100.0, 100.0), &doc(100.0, 100.0), 0.7).is_ok());
+        assert!(check_regression(&doc(100.0, 140.0), &doc(100.0, 100.0), 0.7).is_ok());
+        // Above it: a memory regression fails the check.
+        assert!(check_regression(&doc(100.0, 145.0), &doc(100.0, 100.0), 0.7).is_err());
+        // Shrinking is always fine.
+        assert!(check_regression(&doc(100.0, 10.0), &doc(100.0, 100.0), 0.7).is_ok());
+        // A looser tolerance raises the ceiling (100/0.5 = 200).
+        assert!(check_regression(&doc(100.0, 180.0), &doc(100.0, 100.0), 0.5).is_ok());
+        // A zero (platform can't measure) on either side skips the gate.
+        assert!(check_regression(&doc(100.0, 0.0), &doc(100.0, 100.0), 0.7).is_ok());
+        assert!(check_regression(&doc(100.0, 1e9), &doc(100.0, 0.0), 0.7).is_ok());
+        // Baselines without the field skip it entirely.
+        let bare = Json::obj([("decisions_per_sec", Json::Num(100.0))]);
+        assert!(check_regression(&doc(100.0, 1e9), &bare, 0.7).is_ok());
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl ScenarioRegistry {
             fig23(),
             fleet(),
             robust(),
+            scale(),
             table2(),
             table3(),
         ];
@@ -546,6 +547,34 @@ fn robust() -> Scenario {
     )
 }
 
+/// The long-horizon memory-scaling scenario (not a paper artifact):
+/// one streaming simulator swept over executor count × total jobs at
+/// constant per-executor load, reporting the arena/pool memory
+/// telemetry that proves episode memory tracks *live* jobs, not jobs
+/// served (docs/PERF.md, "Memory").
+fn scale() -> Scenario {
+    custom(
+        ScenarioBuilder::new(
+            "scale",
+            "Scale: long-horizon serving memory vs executors × total jobs",
+        )
+        .paper_ref("— (scaling ext)")
+        .workload(WorkloadSpec::tpch_stream(500, 8, 96.0))
+        .seeds(17000, 1)
+        .entry("fair", SchedulerSpec::Fair)
+        .note("Sweeps --set execs=8,64 × jobs=500,5000 (comma lists); the mean")
+        .note("interarrival time scales as base_iat×8/execs so per-executor load")
+        .note("is constant. Default sched=fair (shares executors across jobs;")
+        .note("whole-cluster grants like fifo serialize and saturate).")
+        .note("out/scale.{csv,json} carry MemCounters telemetry (live_jobs_peak,")
+        .note("slots/queue/pool HWMs, retired_jobs); wall-clock decisions/s is")
+        .note("stdout-only. The headline point is --set execs=10000 jobs=100000")
+        .note("on a release build (docs/PERF.md).")
+        .build(),
+        scenarios::scale::run_scale_scenario,
+    )
+}
+
 fn table2() -> Scenario {
     let test_iat = 24.0;
     let anti_iat = 40.0;
@@ -697,7 +726,7 @@ mod tests {
         for name in [
             "fig02", "fig03", "fig07", "fig09a", "fig09b", "fig10", "fig11", "fig12", "fig13",
             "fig14", "fig15a", "fig15b", "fig16", "fig18", "fig19", "fig22", "fig23", "fleet",
-            "robust", "table2", "table3",
+            "robust", "scale", "table2", "table3",
         ] {
             assert!(reg.get(name).is_some(), "scenario '{name}' missing");
         }

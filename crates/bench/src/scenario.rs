@@ -512,17 +512,44 @@ impl ScenarioSpec {
                 .parse::<f64>()
                 .map_err(|_| format!("'{key}' needs a numeric value, got '{value}'"))
         };
+        // A sweep value: a single number or a comma list, kept as a
+        // parameter so `list_param` can expand it.
+        fn sweep_value(key: &str, value: &str) -> Result<ParamValue, String> {
+            if let Ok(n) = value.parse::<f64>() {
+                Ok(ParamValue::Num(n))
+            } else if value.contains(',')
+                && value.split(',').all(|s| s.trim().parse::<f64>().is_ok())
+            {
+                Ok(ParamValue::Text(value.to_string()))
+            } else {
+                Err(format!(
+                    "'{key}' needs a number or comma list, got '{value}'"
+                ))
+            }
+        }
         match key {
             "execs" | "executors" => {
-                let n = num()?.round() as usize;
-                if let Some(w) = &mut self.workload {
-                    w.executors = n;
+                // The scale scenario *sweeps* executor counts, so comma
+                // lists must survive as a parameter instead of collapsing
+                // the workload to one cluster size (the same
+                // scenario-conditional treatment 'level' gets below).
+                if self.name == "scale" {
+                    self.upsert_param("execs", sweep_value(key, value)?);
+                } else {
+                    let n = num()?.round() as usize;
+                    if let Some(w) = &mut self.workload {
+                        w.executors = n;
+                    }
                 }
             }
             "jobs" => {
-                let n = num()?.round() as usize;
-                if let Some(w) = &mut self.workload {
-                    w.set_num_jobs(n);
+                if self.name == "scale" {
+                    self.upsert_param("jobs", sweep_value(key, value)?);
+                } else {
+                    let n = num()?.round() as usize;
+                    if let Some(w) = &mut self.workload {
+                        w.set_num_jobs(n);
+                    }
                 }
             }
             "iat" => {

@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 /// Reads a sweep-list parameter: `--set shards=4` (parsed as a number)
 /// or `--set shards=1,2,4,8` (parsed as text) both work.
-fn list_param(spec: &ScenarioSpec, key: &str, default: &[f64]) -> Vec<f64> {
+pub(crate) fn list_param(spec: &ScenarioSpec, key: &str, default: &[f64]) -> Vec<f64> {
     let parsed = match spec.param(key) {
         None => default.to_vec(),
         Some(ParamValue::Num(n)) => vec![*n],
@@ -59,11 +59,14 @@ fn list_param(spec: &ScenarioSpec, key: &str, default: &[f64]) -> Vec<f64> {
 /// Resolves the per-shard scheduler. Training inside the fleet driver
 /// is unsupported — a fleet serves policies, it does not produce them —
 /// so `decima`/train entries are rejected with the checkpoint route.
-fn resolve_sched(
+/// (Shared with the `scale` scenario, which serves rather than trains
+/// for the same reason.)
+pub(crate) fn resolve_sched(
     spec: &ScenarioSpec,
     executors: usize,
+    default: &str,
 ) -> (SchedulerSpec, Option<Arc<TrainedPolicy>>) {
-    let name = spec.text_param("sched", "fifo");
+    let name = spec.text_param("sched", default);
     let Some(sched) = scheduler_spec_by_name(&name) else {
         panic!("unknown scheduler '{name}' for --set sched= (see --list)");
     };
@@ -119,7 +122,7 @@ pub fn sweep(spec: &ScenarioSpec, opts: &RunOptions) -> Vec<FleetCell> {
         .collect();
     let rates = list_param(spec, "rates", &[1.0, 2.0, 4.0]);
     let router_name = spec.text_param("router", "jsq");
-    let (sched, trained) = resolve_sched(spec, executors);
+    let (sched, trained) = resolve_sched(spec, executors, "fifo");
     let Some(base_iat) = env.workload.mean_iat() else {
         panic!("the fleet scenario needs a streaming workload with a mean interarrival time");
     };

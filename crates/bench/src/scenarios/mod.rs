@@ -14,6 +14,7 @@ pub mod fleet;
 pub mod motivation;
 pub mod multires;
 pub mod robust;
+pub mod scale;
 pub mod tpch;
 
 use crate::scenario::{ScenarioSpec, SchedulerSpec, TrainSpec};

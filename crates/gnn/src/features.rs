@@ -96,47 +96,91 @@ impl FeatureConfig {
     }
 }
 
-/// Caches the static [`GraphStructure`] across the decisions of one
-/// episode.
+/// Maximum number of job-set entries [`GraphCache`] retains.
 ///
-/// DAG shapes never change mid-episode, so the structure only needs
+/// Arrivals and finishes toggle the active-job set between a handful of
+/// nearby configurations; a small LRU window captures those without
+/// letting the cache grow with episode length.
+pub const GRAPH_CACHE_CAP: usize = 8;
+
+/// Caches the static [`GraphStructure`] across the decisions of one
+/// episode, bounded by the *live* job set.
+///
+/// DAG shapes never change mid-episode, so a structure only needs
 /// rebuilding when the *set* of active jobs changes (arrival/finish).
-/// The cache keys on the identity of each job's shared spec (`Arc`
-/// pointer) plus its node count, and must be [`cleared`](GraphCache::clear)
-/// at episode boundaries (fresh episodes may reuse addresses).
+/// Entries key on the identity of each job's shared spec (`Arc`
+/// pointer) plus its node count. Two mechanisms keep memory
+/// proportional to concurrently-live jobs rather than total jobs
+/// served over a long streaming episode:
+///
+/// 1. **Departed-job eviction** — jobs arrive exactly once, so an
+///    entry whose key references a spec absent from the current
+///    observation can never match again; it is dropped on the next
+///    lookup. (The simulator keeps retired specs' `Arc`s alive for the
+///    episode, so a stale pointer can never alias a new job.)
+/// 2. **LRU cap** — at most [`GRAPH_CACHE_CAP`] entries survive,
+///    most-recently-used first.
+///
+/// The cache must still be [`cleared`](GraphCache::clear) at episode
+/// boundaries (fresh episodes may reuse addresses).
 #[derive(Default)]
 pub struct GraphCache {
-    key: Vec<(usize, usize)>,
-    structure: Option<Arc<GraphStructure>>,
+    /// Most-recently-used first.
+    entries: Vec<(CacheKey, Arc<GraphStructure>)>,
+    scratch_key: CacheKey,
 }
 
+/// One (spec `Arc` pointer, node count) identity per active job, in
+/// observation order.
+type CacheKey = Vec<(usize, usize)>;
+
 impl GraphCache {
-    /// Drops the cached structure (call between episodes).
+    /// Drops every cached structure (call between episodes).
     pub fn clear(&mut self) {
-        self.key.clear();
-        self.structure = None;
+        self.entries.clear();
     }
 
-    /// The structure for `obs`'s active jobs, rebuilt only when the job
-    /// set changed since the previous call.
+    /// Number of job-set entries currently cached (≤ [`GRAPH_CACHE_CAP`]).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The structure for `obs`'s active jobs, rebuilt only when this
+    /// exact job set has not been seen recently. Entries referencing
+    /// jobs that have left the system are evicted on every call.
     pub fn structure_for(&mut self, obs: &Observation) -> Arc<GraphStructure> {
-        let matches =
-            self.structure.is_some()
-                && self.key.len() == obs.jobs.len()
-                && self.key.iter().zip(&obs.jobs).all(|(&(ptr, n), j)| {
-                    ptr == Arc::as_ptr(&j.spec) as usize && n == j.nodes.len()
-                });
-        if !matches {
-            self.key.clear();
-            self.key.extend(
-                obs.jobs
-                    .iter()
-                    .map(|j| (Arc::as_ptr(&j.spec) as usize, j.nodes.len())),
-            );
+        let mut key = std::mem::take(&mut self.scratch_key);
+        key.clear();
+        key.extend(
+            obs.jobs
+                .iter()
+                .map(|j| (Arc::as_ptr(&j.spec) as usize, j.nodes.len())),
+        );
+
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            // Hit: move to front so the cap evicts least-recently-used.
+            let hit = self.entries.remove(pos);
+            self.entries.insert(0, hit);
+        } else {
             let dags: Vec<_> = obs.jobs.iter().map(|j| &j.spec.dag).collect();
-            self.structure = Some(Arc::new(GraphStructure::new(&dags)));
+            let built = Arc::new(GraphStructure::new(&dags));
+            self.entries.insert(0, (key.clone(), built));
         }
-        Arc::clone(self.structure.as_ref().expect("structure just ensured"))
+
+        // A key element absent from the live set belongs to a job that
+        // retired (jobs arrive once), so the entry can never match again.
+        self.entries
+            .retain(|(k, _)| k.iter().all(|e| key.contains(e)));
+        self.entries.truncate(GRAPH_CACHE_CAP);
+
+        self.scratch_key = key;
+        let front = self.entries.first().expect("entry just ensured");
+        Arc::clone(&front.1)
     }
 }
 
@@ -230,5 +274,93 @@ mod tests {
         };
         let g3 = fc_hint.graph_input(&obs);
         assert!((g3.features.get(0, 6) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_lookup_reuses_the_cached_structure() {
+        use decima_sim::{Action, Scheduler};
+        struct Capture(Option<Observation>);
+        impl Scheduler for Capture {
+            fn decide(&mut self, obs: &Observation) -> Option<Action> {
+                if self.0.is_none() {
+                    self.0 = Some(obs.clone());
+                }
+                None
+            }
+        }
+        let mut b = JobBuilder::new(JobId(0));
+        b.stage(StageSpec::simple(2, 1.0));
+        let job = b.build().unwrap();
+        let sim = Simulator::new(
+            ClusterSpec::homogeneous(2),
+            vec![job],
+            SimConfig::default().with_time_limit(1.0),
+        );
+        let mut cap = Capture(None);
+        let _ = sim.run(&mut cap);
+        let obs = cap.0.expect("scheduler invoked");
+
+        let mut cache = GraphCache::default();
+        let a = cache.structure_for(&obs);
+        let b = cache.structure_for(&obs);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same structure");
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// Under a long streaming workload the cache must track the *live*
+    /// job set: entries for departed jobs are evicted, so the entry
+    /// count stays far below the number of jobs served (and under the
+    /// hard cap).
+    #[test]
+    fn cache_stays_bounded_by_live_jobs_under_churn() {
+        use decima_sim::{Action, Scheduler};
+        struct Probe {
+            fc: FeatureConfig,
+            cache: GraphCache,
+            peak_entries: usize,
+        }
+        impl Scheduler for Probe {
+            fn decide(&mut self, obs: &Observation) -> Option<Action> {
+                let _ = self.fc.graph_input_cached(obs, &mut self.cache);
+                self.peak_entries = self.peak_entries.max(self.cache.len());
+                // Greedy FIFO: feed the first schedulable stage.
+                let &(j, s) = obs.schedulable.first()?;
+                Some(Action::new(obs.jobs[j].id, s, obs.jobs[j].alloc + 1))
+            }
+        }
+
+        // 16 short jobs arriving every 2 s on 2 executors: only a couple
+        // are ever live at once.
+        let total_jobs = 16;
+        let jobs: Vec<_> = (0..total_jobs)
+            .map(|i| {
+                let mut b = JobBuilder::new(JobId(i));
+                b.stage(StageSpec::simple(2, 1.0));
+                b.arrival(SimTime::from_secs(2.0 * i as f64))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let sim = Simulator::new(ClusterSpec::homogeneous(2), jobs, SimConfig::default());
+        let mut probe = Probe {
+            fc: FeatureConfig::default(),
+            cache: GraphCache::default(),
+            peak_entries: 0,
+        };
+        let result = sim.run(&mut probe);
+        assert_eq!(result.jcts().len(), total_jobs as usize);
+        assert!(probe.peak_entries >= 1, "cache was exercised");
+        assert!(
+            probe.peak_entries <= GRAPH_CACHE_CAP,
+            "cache peaked at {} entries, cap is {}",
+            probe.peak_entries,
+            GRAPH_CACHE_CAP
+        );
+        assert!(
+            probe.peak_entries <= result.mem.live_jobs_peak as usize + 2,
+            "cache peak {} not O(live): live-job peak was {}",
+            probe.peak_entries,
+            result.mem.live_jobs_peak
+        );
     }
 }

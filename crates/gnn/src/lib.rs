@@ -16,6 +16,6 @@ pub mod infer;
 
 pub use critical_path::{random_cp_example, CpExample, CpHarness};
 pub use encoder::{Embeddings, GnnConfig, GnnEncoder};
-pub use features::{FeatureConfig, GraphCache, FEAT_DIM};
+pub use features::{FeatureConfig, GraphCache, FEAT_DIM, GRAPH_CACHE_CAP};
 pub use graph::{GraphInput, GraphStructure, JobGraph, LevelPlan};
 pub use infer::InferEncoder;

@@ -11,15 +11,17 @@
 //!   is what lets one-pass REINFORCE work without retaining every tape
 //!   (see `decima-rl`).
 //!
-//! A sampler built with [`DecimaAgent::recorder`] additionally clones
-//! every observation it decides on. The gradient pass can then be driven
-//! directly from those stored observations via
+//! A sampler built with [`DecimaAgent::recorder`] additionally captures
+//! every observation it decides on as a compact [`ReplayObs`] — the
+//! subset of fields the gradient forward actually reads. The gradient
+//! pass can then be driven directly from those stored observations via
 //! [`DecimaAgent::accumulate_from_observations`] — no second simulation
 //! of the episode is needed, which is how the trajectory-based trainer
 //! in `decima-rl` halves its per-iteration simulation work.
 
 use crate::infer::InferSession;
 use crate::policy::{argmax_logp, sample_from_logp, DecimaPolicy, ParallelismMode};
+use crate::replay::ReplayObs;
 use decima_core::{ClassId, StageId};
 use decima_nn::{ParamStore, Tape};
 use decima_sim::{Action, Observation, Scheduler};
@@ -64,9 +66,9 @@ pub struct DecimaAgent {
     record_obs: bool,
     /// Choices recorded during sampling, in decision order.
     pub records: Vec<ActionChoice>,
-    /// Observations recorded in decision order (only when built with
-    /// [`DecimaAgent::recorder`]).
-    pub observations: Vec<Observation>,
+    /// Compact observations recorded in decision order (only when built
+    /// with [`DecimaAgent::recorder`]).
+    pub observations: Vec<ReplayObs>,
     /// Wall-clock seconds spent in each `decide` call (Figure 15b).
     pub decide_secs: Vec<f64>,
     /// Sum of node-softmax entropies observed (nats), for logging.
@@ -139,7 +141,7 @@ impl DecimaAgent {
         // decima-lint: allow(D002) — wall-clock decide_time telemetry, never fed back into the sim
         let t0 = Instant::now();
         if self.record_obs {
-            self.observations.push(obs.clone());
+            self.observations.push(ReplayObs::from_observation(obs));
         }
         let session = self.infer.as_mut().expect("fast path requires a session");
         let fd = session.decide_greedy(&self.policy, obs, &mut self.cache);
@@ -184,13 +186,14 @@ impl DecimaAgent {
     /// observation through the same forward/backward computation as a
     /// live replay, accumulating `Σ_k advantages[k]·∇(−log π(a_k)) −
     /// β·∇H` into the returned store's gradient buffers. Because the
-    /// stored observations are exactly what the sampler decided on, the
-    /// result is bit-identical to replaying the episode through the
-    /// simulator — with zero simulation work.
+    /// stored observations carry every field the policy forward reads,
+    /// bit-for-bit, the result is bit-identical to replaying the episode
+    /// through the simulator — with zero simulation work. A single
+    /// scratch [`Observation`] is reused across the whole trajectory.
     pub fn accumulate_from_observations(
         policy: DecimaPolicy,
         store: ParamStore,
-        observations: &[Observation],
+        observations: &[ReplayObs],
         choices: Vec<ActionChoice>,
         advantages: Vec<f64>,
         entropy_beta: f64,
@@ -202,8 +205,10 @@ impl DecimaAgent {
         );
         let mut agent = Self::replayer(policy, store, choices, advantages, entropy_beta);
         agent.on_episode_start();
+        let mut scratch = Observation::default();
         for obs in observations {
-            let _ = agent.decide(obs);
+            obs.write_into(&mut scratch);
+            let _ = agent.decide(&scratch);
         }
         agent.store
     }
@@ -232,7 +237,7 @@ impl Scheduler for DecimaAgent {
         // decima-lint: allow(D002) — wall-clock decide_time telemetry, never fed back into the sim
         let t0 = Instant::now();
         if self.record_obs {
-            self.observations.push(obs.clone());
+            self.observations.push(ReplayObs::from_observation(obs));
         }
         let mut tape = Tape::new();
         let fwd = self

@@ -12,6 +12,7 @@
 pub mod agent;
 pub mod infer;
 pub mod policy;
+pub mod replay;
 
 pub use agent::{ActionChoice, DecimaAgent};
 pub use infer::{fast_infer_enabled, set_fast_infer, FastDecision, InferSession};
@@ -19,3 +20,4 @@ pub use policy::{
     argmax_logp, sample_from_logp, Candidate, ClassForward, DecimaPolicy, LimitForward,
     ParallelismMode, PolicyConfig, PolicyForward,
 };
+pub use replay::{ReplayJob, ReplayNode, ReplayObs};

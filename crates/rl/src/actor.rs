@@ -15,8 +15,8 @@
 use crate::trajectory::Trajectory;
 use decima_core::{ClusterSpec, JobSpec};
 use decima_nn::ParamStore;
-use decima_policy::{ActionChoice, DecimaAgent, DecimaPolicy};
-use decima_sim::{Observation, SimConfig, Simulator};
+use decima_policy::{ActionChoice, DecimaAgent, DecimaPolicy, ReplayObs};
+use decima_sim::{SimConfig, Simulator};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -50,8 +50,8 @@ pub(crate) enum Task {
         policy: DecimaPolicy,
         /// Parameter snapshot (gradients accumulate into its buffers).
         store: ParamStore,
-        /// Stored per-decision observations.
-        observations: Vec<Observation>,
+        /// Stored per-decision compact observations.
+        observations: Vec<ReplayObs>,
         /// Recorded action indices.
         choices: Vec<ActionChoice>,
         /// Per-step advantages.

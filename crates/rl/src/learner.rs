@@ -163,6 +163,7 @@ mod tests {
                 dynamics: Default::default(),
                 outcome: Default::default(),
                 gantt: None,
+                mem: Default::default(),
             },
         }
     }

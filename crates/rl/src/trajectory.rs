@@ -8,18 +8,20 @@
 //! re-simulating the episode. This is what halves the per-iteration
 //! simulation work relative to the old replay-by-resimulation design.
 
-use decima_policy::ActionChoice;
-use decima_sim::{EpisodeResult, Observation};
+use decima_policy::{ActionChoice, ReplayObs};
+use decima_sim::EpisodeResult;
 
 /// One rollout's complete raw material for the gradient pass.
 #[derive(Debug)]
 pub struct Trajectory {
     /// The arrival-sequence seed the episode was built from.
     pub seq_seed: u64,
-    /// The observation at each decision, in decision order. Exactly what
-    /// the sampler's policy forward saw, so re-scoring them reproduces
-    /// the rollout's log-probabilities bit-for-bit.
-    pub observations: Vec<Observation>,
+    /// The compact observation at each decision, in decision order.
+    /// Carries exactly the fields the policy forward reads (bit-for-bit
+    /// what the sampler saw), so re-scoring them reproduces the
+    /// rollout's log-probabilities exactly at a fraction of the memory
+    /// of full observation clones.
+    pub observations: Vec<ReplayObs>,
     /// The sampled action indices, aligned with `observations`.
     pub choices: Vec<ActionChoice>,
     /// Sum of node-softmax entropies over the episode (nats).

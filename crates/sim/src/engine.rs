@@ -24,7 +24,7 @@
 
 use crate::config::{Objective, SimConfig};
 use crate::dynamics::Perturbations;
-use crate::result::{ActionRecord, EpisodeOutcome, EpisodeResult, JobOutcome};
+use crate::result::{ActionRecord, EpisodeOutcome, EpisodeResult, JobOutcome, MemCounters};
 use crate::sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};
 use decima_core::{ClassId, ClusterSpec, ExecutorId, Gantt, JobId, JobSpec, SimTime, StageId};
 use rand::rngs::SmallRng;
@@ -103,12 +103,13 @@ struct NodeRt {
     completed: bool,
 }
 
+/// Live per-job runtime state. Exists only between a job's arrival
+/// (lazy materialization from its spec) and its retirement into a
+/// compact [`JobOutcome`]; before and after, the job is just an
+/// `Arc<JobSpec>` in the phase table. See [`JobPhase`].
 #[derive(Clone, Debug)]
 struct JobRt {
     spec: Arc<JobSpec>,
-    arrived: bool,
-    finished: bool,
-    completion: Option<SimTime>,
     /// Executors bound to the job: idle-local + running + in flight.
     /// Maintained incrementally by [`Simulator::set_exec_state`].
     alloc: usize,
@@ -121,20 +122,80 @@ struct JobRt {
     /// Dynamics task failures charged to the job so far; exceeding the
     /// spec's `max_retries` kills the job.
     failures: u32,
-    /// Killed by the dynamics retry bound (implies `finished`, with no
-    /// completion time).
-    failed: bool,
     nodes: Vec<NodeRt>,
     unfinished_nodes: usize,
     executed_work: f64,
     class_busy: Vec<f64>,
 }
 
+/// Generational handle into the job-slot arena: the slot index plus the
+/// generation it was claimed at. A handle is valid only while
+/// `slots[slot].gen` still matches — a recycled slot bumps its
+/// generation, so handles (and anything derived from them) can never
+/// silently alias a later occupant. The executor-epoch machinery plays
+/// the same role for in-queue `TaskDone`/`ExecReady` events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct JobHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// Lifecycle phase of one job, indexed by [`JobId`]. Memory-wise this
+/// is the whole streaming story: `Pending` and `Retired` hold only the
+/// shared spec `Arc` (kept alive so spec-pointer-keyed caches — the GNN
+/// [`GraphCache`](../../gnn) — can never observe a recycled allocation
+/// aliasing a departed job), while `Live` points into the slot arena
+/// holding full runtime state.
+#[derive(Clone, Debug)]
+enum JobPhase {
+    /// Not yet arrived: runtime state does not exist.
+    Pending(Arc<JobSpec>),
+    /// Arrived and unfinished: runtime state lives in the slot arena.
+    Live(JobHandle),
+    /// Finished or failed: folded into its [`JobOutcome`]; the slot was
+    /// recycled (unless [`Simulator::retain_all`] keeps it).
+    Retired(Arc<JobSpec>),
+}
+
+/// One arena slot: the current generation plus the runtime state it
+/// holds (`None` while on the free list).
+#[derive(Clone, Debug)]
+struct JobSlot {
+    gen: u32,
+    rt: Option<JobRt>,
+}
+
 /// The discrete-event cluster simulator.
 pub struct Simulator {
     cluster: ClusterSpec,
     cfg: SimConfig,
-    jobs: Vec<JobRt>,
+    /// Per-job lifecycle phase, indexed by job id.
+    phase: Vec<JobPhase>,
+    /// Arena of live job runtime states; retired slots are recycled
+    /// through `free_slots`, so the arena's high-water mark tracks the
+    /// peak number of *concurrently live* jobs, not total jobs served.
+    slots: Vec<JobSlot>,
+    /// Recycled slot indices (LIFO). Pop order is a pure function of
+    /// the event stream — itself a pure function of (spec, seed) — and
+    /// slot indices never leak into observations or results, so reuse
+    /// order cannot perturb determinism either way.
+    free_slots: Vec<u32>,
+    /// Compact per-job outcomes folded at retirement, by job id.
+    outcomes: Vec<Option<JobOutcome>>,
+    /// Pool of node-state vectors released by retired jobs, reused by
+    /// later arrivals so steady-state serving allocates nothing.
+    node_pool: Vec<Vec<NodeRt>>,
+    /// Keep retired jobs' runtime state resident (the pre-streaming
+    /// behavior). Differential tests run both modes and require
+    /// bit-identical results; see [`Simulator::retain_all`].
+    retain_all: bool,
+    /// Memory-scaling telemetry; returned in [`EpisodeResult::mem`].
+    mem: MemCounters,
+    /// Pooled scratch for `apply_action`'s dispatch candidate lists.
+    scratch_execs: Vec<ExecutorId>,
+    /// Pooled node-observation vectors recycled across observation
+    /// rebuilds (job departures would otherwise drop them).
+    obs_nodes_pool: Vec<Vec<NodeObs>>,
     execs: Vec<ExecMeta>,
     queue: BinaryHeap<Reverse<QueuedEv>>,
     seq: u64,
@@ -228,43 +289,25 @@ impl Simulator {
 
         let mut queue = BinaryHeap::new();
         let mut seq = 0u64;
-        let mut jobs = Vec::with_capacity(specs.len());
+        let mut phase = Vec::with_capacity(specs.len());
         for (i, spec) in specs.into_iter().enumerate() {
             assert_eq!(spec.id.index(), i, "job ids must be dense 0..n");
             spec.validate()
                 .expect("invalid JobSpec handed to Simulator");
-            let n = spec.dag.len();
-            let mut nodes = vec![NodeRt::default(); n];
-            for (v, node) in nodes.iter_mut().enumerate() {
-                node.waiting = spec.stages[v].num_tasks;
-                node.runnable = spec.dag.parents(v).is_empty();
-            }
+            // Runtime state is materialized lazily at arrival time
+            // (`materialize_job`): until then the job is only its spec.
             queue.push(Reverse(QueuedEv {
                 time: spec.arrival,
                 seq,
                 ev: Ev::Arrival(spec.id),
             }));
             seq += 1;
-            jobs.push(JobRt {
-                spec: Arc::new(spec),
-                arrived: false,
-                finished: false,
-                completion: None,
-                alloc: 0,
-                peak_alloc: 0,
-                local_free: 0,
-                dirty: true,
-                failures: 0,
-                failed: false,
-                unfinished_nodes: n,
-                nodes,
-                executed_work: 0.0,
-                class_busy: vec![0.0; num_classes],
-            });
+            phase.push(JobPhase::Pending(Arc::new(spec)));
         }
 
         let gantt = cfg.record_gantt.then(|| Gantt::new(execs.len()));
-        let jobs_remaining = jobs.len();
+        let jobs_remaining = phase.len();
+        let num_jobs = phase.len();
         let free_set: BTreeSet<u32> = (0..execs.len() as u32).collect();
         let mut avail_by_class = vec![0usize; num_classes];
         for em in &execs {
@@ -288,11 +331,19 @@ impl Simulator {
                 seq += 1;
             }
         }
-        Simulator {
+        let mut sim = Simulator {
             cluster,
             rng: SmallRng::seed_from_u64(cfg.seed),
             cfg,
-            jobs,
+            phase,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            outcomes: (0..num_jobs).map(|_| None).collect(),
+            node_pool: Vec::new(),
+            retain_all: false,
+            mem: MemCounters::default(),
+            scratch_execs: Vec::new(),
+            obs_nodes_pool: Vec::new(),
             execs,
             queue,
             seq,
@@ -319,6 +370,175 @@ impl Simulator {
             tasks_started: 0,
             tasks_at_last_churn_tick: None,
             dynamics,
+        };
+        sim.mem.event_queue_hwm = sim.queue.len() as u64;
+        sim
+    }
+
+    /// Keeps every retired job's runtime state resident instead of
+    /// recycling its arena slot (the pre-streaming behavior). The two
+    /// modes are contractually bit-identical in everything but
+    /// [`EpisodeResult::mem`] — the differential tests hold the engine
+    /// to it — so this exists *only* as the comparison baseline; it is
+    /// never the right choice for real runs.
+    pub fn retain_all(mut self, on: bool) -> Self {
+        self.retain_all = on;
+        self
+    }
+
+    /// The spec of any job the episode knows, in whatever lifecycle
+    /// phase. Retired jobs still answer: the engine holds every spec
+    /// `Arc` for the episode's lifetime so spec-pointer identity (used
+    /// by the GNN graph cache and `obs_equal`) is never recycled.
+    pub fn job_spec(&self, id: JobId) -> Option<&Arc<JobSpec>> {
+        match self.phase.get(id.index())? {
+            JobPhase::Pending(spec) | JobPhase::Retired(spec) => Some(spec),
+            JobPhase::Live(h) => Some(&self.rt(h.slot as usize).spec),
+        }
+    }
+
+    // ---- streaming job lifecycle ----
+
+    /// Slot index of a job that must be live (panics otherwise — the
+    /// call sites are event paths whose invariants guarantee liveness,
+    /// e.g. a `Running` executor always points at a live job).
+    #[inline]
+    fn slot_of(&self, id: JobId) -> usize {
+        match self.phase[id.index()] {
+            JobPhase::Live(h) => {
+                debug_assert_eq!(self.slots[h.slot as usize].gen, h.gen, "stale job handle");
+                h.slot as usize
+            }
+            ref other => unreachable!("job {id:?} is not live: {other:?}"),
+        }
+    }
+
+    /// Slot index of a job if it is live, `None` otherwise — the
+    /// lenient lookup for paths that can legitimately race a
+    /// retirement (an `ExecReady` landing after its job finished).
+    #[inline]
+    fn live_slot(&self, id: JobId) -> Option<usize> {
+        match self.phase.get(id.index()) {
+            Some(JobPhase::Live(h)) => {
+                debug_assert_eq!(self.slots[h.slot as usize].gen, h.gen, "stale job handle");
+                Some(h.slot as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Shared borrow of a live slot's runtime state.
+    #[inline]
+    fn rt(&self, si: usize) -> &JobRt {
+        match self.slots[si].rt {
+            Some(ref rt) => rt,
+            None => unreachable!("slot {si} is on the free list"),
+        }
+    }
+
+    /// Mutable borrow of a live slot's runtime state.
+    #[inline]
+    fn rt_mut(&mut self, si: usize) -> &mut JobRt {
+        match self.slots[si].rt {
+            Some(ref mut rt) => rt,
+            None => unreachable!("slot {si} is on the free list"),
+        }
+    }
+
+    /// Builds a job's runtime state from its spec at arrival time,
+    /// claiming an arena slot (recycled if one is free) and entering
+    /// the job into the active set.
+    fn materialize_job(&mut self, id: JobId) {
+        let ji = id.index();
+        let spec = match &self.phase[ji] {
+            JobPhase::Pending(spec) => Arc::clone(spec),
+            ref other => unreachable!("double arrival for {id:?}: {other:?}"),
+        };
+        let n = spec.dag.len();
+        let mut nodes = self.node_pool.pop().unwrap_or_default();
+        nodes.clear();
+        nodes.resize(n, NodeRt::default());
+        for (v, node) in nodes.iter_mut().enumerate() {
+            node.waiting = spec.stages[v].num_tasks;
+            node.runnable = spec.dag.parents(v).is_empty();
+        }
+        let num_classes = self.cluster.num_classes();
+        let rt = JobRt {
+            spec,
+            alloc: 0,
+            peak_alloc: 0,
+            local_free: 0,
+            dirty: true,
+            failures: 0,
+            unfinished_nodes: n,
+            nodes,
+            executed_work: 0.0,
+            class_busy: vec![0.0; num_classes],
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize].rt = Some(rt);
+                s
+            }
+            None => {
+                self.slots.push(JobSlot {
+                    gen: 0,
+                    rt: Some(rt),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.mem.slots_hwm = self.mem.slots_hwm.max(self.slots.len() as u64);
+        self.phase[ji] = JobPhase::Live(JobHandle {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        });
+        self.jobs_in_system += 1;
+        // Keep the active list in job-id order (arrival order is
+        // time order, which need not be id order).
+        let pos = self.active_jobs.partition_point(|&a| a < ji);
+        self.active_jobs.insert(pos, ji);
+        self.mem.live_jobs_peak = self.mem.live_jobs_peak.max(self.active_jobs.len() as u64);
+        self.bump_obs_epoch();
+    }
+
+    /// Folds a finished or failed job into its compact [`JobOutcome`]
+    /// and (unless `retain_all`) releases its arena slot to the free
+    /// list, bumping the slot generation so any handle derived earlier
+    /// can never alias a later occupant. The caller has already done
+    /// all executor bookkeeping — the runtime state is dead weight at
+    /// this point.
+    fn retire_job(&mut self, id: JobId, completion: Option<SimTime>, failed: bool) {
+        let ji = id.index();
+        let si = self.slot_of(id);
+        let spec = Arc::clone(&self.rt(si).spec);
+        let outcome = {
+            let rt = self.rt(si);
+            JobOutcome {
+                id,
+                name: rt.spec.name.clone(),
+                arrival: rt.spec.arrival,
+                completion,
+                total_work: rt.spec.total_work(),
+                executed_work: rt.executed_work,
+                peak_alloc: rt.peak_alloc,
+                class_busy: rt.class_busy.clone(),
+                failed,
+            }
+        };
+        self.outcomes[ji] = Some(outcome);
+        // The spec Arc stays alive in the phase table: spec-pointer
+        // identity (GraphCache keys, obs_equal) must never be recycled.
+        self.phase[ji] = JobPhase::Retired(spec);
+        self.mem.retired_jobs += 1;
+        if !self.retain_all {
+            if let Some(mut rt) = self.slots[si].rt.take() {
+                rt.nodes.clear();
+                self.node_pool.push(rt.nodes);
+                self.mem.node_pool_hwm = self.mem.node_pool_hwm.max(self.node_pool.len() as u64);
+            }
+            self.slots[si].gen = self.slots[si].gen.wrapping_add(1);
+            self.free_slots.push(si as u32);
         }
     }
 
@@ -365,13 +585,19 @@ impl Simulator {
         if old_idle != new_idle {
             if let Some(j) = old_idle {
                 self.idle_set.remove(&(i as u32));
-                self.jobs[j.index()].local_free -= 1;
-                self.jobs[j.index()].dirty = true;
+                if let Some(si) = self.live_slot(j) {
+                    let rt = self.rt_mut(si);
+                    rt.local_free -= 1;
+                    rt.dirty = true;
+                }
             }
             if let Some(j) = new_idle {
                 self.idle_set.insert(i as u32);
-                self.jobs[j.index()].local_free += 1;
-                self.jobs[j.index()].dirty = true;
+                if let Some(si) = self.live_slot(j) {
+                    let rt = self.rt_mut(si);
+                    rt.local_free += 1;
+                    rt.dirty = true;
+                }
             }
         }
         let old_avail = old_free || old_idle.is_some();
@@ -384,13 +610,23 @@ impl Simulator {
             }
         }
         if old_owner != new_owner {
+            // Lenient lookups: a `Moving` executor can outlive its
+            // target job (the job finishes while it is in transit), so
+            // the detach side may see a retired owner — the counters
+            // died with the job's runtime state and need no update.
             if let Some(j) = old_owner {
-                self.jobs[j.index()].alloc -= 1;
-                self.jobs[j.index()].dirty = true;
+                if let Some(si) = self.live_slot(j) {
+                    let rt = self.rt_mut(si);
+                    rt.alloc -= 1;
+                    rt.dirty = true;
+                }
             }
             if let Some(j) = new_owner {
-                self.jobs[j.index()].alloc += 1;
-                self.jobs[j.index()].dirty = true;
+                if let Some(si) = self.live_slot(j) {
+                    let rt = self.rt_mut(si);
+                    rt.alloc += 1;
+                    rt.dirty = true;
+                }
             }
         }
         let old_offline = matches!(old, ExecState::Offline);
@@ -512,19 +748,49 @@ impl Simulator {
                 d.counters
             })
             .unwrap_or_default();
+        // Retired jobs were folded at retirement; pending jobs never
+        // arrived (zero outcome); live jobs were cut off by the
+        // horizon/event budget and fold here, unfinished.
+        let num_classes = self.cluster.num_classes();
+        let outcomes = std::mem::take(&mut self.outcomes);
         let jobs = self
-            .jobs
+            .phase
             .iter()
-            .map(|j| JobOutcome {
-                id: j.spec.id,
-                name: j.spec.name.clone(),
-                arrival: j.spec.arrival,
-                completion: j.completion,
-                total_work: j.spec.total_work(),
-                executed_work: j.executed_work,
-                peak_alloc: j.peak_alloc,
-                class_busy: j.class_busy.clone(),
-                failed: j.failed,
+            .zip(outcomes)
+            .enumerate()
+            .map(|(ji, (ph, folded))| match (ph, folded) {
+                (JobPhase::Retired(_), Some(o)) => o,
+                (JobPhase::Pending(spec), _) => JobOutcome {
+                    id: JobId(ji as u32),
+                    name: spec.name.clone(),
+                    arrival: spec.arrival,
+                    completion: None,
+                    total_work: spec.total_work(),
+                    executed_work: 0.0,
+                    peak_alloc: 0,
+                    class_busy: vec![0.0; num_classes],
+                    failed: false,
+                },
+                (JobPhase::Live(h), _) => {
+                    let rt = match self.slots[h.slot as usize].rt {
+                        Some(ref rt) => rt,
+                        None => unreachable!("live job {ji} with empty slot"),
+                    };
+                    JobOutcome {
+                        id: JobId(ji as u32),
+                        name: rt.spec.name.clone(),
+                        arrival: rt.spec.arrival,
+                        completion: None,
+                        total_work: rt.spec.total_work(),
+                        executed_work: rt.executed_work,
+                        peak_alloc: rt.peak_alloc,
+                        class_busy: rt.class_busy.clone(),
+                        failed: false,
+                    }
+                }
+                (JobPhase::Retired(_), None) => {
+                    unreachable!("retired job {ji} without a folded outcome")
+                }
             })
             .collect();
         EpisodeResult {
@@ -538,6 +804,7 @@ impl Simulator {
             dynamics,
             outcome: self.outcome,
             gantt: self.gantt,
+            mem: self.mem,
         }
     }
 
@@ -565,14 +832,7 @@ impl Simulator {
     fn handle_event(&mut self, ev: Ev) -> bool {
         match ev {
             Ev::Arrival(j) => {
-                let ji = j.index();
-                self.jobs[ji].arrived = true;
-                self.jobs_in_system += 1;
-                // Keep the active list in job-id order (arrival order is
-                // time order, which need not be id order).
-                let pos = self.active_jobs.partition_point(|&a| a < ji);
-                self.active_jobs.insert(pos, ji);
-                self.bump_obs_epoch();
+                self.materialize_job(j);
                 true
             }
             // Stale executor events (the assignment was interrupted by
@@ -644,18 +904,26 @@ impl Simulator {
             ExecState::Free | ExecState::Idle(_) | ExecState::Offline => {}
             ExecState::Moving { job, node } => {
                 self.execs[i].epoch += 1; // cancels the pending ExecReady
-                self.jobs[job.index()].nodes[node as usize].in_flight -= 1;
-                self.jobs[job.index()].dirty = true;
+                                          // The move's target job may have finished while the
+                                          // executor was in transit (finish does not interrupt
+                                          // moves): its node counters died with it.
+                if let Some(si) = self.live_slot(job) {
+                    let rt = self.rt_mut(si);
+                    rt.nodes[node as usize].in_flight -= 1;
+                    rt.dirty = true;
+                }
             }
             ExecState::Running {
                 job, node, started, ..
             } => {
                 self.execs[i].epoch += 1; // cancels the pending TaskDone
-                let nrt = &mut self.jobs[job.index()].nodes[node as usize];
+                let si = self.slot_of(job); // a running task implies a live job
+                let rt = self.rt_mut(si);
+                let nrt = &mut rt.nodes[node as usize];
                 nrt.running -= 1;
                 nrt.executors_on -= 1;
                 nrt.waiting += 1; // the interrupted task reruns from scratch
-                self.jobs[job.index()].dirty = true;
+                rt.dirty = true;
                 if let Some(g) = &mut self.gantt {
                     g.record(e, started, self.now, Some(job));
                 }
@@ -721,12 +989,13 @@ impl Simulator {
                 .as_mut()
                 .is_some_and(Perturbations::task_fails);
 
-        let ji = job_id.index();
+        let si = self.slot_of(job_id); // a running task implies a live job
         let v = node as usize;
-        self.jobs[ji].executed_work += duration;
-        self.jobs[ji].class_busy[class.index()] += duration;
         {
-            let n = &mut self.jobs[ji].nodes[v];
+            let rt = self.rt_mut(si);
+            rt.executed_work += duration;
+            rt.class_busy[class.index()] += duration;
+            let n = &mut rt.nodes[v];
             n.running -= 1;
             n.executors_on -= 1;
             if failed || dyn_failed {
@@ -734,8 +1003,8 @@ impl Simulator {
             } else {
                 n.finished += 1;
             }
+            rt.dirty = true;
         }
-        self.jobs[ji].dirty = true;
         if failed || dyn_failed {
             self.task_failures += 1;
         }
@@ -745,8 +1014,12 @@ impl Simulator {
                 d.counters.retries += 1;
                 d.spec.max_retries
             };
-            self.jobs[ji].failures += 1;
-            if self.jobs[ji].failures > budget {
+            let over = {
+                let rt = self.rt_mut(si);
+                rt.failures += 1;
+                rt.failures > budget
+            };
+            if over {
                 // Retry budget exhausted: the job dies. Park the
                 // executor idle-local first so the kill path releases it
                 // like every other bound executor.
@@ -758,7 +1031,7 @@ impl Simulator {
 
         // Same-node continuation: Spark's task-level scheduler keeps the
         // executor on its stage while unclaimed tasks remain.
-        if self.jobs[ji].nodes[v].waiting > 0 {
+        if self.rt(si).nodes[v].waiting > 0 {
             self.start_task(e, job_id, node);
             return false;
         }
@@ -767,7 +1040,7 @@ impl Simulator {
         // scheduling event fires ("stage runs out of tasks").
         self.set_exec_state(e, ExecState::Idle(job_id));
         let node_done = {
-            let n = &self.jobs[ji].nodes[v];
+            let n = &self.rt(si).nodes[v];
             n.running == 0 && n.waiting == 0 && !n.completed
         };
         if node_done {
@@ -779,48 +1052,56 @@ impl Simulator {
     /// Marks a node complete, unlocking children and possibly finishing
     /// the job.
     fn complete_node(&mut self, job_id: JobId, v: usize) {
-        let ji = job_id.index();
-        self.jobs[ji].nodes[v].completed = true;
-        self.jobs[ji].unfinished_nodes -= 1;
-        self.jobs[ji].dirty = true;
-        let spec = Arc::clone(&self.jobs[ji].spec);
-        for &c in spec.dag.children(v) {
-            let all_done = spec
-                .dag
-                .parents(c as usize)
-                .iter()
-                .all(|&p| self.jobs[ji].nodes[p as usize].completed);
-            if all_done {
-                self.jobs[ji].nodes[c as usize].runnable = true;
+        let si = self.slot_of(job_id);
+        let unfinished = {
+            let rt = self.rt_mut(si);
+            rt.nodes[v].completed = true;
+            rt.unfinished_nodes -= 1;
+            rt.dirty = true;
+            let spec = Arc::clone(&rt.spec);
+            for &c in spec.dag.children(v) {
+                let all_done = spec
+                    .dag
+                    .parents(c as usize)
+                    .iter()
+                    .all(|&p| rt.nodes[p as usize].completed);
+                if all_done {
+                    rt.nodes[c as usize].runnable = true;
+                }
             }
-        }
-        if self.jobs[ji].unfinished_nodes == 0 {
+            rt.unfinished_nodes
+        };
+        if unfinished == 0 {
             self.finish_job(job_id);
         }
     }
 
     fn finish_job(&mut self, job_id: JobId) {
         let ji = job_id.index();
-        self.jobs[ji].finished = true;
-        self.jobs[ji].completion = Some(self.now);
         self.jobs_in_system -= 1;
         self.jobs_remaining -= 1;
         if let Some(g) = &mut self.gantt {
             g.record_completion(job_id, self.now);
         }
         // Release bound idle executors: their JVM exits with the job.
-        let released: Vec<ExecutorId> = self
-            .idle_set
-            .iter()
-            .map(|&i| ExecutorId(i))
-            .filter(|e| matches!(self.execs[e.index()].state, ExecState::Idle(j) if j == job_id))
-            .collect();
-        for e in released {
+        // Pooled scratch — the steady-state finish allocates nothing.
+        let mut released = std::mem::take(&mut self.scratch_execs);
+        released.clear();
+        released.extend(
+            self.idle_set.iter().map(|&i| ExecutorId(i)).filter(
+                |e| matches!(self.execs[e.index()].state, ExecState::Idle(j) if j == job_id),
+            ),
+        );
+        for &e in &released {
             self.set_exec_state(e, ExecState::Free);
         }
+        released.clear();
+        self.scratch_execs = released;
         let pos = self.active_jobs.partition_point(|&a| a < ji);
         debug_assert_eq!(self.active_jobs.get(pos), Some(&ji));
         self.active_jobs.remove(pos);
+        // All executor bookkeeping done: fold and release the slot.
+        self.retire_job(job_id, Some(self.now), false);
         self.bump_obs_epoch();
     }
 
@@ -844,9 +1125,6 @@ impl Simulator {
                 self.set_exec_state(e, ExecState::Free);
             }
         }
-        self.jobs[ji].finished = true;
-        self.jobs[ji].failed = true;
-        self.jobs[ji].dirty = true;
         self.jobs_in_system -= 1;
         self.jobs_remaining -= 1;
         if let Some(d) = &mut self.dynamics {
@@ -855,6 +1133,8 @@ impl Simulator {
         let pos = self.active_jobs.partition_point(|&a| a < ji);
         debug_assert_eq!(self.active_jobs.get(pos), Some(&ji));
         self.active_jobs.remove(pos);
+        // All executor bookkeeping done: fold and release the slot.
+        self.retire_job(job_id, None, true);
         self.bump_obs_epoch();
     }
 
@@ -863,19 +1143,22 @@ impl Simulator {
             ExecState::Moving { job, node } => (job, node),
             ref other => unreachable!("ExecReady on non-moving executor: {other:?}"),
         };
-        let ji = job_id.index();
-        self.jobs[ji].nodes[node as usize].in_flight -= 1;
-        self.jobs[ji].dirty = true;
-        if self.jobs[ji].finished {
-            // Job ended while the executor was in transit.
+        let Some(si) = self.live_slot(job_id) else {
+            // Job ended while the executor was in transit: its node
+            // counters retired with it, nothing left to decrement.
             self.set_exec_state(e, ExecState::Free);
             return true;
+        };
+        {
+            let rt = self.rt_mut(si);
+            rt.nodes[node as usize].in_flight -= 1;
+            rt.dirty = true;
         }
         // Try the original target, else any runnable stage of the job the
         // executor fits; otherwise go idle-local and let the agent decide.
         let mem = self.execs[e.index()].memory;
         let target = {
-            let job = &self.jobs[ji];
+            let job = self.rt(si);
             if job.nodes[node as usize].runnable
                 && job.nodes[node as usize].waiting > 0
                 && mem >= job.spec.stages[node as usize].mem_demand
@@ -906,25 +1189,31 @@ impl Simulator {
     /// Starts one task of `(job, node)` on executor `e` right now.
     fn start_task(&mut self, e: ExecutorId, job_id: JobId, node: u32) {
         self.tasks_started += 1;
-        let ji = job_id.index();
+        let si = self.slot_of(job_id); // dispatch targets are live
         let v = node as usize;
-        debug_assert!(self.jobs[ji].nodes[v].waiting > 0);
-        debug_assert!(self.jobs[ji].nodes[v].runnable);
+        debug_assert!(self.rt(si).nodes[v].waiting > 0);
+        debug_assert!(self.rt(si).nodes[v].runnable);
         debug_assert!(
             !matches!(self.execs[e.index()].state, ExecState::Offline),
             "dispatched a task to offline executor {e:?}"
         );
 
         let cold = self.execs[e.index()].last_node != Some((job_id, node));
-        let spec = &self.jobs[ji].spec;
-        let stage = &spec.stages[v];
-        let mut dur = stage.task_duration;
-        if self.cfg.first_wave && cold {
-            dur *= stage.first_wave_factor;
-        }
-        if self.cfg.inflation {
-            dur *= spec.inflation.factor(self.jobs[ji].alloc.max(1));
-        }
+        // Spec-derived duration factors first (shared borrow of the
+        // slot), then the RNG draws — the exact computation order of
+        // the pre-streaming engine, so the noise stream is unchanged.
+        let mut dur = {
+            let rt = self.rt(si);
+            let stage = &rt.spec.stages[v];
+            let mut d = stage.task_duration;
+            if self.cfg.first_wave && cold {
+                d *= stage.first_wave_factor;
+            }
+            if self.cfg.inflation {
+                d *= rt.spec.inflation.factor(rt.alloc.max(1));
+            }
+            d
+        };
         if self.cfg.noise > 0.0 {
             // Log-normal with unit mean: exp(N(-s²/2, s²)).
             let s = self.cfg.noise;
@@ -946,12 +1235,13 @@ impl Simulator {
         dur = dur.max(1e-6);
 
         {
-            let n = &mut self.jobs[ji].nodes[v];
+            let rt = self.rt_mut(si);
+            let n = &mut rt.nodes[v];
             n.waiting -= 1;
             n.running += 1;
             n.executors_on += 1;
+            rt.dirty = true;
         }
-        self.jobs[ji].dirty = true;
         self.execs[e.index()].last_node = Some((job_id, node));
         self.set_exec_state(
             e,
@@ -972,6 +1262,10 @@ impl Simulator {
             ev,
         }));
         self.seq += 1;
+        // The queue's backing storage is never shrunk (`BinaryHeap`
+        // keeps its capacity across pop/push), so the high-water mark
+        // is exactly the retained allocation in heap entries.
+        self.mem.event_queue_hwm = self.mem.event_queue_hwm.max(self.queue.len() as u64);
     }
 
     // ---- scheduling ----
@@ -1031,11 +1325,20 @@ impl Simulator {
         }
     }
 
+    /// Slot index of a job taken from the active list (always live).
+    #[inline]
+    fn active_slot(&self, ji: usize) -> usize {
+        match self.phase[ji] {
+            JobPhase::Live(h) => h.slot as usize,
+            ref other => unreachable!("active job {ji} is not live: {other:?}"),
+        }
+    }
+
     /// Builds the observation snapshot handed to the scheduler from the
     /// incrementally-maintained counts (no executor rescans).
     pub fn observation(&self) -> Observation {
         let mut obs = Self::empty_observation();
-        self.fill_observation(&mut obs, true);
+        self.fill_observation(&mut obs, true, &mut Vec::new());
         obs
     }
 
@@ -1044,15 +1347,18 @@ impl Simulator {
     /// copying per-node state only for jobs dirtied since the last fill.
     fn write_observation(&mut self, obs: &mut Observation) {
         let rebuild = self.obs_buf_epoch != self.obs_epoch;
-        self.fill_observation(obs, rebuild);
+        let mut pool = std::mem::take(&mut self.obs_nodes_pool);
+        self.fill_observation(obs, rebuild, &mut pool);
+        self.obs_nodes_pool = pool;
         self.obs_buf_epoch = self.obs_epoch;
         for i in 0..self.active_jobs.len() {
             let ji = self.active_jobs[i];
-            self.jobs[ji].dirty = false;
+            let si = self.active_slot(ji);
+            self.rt_mut(si).dirty = false;
         }
     }
 
-    fn fill_observation(&self, obs: &mut Observation, rebuild: bool) {
+    fn fill_observation(&self, obs: &mut Observation, rebuild: bool, pool: &mut Vec<Vec<NodeObs>>) {
         let num_classes = self.cluster.num_classes();
         obs.time = self.now;
         obs.total_executors = self.execs.len();
@@ -1065,22 +1371,30 @@ impl Simulator {
             obs.class_memory.clear();
             obs.class_memory
                 .extend(self.cluster.classes.iter().map(|c| c.memory));
-            obs.jobs.clear();
+            // Recycle the departing entries' node vectors: a streaming
+            // episode churns through jobs, and rebuilding the structure
+            // must not re-allocate what the last rebuild already had.
+            for mut jo in obs.jobs.drain(..) {
+                jo.nodes.clear();
+                pool.push(jo.nodes);
+            }
             for &ji in &self.active_jobs {
-                let j = &self.jobs[ji];
+                let j = self.rt(self.active_slot(ji));
+                let mut nodes = pool.pop().unwrap_or_default();
+                nodes.reserve(j.nodes.len());
                 obs.jobs.push(JobObs {
                     id: j.spec.id,
                     spec: Arc::clone(&j.spec),
                     alloc: j.alloc,
                     local_free: j.local_free,
-                    nodes: Vec::with_capacity(j.nodes.len()),
+                    nodes,
                 });
             }
         }
         debug_assert_eq!(obs.jobs.len(), self.active_jobs.len());
         obs.schedulable.clear();
         for (job_index, &ji) in self.active_jobs.iter().enumerate() {
-            let j = &self.jobs[ji];
+            let j = self.rt(self.active_slot(ji));
             let jo = &mut obs.jobs[job_index];
             if rebuild {
                 // alloc/local_free were just set when the JobObs was
@@ -1144,10 +1458,9 @@ impl Simulator {
 
         let mut jobs = Vec::new();
         let mut schedulable = Vec::new();
-        for j in &self.jobs {
-            if !j.arrived || j.finished {
-                continue;
-            }
+        for ph in &self.phase {
+            let JobPhase::Live(h) = ph else { continue };
+            let j = self.rt(h.slot as usize);
             let local_free = self
                 .execs
                 .iter()
@@ -1213,21 +1526,22 @@ impl Simulator {
 
     /// Applies one action; returns the number of executors dispatched.
     fn apply_action(&mut self, a: &Action) -> usize {
-        let ji = a.job.index();
-        if ji >= self.jobs.len() || !self.jobs[ji].arrived || self.jobs[ji].finished {
+        // Pending and retired jobs are equally un-actionable — the
+        // lenient lookup covers out-of-range ids from buggy policies.
+        let Some(si) = self.live_slot(a.job) else {
             return 0;
-        }
+        };
         let v = a.stage.index();
-        if v >= self.jobs[ji].nodes.len() {
+        if v >= self.rt(si).nodes.len() {
             return 0;
         }
         {
-            let n = &self.jobs[ji].nodes[v];
+            let n = &self.rt(si).nodes[v];
             if !n.runnable || n.waiting <= n.in_flight {
                 return 0;
             }
         }
-        let demand = self.jobs[ji].spec.stages[v].mem_demand;
+        let demand = self.rt(si).spec.stages[v].mem_demand;
         // The same feasibility rule the observation's schedulable set
         // uses: some available executor (of the requested class, if any)
         // must fit the stage's memory demand. Checking it here keeps the
@@ -1239,14 +1553,17 @@ impl Simulator {
         let node = v as u32;
 
         // Unclaimed tasks bound the total dispatch.
-        let unclaimed =
-            (self.jobs[ji].nodes[v].waiting - self.jobs[ji].nodes[v].in_flight) as usize;
+        let unclaimed = {
+            let n = &self.rt(si).nodes[v];
+            (n.waiting - n.in_flight) as usize
+        };
 
         // Allocation headroom under the limit.
         let cur_scope = match a.scope {
-            LimitScope::Job => self.jobs[ji].alloc,
+            LimitScope::Job => self.rt(si).alloc,
             LimitScope::Stage => {
-                (self.jobs[ji].nodes[v].executors_on + self.jobs[ji].nodes[v].in_flight) as usize
+                let n = &self.rt(si).nodes[v];
+                (n.executors_on + n.in_flight) as usize
             }
         };
 
@@ -1256,19 +1573,20 @@ impl Simulator {
 
         let mut dispatched = 0usize;
 
+        // Candidate lists use pooled scratch: steady-state dispatch
+        // allocates nothing. (Safe to take out of `self`: nothing below
+        // recurses back into `apply_action`.)
+        let mut cand = std::mem::take(&mut self.scratch_execs);
+
         // Tier 1: idle executors already bound to this job — free motion,
         // does not change the job's allocation. The idle set iterates in
         // ascending index order, matching the historical full scan.
-        let local: Vec<ExecutorId> = self
-            .idle_set
-            .iter()
-            .map(|&i| ExecutorId(i))
-            .filter(|e| {
-                let em = &self.execs[e.index()];
-                matches!(em.state, ExecState::Idle(id) if id == job_id) && class_ok(em)
-            })
-            .collect();
-        for e in local {
+        cand.clear();
+        cand.extend(self.idle_set.iter().map(|&i| ExecutorId(i)).filter(|e| {
+            let em = &self.execs[e.index()];
+            matches!(em.state, ExecState::Idle(id) if id == job_id) && class_ok(em)
+        }));
+        for &e in &cand {
             if dispatched >= unclaimed {
                 break;
             }
@@ -1283,24 +1601,24 @@ impl Simulator {
         // Tier 2: unbound executors, then idle executors of other jobs —
         // both incur the move delay and raise this job's allocation. Both
         // sets iterate in ascending index order, like the old full scans.
-        let mut remote: Vec<ExecutorId> = Vec::new();
+        cand.clear();
         for &i in &self.free_set {
             if class_ok(&self.execs[i as usize]) {
-                remote.push(ExecutorId(i));
+                cand.push(ExecutorId(i));
             }
         }
         for &i in &self.idle_set {
             let em = &self.execs[i as usize];
             if matches!(em.state, ExecState::Idle(id) if id != job_id) && class_ok(em) {
-                remote.push(ExecutorId(i));
+                cand.push(ExecutorId(i));
             }
         }
-        for e in remote {
+        for &e in &cand {
             if dispatched >= unclaimed {
                 break;
             }
             let headroom = match a.scope {
-                LimitScope::Job => self.jobs[ji].alloc < a.limit,
+                LimitScope::Job => self.rt(si).alloc < a.limit,
                 LimitScope::Stage => cur_scope + dispatched < a.limit,
             };
             if !headroom {
@@ -1312,8 +1630,11 @@ impl Simulator {
                                                     // and the attach to this job (alloc −1/+1 via the choke
                                                     // point).
             self.set_exec_state(e, ExecState::Moving { job: job_id, node });
-            self.jobs[ji].nodes[v].in_flight += 1;
-            self.jobs[ji].dirty = true;
+            {
+                let rt = self.rt_mut(si);
+                rt.nodes[v].in_flight += 1;
+                rt.dirty = true;
+            }
             if let Some(g) = &mut self.gantt {
                 if delay > 0.0 {
                     g.record(e, self.now, self.now + delay, None);
@@ -1325,8 +1646,10 @@ impl Simulator {
             );
             dispatched += 1;
         }
+        cand.clear();
+        self.scratch_execs = cand;
 
-        let job = &mut self.jobs[ji];
+        let job = self.rt_mut(si);
         job.peak_alloc = job.peak_alloc.max(job.alloc);
         dispatched
     }
@@ -2069,6 +2392,170 @@ mod tests {
         });
         assert_eq!(off.task_failures, on.task_failures);
         assert_eq!(off.avg_jct(), on.avg_jct());
+    }
+
+    // ---- streaming job lifecycle (lazy materialization + retirement) ----
+
+    /// Scripted scheduler keyed on decision count, for timelines that
+    /// need specific dispatch decisions at specific scheduling passes.
+    struct Script(u32);
+    impl Scheduler for Script {
+        fn decide(&mut self, _: &Observation) -> Option<Action> {
+            self.0 += 1;
+            match self.0 {
+                1 => Some(Action::new(JobId(0), StageId(0), 1)),
+                3 => Some(Action::new(JobId(0), StageId(0), 2)),
+                4 => Some(Action::new(JobId(1), StageId(0), 1)),
+                5 => Some(Action::new(JobId(2), StageId(0), 1)),
+                _ => None,
+            }
+        }
+    }
+
+    /// A valid-epoch `ExecReady` can land after its target job finished
+    /// (finishing does not interrupt in-flight moves) — and by then the
+    /// job's arena slot may already host a *different* job. The phase
+    /// table must recognize the retired target, free the executor, and
+    /// leave the slot's new occupant untouched.
+    ///
+    /// Timeline (move delay 3): exec0 moves to job0 at t=0 and runs its
+    /// two 0.5s tasks (t=3..4); exec1 is sent after job0 at t=2 (job1's
+    /// arrival pass) and is still in transit when job0 finishes at t=4.
+    /// Job2 arrives at t=4.5 and reuses job0's slot. The stale-target
+    /// ExecReady pops at t=5, frees exec1, and the pass then serves
+    /// job2 on it.
+    #[test]
+    fn exec_ready_after_finish_with_recycled_slot() {
+        let cl = ClusterSpec::homogeneous(2).with_move_delay(3.0);
+        let jobs = vec![
+            one_stage_job(0, 2, 0.5, 0.0),
+            one_stage_job(1, 1, 0.5, 2.0),
+            one_stage_job(2, 1, 1.0, 4.5),
+        ];
+        let cfg = SimConfig {
+            validate_observations: true,
+            ..bare_cfg()
+        };
+        let r = Simulator::new(cl, jobs, cfg).run(Script(0));
+        assert_eq!(r.completed(), 3);
+        assert_eq!(r.jobs[0].jct(), Some(4.0));
+        assert_eq!(
+            r.jobs[1].jct(),
+            Some(5.5),
+            "t=4 dispatch + 3s move + 0.5s task"
+        );
+        assert_eq!(
+            r.jobs[2].jct(),
+            Some(4.5),
+            "t=5 dispatch on the freed executor + 3s move + 1s task"
+        );
+        // Job2 reused job0's slot: the arena never grew past the
+        // two-job live peak even though three jobs were served.
+        assert_eq!(r.mem.live_jobs_peak, 2);
+        assert_eq!(
+            r.mem.slots_hwm, 2,
+            "slot arena tracks live peak, not total jobs"
+        );
+        assert_eq!(r.mem.retired_jobs, 3);
+        assert_eq!(r.mem.node_pool_hwm, 2);
+    }
+
+    /// Same episode with retirement disabled: bit-identical results,
+    /// but the arena keeps every job resident.
+    #[test]
+    fn retain_all_is_bit_identical_but_keeps_every_slot() {
+        let mk = |keep: bool| {
+            let cl = ClusterSpec::homogeneous(2).with_move_delay(3.0);
+            let jobs = vec![
+                one_stage_job(0, 2, 0.5, 0.0),
+                one_stage_job(1, 1, 0.5, 2.0),
+                one_stage_job(2, 1, 1.0, 4.5),
+            ];
+            let cfg = SimConfig {
+                validate_observations: true,
+                ..bare_cfg()
+            };
+            Simulator::new(cl, jobs, cfg)
+                .retain_all(keep)
+                .run(Script(0))
+        };
+        let retire = mk(false);
+        let keep = mk(true);
+        retire
+            .same_run(&keep)
+            .expect("retirement must not change observable results");
+        assert_eq!(keep.mem.slots_hwm, 3, "keep-everything holds all jobs");
+        assert_eq!(keep.mem.node_pool_hwm, 0, "nothing is ever recycled");
+        assert_eq!(retire.mem.slots_hwm, 2);
+    }
+
+    /// A retry-budget kill cancels the victim's other running tasks by
+    /// bumping their executors' epochs: the already-queued `TaskDone`
+    /// must be dropped as stale, and the killed job's recycled slot
+    /// must be safe for the next arrival.
+    #[test]
+    fn task_done_after_kill_with_recycled_slot() {
+        let cfg = SimConfig {
+            dynamics: DynamicsSpec {
+                fail_prob: 1.0,
+                max_retries: 0,
+                ..DynamicsSpec::off()
+            },
+            ..bare_cfg()
+        };
+        let jobs = vec![one_stage_job(0, 4, 1.0, 0.0), one_stage_job(1, 1, 1.0, 2.0)];
+        let r = Simulator::new(cluster(2), jobs, cfg).run(TestSched);
+        // exec0's first failure kills job0 (budget 0) and cancels
+        // exec1's running task; exec1's TaskDone at the same instant is
+        // stale and must not be charged. Job1 then reuses job0's slot
+        // and dies the same way.
+        assert_eq!(r.completed(), 0);
+        assert_eq!(r.failed(), 2);
+        assert_eq!(
+            r.task_failures, 2,
+            "the cancelled task's TaskDone was dropped"
+        );
+        assert_eq!(r.dynamics.retries, 2);
+        assert_eq!(r.dynamics.failed_jobs, 2);
+        assert_eq!(r.mem.live_jobs_peak, 1);
+        assert_eq!(r.mem.slots_hwm, 1, "job1 reused job0's slot");
+        assert_eq!(r.mem.retired_jobs, 2);
+    }
+
+    /// Full-fidelity differential check: churn, failures, stragglers,
+    /// noise, move delays — retirement on vs off must agree on every
+    /// observable field (and the incremental observation path is
+    /// validated against the rebuilt oracle at every decision).
+    #[test]
+    fn retirement_matches_keep_everything_under_full_dynamics() {
+        let mk = |keep: bool| {
+            let cfg = SimConfig {
+                noise: 0.2,
+                failure_rate: 0.05,
+                seed: 3,
+                validate_observations: true,
+                dynamics: DynamicsSpec::high(),
+                ..SimConfig::default()
+            };
+            let jobs = vec![
+                one_stage_job(0, 6, 1.0, 0.0),
+                chain_job(1, 0.5),
+                one_stage_job(2, 3, 2.0, 4.0),
+            ];
+            Simulator::new(ClusterSpec::homogeneous(3).with_move_delay(1.0), jobs, cfg)
+                .retain_all(keep)
+                .run(TestSched)
+        };
+        let retire = mk(false);
+        let keep = mk(true);
+        retire
+            .same_run(&keep)
+            .expect("retirement must not change observable results");
+        assert_eq!(
+            retire.mem.slots_hwm, retire.mem.live_jobs_peak,
+            "the arena grows exactly to the live-job peak"
+        );
+        assert_eq!(retire.mem.retired_jobs, 3);
     }
 
     #[test]

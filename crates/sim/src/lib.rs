@@ -41,5 +41,5 @@ pub mod sched;
 pub use config::{Objective, SimConfig};
 pub use dynamics::{DynamicsCounters, DynamicsSpec};
 pub use engine::{obs_equal, Simulator};
-pub use result::{ActionRecord, EpisodeOutcome, EpisodeResult, JobOutcome};
+pub use result::{ActionRecord, EpisodeOutcome, EpisodeResult, JobOutcome, MemCounters};
 pub use sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};

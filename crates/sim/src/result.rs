@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// *previous* decision (or episode start), so the REINFORCE reward of
 /// action `k` is `r_k = -actions[k+1].penalty_before` shifted by one — the
 /// trainer handles the alignment; see `decima-rl`.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ActionRecord {
     /// Wall-clock time of the decision.
     pub time: SimTime,
@@ -20,7 +20,7 @@ pub struct ActionRecord {
 }
 
 /// Outcome of one job.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobOutcome {
     /// Job identifier.
     pub id: JobId,
@@ -71,6 +71,34 @@ pub enum EpisodeOutcome {
     Livelock,
 }
 
+/// Memory-scaling telemetry for one episode: how much runtime state the
+/// streaming job lifecycle actually kept resident. All counters are
+/// deterministic functions of (spec, seed) — they are *measurements of
+/// the engine's pooling*, not of the host allocator — so they can be
+/// asserted in tests and pinned in benchmarks.
+///
+/// With job retirement on (the default), `slots_hwm` tracks the peak
+/// number of *concurrently live* jobs; with
+/// [`Simulator::retain_all`](crate::Simulator::retain_all) it grows to
+/// the total number of jobs that ever arrived. That difference is the
+/// whole point — and it is why [`EpisodeResult::same_run`] excludes
+/// this struct from the bit-identity comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemCounters {
+    /// Peak number of concurrently live (arrived, unfinished) jobs.
+    pub live_jobs_peak: u64,
+    /// Jobs folded into their compact [`JobOutcome`] and released.
+    pub retired_jobs: u64,
+    /// High-water mark of the job-slot arena (live runtime states held
+    /// at once; equals total arrivals when retirement is off).
+    pub slots_hwm: u64,
+    /// High-water mark of the event queue.
+    pub event_queue_hwm: u64,
+    /// High-water mark of the pooled per-job node-state vectors waiting
+    /// for reuse (0 when retirement is off — nothing is ever returned).
+    pub node_pool_hwm: u64,
+}
+
 /// Everything measured during one simulated episode.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct EpisodeResult {
@@ -95,6 +123,9 @@ pub struct EpisodeResult {
     pub outcome: EpisodeOutcome,
     /// Gantt chart, when recording was enabled.
     pub gantt: Option<Gantt>,
+    /// Memory-scaling telemetry (pool high-water marks, live-job peak,
+    /// retired count).
+    pub mem: MemCounters,
 }
 
 impl EpisodeResult {
@@ -163,6 +194,79 @@ impl EpisodeResult {
             r.push(-cost);
         }
         r
+    }
+
+    /// Field-for-field comparison of everything the simulation
+    /// *observably* produced; returns `Err` naming the first mismatch.
+    ///
+    /// This is the differential oracle for the streaming job lifecycle:
+    /// retirement-on and keep-everything runs of the same (spec, seed)
+    /// must satisfy `a.same_run(&b)`. Two fields are deliberately
+    /// excluded: [`EpisodeResult::mem`] (telemetry that legitimately
+    /// differs between the two modes — that difference is the feature)
+    /// and [`EpisodeResult::gantt`] (no equality; covered indirectly by
+    /// the action/job streams that generate it).
+    pub fn same_run(&self, other: &EpisodeResult) -> Result<(), String> {
+        if self.actions != other.actions {
+            return Err(format!(
+                "actions differ: {} vs {} records (first mismatch at {:?})",
+                self.actions.len(),
+                other.actions.len(),
+                self.actions
+                    .iter()
+                    .zip(&other.actions)
+                    .position(|(a, b)| a != b)
+            ));
+        }
+        if self.tail_penalty.to_bits() != other.tail_penalty.to_bits() {
+            return Err(format!(
+                "tail_penalty: {} vs {}",
+                self.tail_penalty, other.tail_penalty
+            ));
+        }
+        if self.jobs != other.jobs {
+            return Err(format!(
+                "jobs differ (first mismatch at index {:?})",
+                self.jobs.iter().zip(&other.jobs).position(|(a, b)| a != b)
+            ));
+        }
+        if self.end_time != other.end_time {
+            return Err(format!(
+                "end_time: {:?} vs {:?}",
+                self.end_time, other.end_time
+            ));
+        }
+        if self.num_events != other.num_events {
+            return Err(format!(
+                "num_events: {} vs {}",
+                self.num_events, other.num_events
+            ));
+        }
+        if self.wasted_actions != other.wasted_actions {
+            return Err(format!(
+                "wasted_actions: {} vs {}",
+                self.wasted_actions, other.wasted_actions
+            ));
+        }
+        if self.task_failures != other.task_failures {
+            return Err(format!(
+                "task_failures: {} vs {}",
+                self.task_failures, other.task_failures
+            ));
+        }
+        if self.dynamics != other.dynamics {
+            return Err(format!(
+                "dynamics: {:?} vs {:?}",
+                self.dynamics, other.dynamics
+            ));
+        }
+        if self.outcome != other.outcome {
+            return Err(format!(
+                "outcome: {:?} vs {:?}",
+                self.outcome, other.outcome
+            ));
+        }
+        Ok(())
     }
 
     /// Concurrency time-series: `(time, jobs in system)` step points,

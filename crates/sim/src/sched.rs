@@ -136,7 +136,7 @@ impl JobObs {
 }
 
 /// Snapshot passed to [`Scheduler::decide`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Observation {
     /// Current simulation time.
     pub time: SimTime,

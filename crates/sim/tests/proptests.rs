@@ -418,6 +418,57 @@ proptest! {
         prop_assert_eq!(fa, fb);
     }
 
+    /// The streaming job lifecycle's differential contract: with job
+    /// retirement on (the default), every observable field of the
+    /// episode result — action records, per-job outcomes,
+    /// `DynamicsCounters`, event counts, the penalty stream — is
+    /// bit-identical to the keep-everything engine
+    /// ([`Simulator::retain_all`]), across random multi-class clusters
+    /// with churn, bounded-retry failures, stragglers, and noise all
+    /// active. The incremental-vs-rebuilt observation validation runs
+    /// at every decision of both episodes, so the recycled arena is
+    /// also checked against the rebuilt oracle throughout.
+    #[test]
+    fn retirement_is_bit_identical_to_keep_everything(
+        seed in 0u64..3000, n_jobs in 1usize..5, execs in 2usize..8,
+        churn_iat in 4.0f64..40.0, fail in 0.0f64..0.15, retries in 0u32..6,
+        noise in 0.0f64..0.3,
+    ) {
+        let mk = |keep: bool| {
+            let cfg = SimConfig {
+                noise,
+                seed,
+                validate_observations: true,
+                dynamics: DynamicsSpec {
+                    churn_iat,
+                    outage_mean: 5.0,
+                    fail_prob: fail,
+                    max_retries: retries,
+                    straggler_prob: 0.1,
+                    straggler_factor: 2.0,
+                },
+                ..SimConfig::default()
+            };
+            Simulator::new(random_cluster(seed, execs), random_memory_jobs(seed, n_jobs), cfg)
+                .retain_all(keep)
+                .run(Spread)
+        };
+        let retire = mk(false);
+        let keep = mk(true);
+        let diff = retire.same_run(&keep);
+        prop_assert!(diff.is_ok(), "modes diverged: {:?}", diff);
+        // The telemetry is the one sanctioned difference: the arena's
+        // high-water mark tracks the live peak with retirement on and
+        // total arrivals with it off.
+        prop_assert_eq!(retire.mem.slots_hwm, retire.mem.live_jobs_peak);
+        prop_assert!(keep.mem.slots_hwm >= retire.mem.slots_hwm);
+        prop_assert_eq!(keep.mem.node_pool_hwm, 0);
+        prop_assert_eq!(
+            retire.mem.retired_jobs as usize,
+            retire.completed() + retire.failed()
+        );
+    }
+
     /// Determinism: identical configuration ⇒ identical episode, even
     /// with noise and failures enabled.
     #[test]
