@@ -115,6 +115,14 @@ pub fn scheduler_spec_by_name(name: &str) -> Option<SchedulerSpec> {
         "decima-ckpt" => SchedulerSpec::DecimaCheckpoint {
             path: arg?.to_string(),
         },
+        // Online adaptation: load the checkpoint, then fine-tune on the
+        // evaluation environment (drift scenario defaults: 4 iterations,
+        // 16-trajectory rolling window; see docs/DRIFT.md).
+        "fine_tuned" | "fine-tuned" => SchedulerSpec::FineTuned {
+            path: arg?.to_string(),
+            iters: 4,
+            window: 16,
+        },
         _ => return None,
     })
 }
@@ -227,6 +235,18 @@ pub fn make_scheduler(
         SchedulerSpec::DecimaCheckpoint { path } => match trained {
             // The runner resolves the checkpoint once and shares the
             // snapshot across seeds; a direct call loads it here.
+            Some(t) => Box::new(t.greedy_agent()),
+            None => Box::new(
+                TrainedPolicy::from_checkpoint(path)
+                    .unwrap_or_else(|e| panic!("cannot load checkpoint '{path}': {e}"))
+                    .greedy_agent(),
+            ),
+        },
+        // Fine-tuning needs an environment, which the factory does not
+        // have: the drift scenario runs `Trainer::fine_tune_window` on
+        // the drifted env and hands the adapted snapshot in via
+        // `trained`. A direct call degrades to the frozen checkpoint.
+        SchedulerSpec::FineTuned { path, .. } => match trained {
             Some(t) => Box::new(t.greedy_agent()),
             None => Box::new(
                 TrainedPolicy::from_checkpoint(path)

@@ -32,6 +32,7 @@ impl ScenarioRegistry {
     /// The standard registry: every reproduced paper artifact.
     pub fn standard() -> Self {
         let items = vec![
+            drift(),
             fig02(),
             fig03(),
             fig07(),
@@ -96,6 +97,39 @@ fn comparison(spec: ScenarioSpec) -> Scenario {
         spec,
         run: RunKind::Comparison,
     }
+}
+
+/// The workload-drift scenario family (not a paper artifact): frozen vs
+/// fine-tuned vs retrained Decima and the heuristic lineup under
+/// non-stationary workloads — load ramps, diurnal cycles, a mid-episode
+/// TPC-H → Alibaba mix shift, and flash crowds — with per-phase regret
+/// against the best arm (docs/DRIFT.md).
+fn drift() -> Scenario {
+    custom(
+        ScenarioBuilder::new(
+            "drift",
+            "Drift: non-stationary workloads with online adaptation",
+        )
+        .paper_ref("— (drift ext)")
+        .workload(WorkloadSpec::tpch_stream(30, 8, 25.0))
+        .seeds(19000, 2)
+        .entry_csv("sjf-cp", "sjf_cp", SchedulerSpec::SjfCp)
+        .entry_csv(
+            "opt-weighted-fair",
+            "opt_wf",
+            SchedulerSpec::WeightedFair { alpha: -1.0 },
+        )
+        .decima(TrainSpec::standard(20, 11))
+        .param("ft-iters", 4.0)
+        .param("ft-window", 16.0)
+        .note("Profiles sweep ramp → diurnal → mixshift → flash (pick one with")
+        .note("--set profile=…). The base policy trains once on the stationary")
+        .note("workload (checkpoint out/drift_base.ckpt, or --set checkpoint=…);")
+        .note("fine_tuned resumes it per profile with --set ft-iters=/ft-window=;")
+        .note("retrain rebuilds from scratch on the drifted env (docs/DRIFT.md).")
+        .build(),
+        scenarios::drift::run_drift,
+    )
 }
 
 fn fig02() -> Scenario {
@@ -724,9 +758,9 @@ mod tests {
         assert!(reg.len() >= 20, "only {} scenarios", reg.len());
         assert!(!reg.is_empty());
         for name in [
-            "fig02", "fig03", "fig07", "fig09a", "fig09b", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15a", "fig15b", "fig16", "fig18", "fig19", "fig22", "fig23", "fleet",
-            "robust", "scale", "table2", "table3",
+            "drift", "fig02", "fig03", "fig07", "fig09a", "fig09b", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15a", "fig15b", "fig16", "fig18", "fig19", "fig22", "fig23",
+            "fleet", "robust", "scale", "table2", "table3",
         ] {
             assert!(reg.get(name).is_some(), "scenario '{name}' missing");
         }

@@ -122,6 +122,7 @@ pub fn spec_env(spec: &ScenarioSpec) -> SpecEnv {
             .clone()
             .unwrap_or_else(|| panic!("scenario '{}' has no workload", spec.name)),
         sim: spec.sim.to_config(),
+        drift: spec.sim.drift,
     }
 }
 
@@ -212,6 +213,7 @@ pub fn train_decima_entry(
         Some(w) => SpecEnv {
             workload: w.clone(),
             sim: env.sim.clone(),
+            drift: env.drift,
         },
         None => env.clone(),
     };

@@ -10,7 +10,9 @@
 
 use crate::json::Json;
 use decima_sim::{DynamicsSpec, Objective, SimConfig};
-use decima_workload::{AlibabaConfig, ArrivalProcess, WorkloadSource, WorkloadSpec};
+use decima_workload::{
+    AlibabaConfig, ArrivalProcess, DriftProfile, DriftSpec, WorkloadSource, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// A scalar experiment parameter (the open-ended part of a spec that
@@ -100,6 +102,10 @@ pub struct SimSpec {
     /// scenario with `--set churn=… fail=… straggle=…` (plus `outage=`,
     /// `retries=`, `straggle-factor=`, and the `level=` presets).
     pub dynamics: DynamicsSpec,
+    /// Non-stationary workload drift (arrival ramps, diurnal cycles,
+    /// mix shifts, flash crowds); off by default. The `drift` scenario
+    /// selects presets with `--set profile=…`.
+    pub drift: DriftSpec,
 }
 
 impl Default for SimSpec {
@@ -111,6 +117,7 @@ impl Default for SimSpec {
             time_limit: None,
             record_gantt: false,
             dynamics: DynamicsSpec::off(),
+            drift: DriftSpec::off(),
         }
     }
 }
@@ -130,6 +137,9 @@ impl SimSpec {
         cfg.time_limit = self.time_limit;
         cfg.record_gantt = self.record_gantt;
         cfg.dynamics = self.dynamics;
+        if self.drift.enabled() {
+            cfg.phase_boundaries = self.drift.phase_boundaries();
+        }
         cfg
     }
 }
@@ -348,6 +358,17 @@ pub enum SchedulerSpec {
         /// Path to a checkpoint written by the trainer.
         path: String,
     },
+    /// Decima loaded from a checkpoint, then fine-tuned online on the
+    /// evaluation environment before greedy evaluation (the drift
+    /// scenario's online-adaptation arm; docs/DRIFT.md).
+    FineTuned {
+        /// Path to the base checkpoint written by the trainer.
+        path: String,
+        /// Fine-tuning iterations on the drifted environment.
+        iters: usize,
+        /// Rolling trajectory-window size (trajectories, not iterations).
+        window: usize,
+    },
 }
 
 impl SchedulerSpec {
@@ -367,6 +388,7 @@ impl SchedulerSpec {
             SchedulerSpec::Decima { .. } => "decima".into(),
             SchedulerSpec::DecimaUntrained { .. } => "decima-untrained".into(),
             SchedulerSpec::DecimaCheckpoint { .. } => "decima".into(),
+            SchedulerSpec::FineTuned { .. } => "fine-tuned".into(),
         }
     }
 }
@@ -606,6 +628,28 @@ impl ScenarioSpec {
                 }
                 self.upsert_param(key, ParamValue::Text(value.to_string()));
             }
+            // A named drift preset. "all" (the drift scenario's full
+            // sweep) leaves the structured spec untouched. Only the
+            // drift scenario interprets the profile parameter; anywhere
+            // else it would be silently ignored, so reject it loudly.
+            "profile" => {
+                if self.name != "drift" {
+                    return Err(format!(
+                        "'profile' is a drift-only parameter (scenario '{}' would ignore it); \
+                         run `--scenario drift --set profile={value}` instead",
+                        self.name
+                    ));
+                }
+                if value != "all" {
+                    self.sim.drift = DriftSpec::preset(value).ok_or_else(|| {
+                        format!(
+                            "unknown drift profile '{value}' (expected off, ramp, diurnal, \
+                             mixshift, flash, or all)"
+                        )
+                    })?;
+                }
+                self.upsert_param(key, ParamValue::Text(value.to_string()));
+            }
             // Both accept a bare count ("5") or a range ("0..40").
             "runs" | "seeds" => self.seeds = self.seeds.parse(value)?,
             "seed-start" => self.seeds.start = num()?.round() as u64,
@@ -829,6 +873,7 @@ fn sim_json(s: &SimSpec) -> Json {
         ("time_limit", s.time_limit.map_or(Json::Null, Json::Num)),
         ("record_gantt", Json::Bool(s.record_gantt)),
         ("dynamics", dynamics_json(&s.dynamics)),
+        ("drift", drift_json(&s.drift)),
     ])
 }
 
@@ -849,7 +894,85 @@ fn sim_from_json(v: &Json) -> Result<SimSpec, String> {
             None | Some(Json::Null) => DynamicsSpec::off(),
             Some(d) => dynamics_from_json(d)?,
         },
+        // Same absent-key contract as dynamics: pre-drift documents
+        // deserialize to the drift-off (bit-identical) engine.
+        drift: match v.get("drift") {
+            None | Some(Json::Null) => DriftSpec::off(),
+            Some(d) => drift_from_json(d)?,
+        },
     })
+}
+
+/// Serializes a workload-drift model (public: the drift scenario echoes
+/// each profile's spec into its JSON output).
+pub fn drift_json(d: &DriftSpec) -> Json {
+    match d.profile {
+        DriftProfile::Off => Json::obj([("profile", Json::str("off"))]),
+        DriftProfile::Ramp {
+            start_iat,
+            end_iat,
+            ramp_secs,
+        } => Json::obj([
+            ("profile", Json::str("ramp")),
+            ("start_iat", Json::Num(start_iat)),
+            ("end_iat", Json::Num(end_iat)),
+            ("ramp_secs", Json::Num(ramp_secs)),
+        ]),
+        DriftProfile::Diurnal {
+            base_iat,
+            amplitude,
+            period,
+        } => Json::obj([
+            ("profile", Json::str("diurnal")),
+            ("base_iat", Json::Num(base_iat)),
+            ("amplitude", Json::Num(amplitude)),
+            ("period", Json::Num(period)),
+        ]),
+        DriftProfile::MixShift { shift_at } => Json::obj([
+            ("profile", Json::str("mixshift")),
+            ("shift_at", Json::Num(shift_at)),
+        ]),
+        DriftProfile::FlashCrowd {
+            base_iat,
+            burst_at,
+            burst_secs,
+            burst_factor,
+        } => Json::obj([
+            ("profile", Json::str("flash")),
+            ("base_iat", Json::Num(base_iat)),
+            ("burst_at", Json::Num(burst_at)),
+            ("burst_secs", Json::Num(burst_secs)),
+            ("burst_factor", Json::Num(burst_factor)),
+        ]),
+    }
+}
+
+/// Deserializes a workload-drift model.
+pub fn drift_from_json(v: &Json) -> Result<DriftSpec, String> {
+    let profile = match req_str(v, "profile")?.as_str() {
+        "off" => DriftProfile::Off,
+        "ramp" => DriftProfile::Ramp {
+            start_iat: req_f64(v, "start_iat")?,
+            end_iat: req_f64(v, "end_iat")?,
+            ramp_secs: req_f64(v, "ramp_secs")?,
+        },
+        "diurnal" => DriftProfile::Diurnal {
+            base_iat: req_f64(v, "base_iat")?,
+            amplitude: req_f64(v, "amplitude")?,
+            period: req_f64(v, "period")?,
+        },
+        "mixshift" => DriftProfile::MixShift {
+            shift_at: req_f64(v, "shift_at")?,
+        },
+        "flash" => DriftProfile::FlashCrowd {
+            base_iat: req_f64(v, "base_iat")?,
+            burst_at: req_f64(v, "burst_at")?,
+            burst_secs: req_f64(v, "burst_secs")?,
+            burst_factor: req_f64(v, "burst_factor")?,
+        },
+        other => return Err(format!("unknown drift profile '{other}'")),
+    };
+    Ok(DriftSpec { profile })
 }
 
 /// Serializes a cluster-dynamics model (public: the robust scenario
@@ -1179,6 +1302,16 @@ fn sched_json(s: &SchedulerSpec) -> Json {
             ("type", Json::str("decima-checkpoint")),
             ("path", Json::str(path)),
         ]),
+        SchedulerSpec::FineTuned {
+            path,
+            iters,
+            window,
+        } => Json::obj([
+            ("type", Json::str("fine-tuned")),
+            ("path", Json::str(path)),
+            ("iters", Json::Num(*iters as f64)),
+            ("window", Json::Num(*window as f64)),
+        ]),
     }
 }
 
@@ -1209,6 +1342,11 @@ fn sched_from_json(v: &Json) -> Result<SchedulerSpec, String> {
         },
         "decima-checkpoint" => SchedulerSpec::DecimaCheckpoint {
             path: req_str(v, "path")?,
+        },
+        "fine-tuned" => SchedulerSpec::FineTuned {
+            path: req_str(v, "path")?,
+            iters: req_usize(v, "iters")?,
+            window: req_usize(v, "window")?,
         },
         other => return Err(format!("unknown scheduler '{other}'")),
     })

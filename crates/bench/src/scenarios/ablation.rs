@@ -115,6 +115,7 @@ pub fn run_fig14(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
         let env = SpecEnv {
             workload: WorkloadSpec::tpch_stream(jobs_n, execs, iat),
             sim: spec.sim.to_config(),
+            drift: spec.sim.drift,
         };
         // Heuristic reference.
         let wf_series = par_map(&eval_seeds, opts.threads, |&s| {
@@ -131,6 +132,7 @@ pub fn run_fig14(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
                 let batch_env = SpecEnv {
                     workload: WorkloadSpec::tpch_batch(20, execs),
                     sim: spec.sim.to_config(),
+                    drift: spec.sim.drift,
                 };
                 trainer.cfg.curriculum = None;
                 trainer.cfg.differential_reward = false;

@@ -1,0 +1,410 @@
+//! The `drift` scenario family: scheduler quality under **workload
+//! drift** — non-stationary arrival processes (load ramps, diurnal
+//! cycles, flash crowds) and a mid-episode job-mix shift — with an
+//! **online-adaptation** arm fine-tuned on the drifted environment.
+//!
+//! Per drift profile the lineup compares four policies:
+//!
+//! * `frozen` — Decima trained once on the stationary workload, then
+//!   evaluated as-is under drift (the deployment that never adapts);
+//! * `fine_tuned` — the same base checkpoint, fine-tuned for a few
+//!   iterations on the drifted environment with
+//!   [`Trainer::fine_tune_window`] (a rolling trajectory window), then
+//!   frozen for evaluation;
+//! * `retrain` — Decima retrained from scratch on the drifted
+//!   environment (the upper-bound adaptation budget);
+//! * the spec's heuristic entries (the best of which defines the
+//!   regret baseline together with the policies above).
+//!
+//! Each `(profile, scheduler, phase)` cell reports the mean per-phase
+//! cost (the avg-JCT penalty integral restricted to that phase, from
+//! the engine's [`DriftCounters`]) and the **regret** against the best
+//! arm in that phase — CSV rows in `out/drift.csv` and a structured
+//! `profiles` object in `out/drift.json`. Determinism: fixed seeds +
+//! a fixed `DriftSpec` reproduce every number bit-exactly, independent
+//! of `--threads` (see docs/DRIFT.md).
+//!
+//! [`DriftCounters`]: decima_sim::DriftCounters
+
+use crate::factory::{build_trainer, make_scheduler, TrainedPolicy};
+use crate::json::Json;
+use crate::report::{ScenarioReport, SeriesReport};
+use crate::runner::{par_map, spec_env, RunOptions};
+use crate::scenario::{drift_json, ScenarioSpec, SchedulerSpec, TrainSpec};
+use crate::{run_episode, train_with_progress, write_csv};
+use decima_rl::{EnvFactory as _, SpecEnv, Trainer};
+use decima_sim::EpisodeResult;
+use decima_workload::{DriftSpec, DRIFT_PROFILE_NAMES};
+
+/// The drift profiles this run sweeps, by the `profile` parameter:
+/// `all` (default) sweeps the four named presets; a single name runs
+/// the spec's own drift (the preset `--set profile=<name>` loaded,
+/// refined by any later overrides).
+fn resolve_profiles(spec: &ScenarioSpec) -> Vec<(String, DriftSpec)> {
+    match spec.text_param("profile", "all").as_str() {
+        "all" => DRIFT_PROFILE_NAMES
+            .iter()
+            .filter_map(|&n| DriftSpec::preset(n).map(|d| (n.to_string(), d)))
+            .collect(),
+        name => {
+            assert!(
+                DriftSpec::preset(name).is_some(),
+                "unknown drift profile '{name}'"
+            );
+            vec![(name.to_string(), spec.sim.drift)]
+        }
+    }
+}
+
+/// One evaluation arm: a named scheduler, either a heuristic spec or a
+/// trained snapshot (frozen / fine-tuned / retrained Decima).
+enum Arm {
+    Heuristic(SchedulerSpec),
+    Snapshot(TrainedPolicy),
+}
+
+/// Per-arm, per-phase aggregation over the seed plan. A stationary
+/// episode (no phase boundaries) degrades to one synthetic phase so
+/// `profile=off` still produces well-formed rows.
+struct PhaseAgg {
+    phases: u64,
+    mean_cost: Vec<f64>,
+    arrivals: Vec<u64>,
+    completions: Vec<u64>,
+    avg_jcts: Vec<f64>,
+    unfinished: usize,
+}
+
+fn aggregate(results: &[EpisodeResult]) -> PhaseAgg {
+    let n = results.len().max(1) as f64;
+    let phases = results.iter().map(|r| r.drift.phases).max().unwrap_or(0);
+    let avg_jcts: Vec<f64> = results
+        .iter()
+        .map(|r| r.avg_jct().unwrap_or(f64::NAN))
+        .collect();
+    let unfinished = results.iter().map(EpisodeResult::unfinished).sum();
+    if phases == 0 {
+        return PhaseAgg {
+            phases: 1,
+            mean_cost: vec![
+                results
+                    .iter()
+                    .map(EpisodeResult::total_penalty)
+                    .sum::<f64>()
+                    / n,
+            ],
+            arrivals: vec![results.iter().map(|r| r.jobs.len() as u64).sum()],
+            completions: vec![results.iter().map(|r| r.completed() as u64).sum()],
+            avg_jcts,
+            unfinished,
+        };
+    }
+    let p = phases as usize;
+    let mut agg = PhaseAgg {
+        phases,
+        mean_cost: vec![0.0; p],
+        arrivals: vec![0; p],
+        completions: vec![0; p],
+        avg_jcts,
+        unfinished,
+    };
+    for r in results {
+        for i in 0..p {
+            agg.mean_cost[i] += r.drift.cost_by_phase.get(i).copied().unwrap_or(0.0) / n;
+            agg.arrivals[i] += r.drift.arrivals_by_phase.get(i).copied().unwrap_or(0);
+            agg.completions[i] += r.drift.completions_by_phase.get(i).copied().unwrap_or(0);
+        }
+    }
+    agg
+}
+
+/// The spec's (single) Decima training recipe — the base policy every
+/// adaptation arm starts from.
+fn base_train(spec: &ScenarioSpec) -> TrainSpec {
+    spec.lineup
+        .iter()
+        .find_map(|e| match &e.sched {
+            SchedulerSpec::Decima { train } => Some(train.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("drift scenario needs a Decima lineup entry"))
+}
+
+/// Runs the drift sweep.
+pub fn run_drift(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
+    let mut report = ScenarioReport::new();
+    let env = spec_env(spec);
+    let executors = env.workload.executors;
+    let seeds = spec.seeds.seeds();
+    let profiles = resolve_profiles(spec);
+    let ft_iters = spec.usize_param("ft-iters", 4);
+    let ft_window = spec.usize_param("ft-window", 16);
+    let train = base_train(spec);
+
+    // The stationary environment the base policy trains on: drift off,
+    // no phase boundaries.
+    let mut stationary = env.clone();
+    stationary.drift = DriftSpec::off();
+    stationary.sim.phase_boundaries.clear();
+
+    // Train (or load) the base model once; the saved checkpoint is the
+    // lineage root every fine-tuned arm resumes from.
+    let base_path = train
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| "out/drift_base.ckpt".to_string());
+    let base = if std::path::Path::new(&base_path).exists() {
+        println!("Loading base policy from checkpoint {base_path}...");
+        Trainer::load_checkpoint(std::path::Path::new(&base_path))
+            .unwrap_or_else(|e| panic!("cannot load checkpoint '{base_path}': {e}"))
+    } else {
+        println!(
+            "Training base policy on the stationary workload ({} iterations)...",
+            train.iters
+        );
+        let mut t = build_trainer(&train, executors);
+        train_with_progress(&mut t, &stationary, train.iters);
+        let _ = std::fs::create_dir_all("out");
+        t.save_checkpoint(std::path::Path::new(&base_path))
+            .unwrap_or_else(|e| panic!("cannot save checkpoint '{base_path}': {e}"));
+        t
+    };
+    let frozen = TrainedPolicy::of(&base);
+    crate::runner::check_snapshot_compat(&frozen, executors, &base_path);
+
+    let mut rows = Vec::new();
+    let mut profile_objs: Vec<(String, Json)> = Vec::new();
+    for (profile_name, drift) in &profiles {
+        // The drifted evaluation/adaptation environment for this profile.
+        let mut penv: SpecEnv = env.clone();
+        penv.drift = *drift;
+        penv.sim.phase_boundaries = drift.phase_boundaries();
+        println!("\n== drift: profile '{profile_name}' ==");
+
+        // Adaptation arms. The fine-tuned arm reloads the base
+        // checkpoint per profile, so profiles never leak adaptation
+        // into each other; the retrain arm rebuilds from scratch.
+        println!("  fine-tuning from {base_path} ({ft_iters} iters, window {ft_window})...");
+        let mut ft = Trainer::load_checkpoint(std::path::Path::new(&base_path))
+            .unwrap_or_else(|e| panic!("cannot reload checkpoint '{base_path}': {e}"));
+        ft.fine_tune_window(&penv, ft_iters, ft_window);
+        println!("  retraining from scratch ({} iters)...", train.iters);
+        let mut rt = build_trainer(&train, executors);
+        train_with_progress(&mut rt, &penv, train.iters);
+
+        let mut arms: Vec<(String, Arm)> = vec![
+            ("frozen".into(), Arm::Snapshot(frozen.clone())),
+            ("fine_tuned".into(), Arm::Snapshot(TrainedPolicy::of(&ft))),
+            ("retrain".into(), Arm::Snapshot(TrainedPolicy::of(&rt))),
+        ];
+        for entry in &spec.lineup {
+            match &entry.sched {
+                SchedulerSpec::Decima { .. } | SchedulerSpec::DecimaUntrained { .. } => {}
+                // An explicit fine-tuned entry adapts its own checkpoint
+                // on this profile's environment with the entry's budget.
+                SchedulerSpec::FineTuned {
+                    path,
+                    iters,
+                    window,
+                } => {
+                    let mut t = Trainer::load_checkpoint(std::path::Path::new(path))
+                        .unwrap_or_else(|e| panic!("cannot load checkpoint '{path}': {e}"));
+                    t.fine_tune_window(&penv, *iters, *window);
+                    arms.push((entry.csv_name(), Arm::Snapshot(TrainedPolicy::of(&t))));
+                }
+                sched => arms.push((entry.csv_name(), Arm::Heuristic(sched.clone()))),
+            }
+        }
+
+        let aggs: Vec<(String, PhaseAgg)> = arms
+            .iter()
+            .map(|(name, arm)| {
+                let results: Vec<EpisodeResult> = par_map(&seeds, opts.threads, |&seed| {
+                    let (cluster, jobs, cfg) = penv.build(seed);
+                    match arm {
+                        Arm::Heuristic(s) => {
+                            run_episode(&cluster, &jobs, &cfg, make_scheduler(s, executors, None))
+                        }
+                        Arm::Snapshot(t) => {
+                            let mut agent = t.greedy_agent();
+                            run_episode(&cluster, &jobs, &cfg, &mut agent)
+                        }
+                    }
+                });
+                (name.clone(), aggregate(&results))
+            })
+            .collect();
+
+        // Per-phase regret against the best arm in that phase.
+        let phases = aggs.iter().map(|(_, a)| a.phases).max().unwrap_or(1) as usize;
+        let best: Vec<f64> = (0..phases)
+            .map(|i| {
+                aggs.iter()
+                    .map(|(_, a)| a.mean_cost.get(i).copied().unwrap_or(f64::INFINITY))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+
+        println!(
+            "{:<14} {:>6} {:>12} {:>12} {:>9} {:>9}",
+            "scheduler", "phase", "mean_cost", "regret", "arrivals", "compl"
+        );
+        let mut sched_objs: Vec<(String, Json)> = Vec::new();
+        for (name, agg) in &aggs {
+            let mut regrets = Vec::new();
+            for (i, b) in best.iter().enumerate().take(agg.phases as usize) {
+                let cost = agg.mean_cost[i];
+                let regret = cost - b;
+                println!(
+                    "{name:<14} {:>6} {cost:>12.1} {regret:>12.1} {:>9} {:>9}",
+                    i, agg.arrivals[i], agg.completions[i]
+                );
+                rows.push(format!(
+                    "{profile_name},{name},{i},{},{cost:.4},{regret:.4},{},{}",
+                    agg.phases, agg.arrivals[i], agg.completions[i]
+                ));
+                regrets.push(regret);
+            }
+            sched_objs.push((
+                name.clone(),
+                Json::obj([
+                    ("cost_by_phase", Json::nums(agg.mean_cost.iter().copied())),
+                    ("regret_by_phase", Json::nums(regrets)),
+                    (
+                        "arrivals_by_phase",
+                        Json::nums(agg.arrivals.iter().map(|&a| a as f64)),
+                    ),
+                    (
+                        "completions_by_phase",
+                        Json::nums(agg.completions.iter().map(|&c| c as f64)),
+                    ),
+                ]),
+            ));
+            report.push_series(SeriesReport {
+                label: format!("{name} @{profile_name}"),
+                csv: format!("{profile_name}_{name}"),
+                avg_jcts: agg.avg_jcts.clone(),
+                unfinished: agg.unfinished,
+            });
+        }
+        profile_objs.push((
+            profile_name.clone(),
+            Json::obj([
+                ("drift", drift_json(drift)),
+                ("phases", Json::Num(phases as f64)),
+                ("schedulers", Json::Obj(sched_objs)),
+            ]),
+        ));
+    }
+
+    report.push_extra("profiles", Json::Obj(profile_objs));
+    let path = write_csv(
+        &spec.name,
+        "profile,scheduler,phase,phases,mean_cost,regret,arrivals,completions",
+        &rows,
+    );
+    report.push_csv(path);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ScenarioRegistry;
+    use decima_workload::DriftProfile;
+
+    fn drift_spec() -> ScenarioSpec {
+        ScenarioRegistry::standard()
+            .get("drift")
+            .expect("drift registered")
+            .spec
+            .clone()
+    }
+
+    #[test]
+    fn default_sweep_covers_all_presets() {
+        let profiles = resolve_profiles(&drift_spec());
+        let names: Vec<&str> = profiles.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, DRIFT_PROFILE_NAMES);
+        for (name, d) in &profiles {
+            assert_eq!(&d.profile_name().to_string(), name);
+            assert!(d.enabled());
+        }
+    }
+
+    /// `--set profile=<name>` narrows the sweep to the spec's own drift,
+    /// honoring the loaded preset.
+    #[test]
+    fn named_profile_uses_spec_drift() {
+        let mut spec = drift_spec();
+        spec.set("profile", "flash").unwrap();
+        let profiles = resolve_profiles(&spec);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].0, "flash");
+        assert_eq!(profiles[0].1, DriftSpec::preset("flash").unwrap());
+    }
+
+    /// The `profile` knob hard-errors outside the drift scenario instead
+    /// of being silently ignored.
+    #[test]
+    fn profile_is_drift_only() {
+        let mut spec = drift_spec();
+        spec.set("profile", "diurnal").unwrap();
+        assert!(matches!(
+            spec.sim.drift.profile,
+            DriftProfile::Diurnal { .. }
+        ));
+        assert!(spec.set("profile", "apocalyptic").is_err());
+
+        let mut other = ScenarioRegistry::standard()
+            .get("fig09a")
+            .unwrap()
+            .spec
+            .clone();
+        let err = other.set("profile", "diurnal").unwrap_err();
+        assert!(err.contains("drift-only"), "{err}");
+    }
+
+    /// Stationary results aggregate into one synthetic phase, so
+    /// `profile=off` still emits well-formed rows.
+    #[test]
+    fn aggregate_degrades_to_one_phase_without_boundaries() {
+        let env = SpecEnv::new(decima_workload::WorkloadSpec::tpch_batch(2, 5));
+        let (cluster, jobs, cfg) = env.build(7);
+        let r = run_episode(
+            &cluster,
+            &jobs,
+            &cfg,
+            make_scheduler(&SchedulerSpec::SjfCp, 5, None),
+        );
+        let agg = aggregate(std::slice::from_ref(&r));
+        assert_eq!(agg.phases, 1);
+        assert_eq!(agg.mean_cost.len(), 1);
+        assert!((agg.mean_cost[0] - r.total_penalty()).abs() < 1e-9);
+        assert_eq!(agg.arrivals, vec![r.jobs.len() as u64]);
+        assert_eq!(agg.completions, vec![r.completed() as u64]);
+    }
+
+    /// Drifted episodes land arrivals/cost in real phases and conserve
+    /// tasks across the aggregation.
+    #[test]
+    fn aggregate_splits_cost_across_phases() {
+        let mut spec = drift_spec();
+        spec.set("jobs", "6").unwrap();
+        spec.set("profile", "diurnal").unwrap();
+        let env = spec_env(&spec);
+        let (cluster, jobs, cfg) = env.build(19_000);
+        assert!(!cfg.phase_boundaries.is_empty());
+        let r = run_episode(
+            &cluster,
+            &jobs,
+            &cfg,
+            make_scheduler(&SchedulerSpec::SjfCp, spec.executors(), None),
+        );
+        let agg = aggregate(std::slice::from_ref(&r));
+        assert_eq!(agg.phases, 5, "diurnal has 4 boundaries = 5 phases");
+        assert_eq!(agg.arrivals.iter().sum::<u64>(), jobs.len() as u64);
+        let total: f64 = agg.mean_cost.iter().sum();
+        assert!((total - r.total_penalty()).abs() <= 1e-9 * r.total_penalty().abs().max(1.0));
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod ablation;
 pub mod appendix;
+pub mod drift;
 pub mod fleet;
 pub mod motivation;
 pub mod multires;

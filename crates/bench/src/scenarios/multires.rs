@@ -137,6 +137,7 @@ pub fn run_fig11(spec: &ScenarioSpec, opts: &RunOptions) -> ScenarioReport {
                 move_delay: 1.0,
             },
             sim: spec.sim.to_config(),
+            drift: spec.sim.drift,
         };
         println!("\nTraining Decima on the TPC-H multi-resource environment...");
         let mut trainer = build_trainer(&trains[1], executors);

@@ -1,0 +1,245 @@
+//! Drift-determinism battery at the experiment layer:
+//!
+//! * the heuristic lineup under the **pinned diurnal spec** is golden-
+//!   snapshotted — per-phase arrivals, completions, and cost integrals
+//!   for every scheduler, byte-stable across checkouts (refresh with
+//!   `GOLDEN_UPDATE=1 cargo test -p decima-bench --test drift_eval`);
+//! * the same seed plan evaluated on 1 and 4 threads produces
+//!   bit-identical `DriftCounters` (episodes are single-threaded;
+//!   parallelism is across seeds only);
+//! * drift-off at the scenario layer stays on the stationary engine:
+//!   no phase counters, `same_run`-identical episodes.
+
+use decima_bench::json::Json;
+use decima_bench::runner::{par_map, spec_env};
+use decima_bench::scenario::{drift_json, ScenarioSpec, SchedulerSpec};
+use decima_bench::{make_scheduler, run_episode, ScenarioRegistry};
+use decima_rl::{EnvFactory as _, SpecEnv};
+use decima_sim::EpisodeResult;
+use decima_workload::DriftSpec;
+use std::path::PathBuf;
+
+/// The pinned evaluation spec: the registered drift scenario, shrunk to
+/// a fast deterministic corpus, locked to the diurnal preset.
+fn pinned_spec() -> ScenarioSpec {
+    let mut spec = ScenarioRegistry::standard()
+        .get("drift")
+        .expect("drift registered")
+        .spec
+        .clone();
+    spec.set("jobs", "20").unwrap();
+    spec.set("execs", "6").unwrap();
+    spec.set("profile", "diurnal").unwrap();
+    spec
+}
+
+const LINEUP: &[(&str, SchedulerSpec)] = &[
+    ("fifo", SchedulerSpec::Fifo),
+    ("sjf_cp", SchedulerSpec::SjfCp),
+    ("fair", SchedulerSpec::Fair),
+    ("opt_wf", SchedulerSpec::WeightedFair { alpha: -1.0 }),
+];
+
+fn run_seeds(
+    env: &SpecEnv,
+    sched: &SchedulerSpec,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<EpisodeResult> {
+    let executors = env.workload.executors;
+    par_map(seeds, threads, |&seed| {
+        let (cluster, jobs, cfg) = env.build(seed);
+        run_episode(
+            &cluster,
+            &jobs,
+            &cfg,
+            make_scheduler(sched, executors, None),
+        )
+    })
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("drift_summary.json")
+}
+
+/// High-precision cost cells: serialized as strings so the snapshot is
+/// byte-stable, compared at 1e-9 relative tolerance.
+fn cost_cell(c: f64) -> Json {
+    Json::str(format!("{c:.12e}"))
+}
+
+fn summary_json(spec: &ScenarioSpec, seeds: &[u64], env: &SpecEnv) -> Json {
+    let mut scheds: Vec<(String, Json)> = Vec::new();
+    for (name, sched) in LINEUP {
+        let results = run_seeds(env, sched, seeds, 2);
+        let mut per_seed: Vec<Json> = Vec::new();
+        for (seed, r) in seeds.iter().zip(&results) {
+            per_seed.push(Json::obj([
+                ("seed", Json::Num(*seed as f64)),
+                ("phases", Json::Num(r.drift.phases as f64)),
+                (
+                    "arrivals",
+                    Json::nums(r.drift.arrivals_by_phase.iter().map(|&a| a as f64)),
+                ),
+                (
+                    "completions",
+                    Json::nums(r.drift.completions_by_phase.iter().map(|&c| c as f64)),
+                ),
+                (
+                    "cost",
+                    Json::Arr(
+                        r.drift
+                            .cost_by_phase
+                            .iter()
+                            .map(|&c| cost_cell(c))
+                            .collect(),
+                    ),
+                ),
+                ("num_events", Json::Num(r.num_events as f64)),
+                ("completed", Json::Num(r.completed() as f64)),
+            ]));
+        }
+        scheds.push((name.to_string(), Json::Arr(per_seed)));
+    }
+    Json::obj([
+        ("drift", drift_json(&spec.sim.drift)),
+        ("seeds", Json::nums(seeds.iter().map(|&s| s as f64))),
+        ("schedulers", Json::Obj(scheds)),
+    ])
+}
+
+/// Structural comparison: exact on every integer field, 1e-9 relative
+/// on the cost strings.
+fn assert_matches_golden(want: &Json, got: &Json, path: &str) {
+    match (want, got) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            assert_eq!(
+                a.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+                b.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+                "keys drifted at {path} (run GOLDEN_UPDATE=1)"
+            );
+            for ((k, va), (_, vb)) in a.iter().zip(b) {
+                assert_matches_golden(va, vb, &format!("{path}.{k}"));
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            assert_eq!(a.len(), b.len(), "length drifted at {path}");
+            for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+                assert_matches_golden(va, vb, &format!("{path}[{i}]"));
+            }
+        }
+        (Json::Str(a), Json::Str(b)) => {
+            // Cost cells: numeric strings compared with tolerance;
+            // anything else must match exactly.
+            match (a.parse::<f64>(), b.parse::<f64>()) {
+                (Ok(x), Ok(y)) => assert!(
+                    (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                    "cost drifted at {path}: {a} vs {b} (run GOLDEN_UPDATE=1)"
+                ),
+                _ => assert_eq!(a, b, "string drifted at {path}"),
+            }
+        }
+        (a, b) => assert_eq!(a, b, "value drifted at {path} (run GOLDEN_UPDATE=1)"),
+    }
+}
+
+/// The heuristic lineup under the pinned diurnal drift spec matches the
+/// committed snapshot: same phase partition, same per-phase arrivals
+/// and completions, same cost integrals to 1e-9.
+#[test]
+fn diurnal_heuristic_lineup_matches_golden_snapshot() {
+    let spec = pinned_spec();
+    let env = spec_env(&spec);
+    assert!(
+        env.drift.enabled(),
+        "pinned spec must carry the diurnal preset"
+    );
+    let seeds: Vec<u64> = (19000..19003).collect();
+    let doc = summary_json(&spec, &seeds, &env);
+
+    let path = golden_path();
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, doc.render() + "\n").unwrap();
+        eprintln!("snapshot refreshed: {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); generate it with GOLDEN_UPDATE=1 \
+             cargo test -p decima-bench --test drift_eval",
+            path.display()
+        )
+    });
+    let want = Json::parse(&text).expect("snapshot parses");
+    assert_matches_golden(&want, &doc, "$");
+}
+
+/// Same seed plan + same `DriftSpec` ⇒ identical `DriftCounters` (and
+/// the costs around them) whether evaluated on 1 thread or 4.
+#[test]
+fn drift_counters_identical_across_thread_counts() {
+    let spec = pinned_spec();
+    let env = spec_env(&spec);
+    let seeds: Vec<u64> = (19000..19006).collect();
+    for (name, sched) in LINEUP {
+        let one = run_seeds(&env, sched, &seeds, 1);
+        let four = run_seeds(&env, sched, &seeds, 4);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert!(
+                a.same_run(b).is_ok(),
+                "{name} diverged across thread counts: {:?}",
+                a.same_run(b)
+            );
+            assert_eq!(a.drift, b.drift, "{name} drift counters diverged");
+        }
+        // The drift actually fired somewhere, or this battery pins noise.
+        let arrivals: u64 = one.iter().map(|r| r.drift.total_arrivals()).sum();
+        assert!(arrivals > 0, "{name}: no phase-attributed arrivals");
+    }
+}
+
+/// Drift off at the scenario layer is the stationary engine: episodes
+/// satisfy `same_run` against a plain (pre-drift) environment build and
+/// record no phase counters.
+#[test]
+fn drift_off_is_the_stationary_engine() {
+    let mut spec = ScenarioRegistry::standard()
+        .get("drift")
+        .expect("drift registered")
+        .spec
+        .clone();
+    spec.set("jobs", "6").unwrap();
+    spec.set("execs", "6").unwrap();
+    let mut env = spec_env(&spec);
+    env.drift = DriftSpec::off();
+    env.sim.phase_boundaries.clear();
+    let executors = env.workload.executors;
+    for seed in [19000u64, 19001] {
+        let (cluster, jobs, cfg) = env.build(seed);
+        assert!(cfg.phase_boundaries.is_empty());
+        let r = run_episode(
+            &cluster,
+            &jobs,
+            &cfg,
+            make_scheduler(&SchedulerSpec::SjfCp, executors, None),
+        );
+        assert!(!r.drift.enabled(), "stationary episodes record no phases");
+        assert_eq!(r.drift, Default::default());
+        // The same stationary workload built without the drift layer is
+        // the same episode, bit for bit.
+        let (c2, j2, cfg2) = env.build(seed);
+        assert_eq!(cluster, c2);
+        assert_eq!(jobs, j2);
+        let r2 = run_episode(
+            &c2,
+            &j2,
+            &cfg2,
+            make_scheduler(&SchedulerSpec::SjfCp, executors, None),
+        );
+        assert!(r.same_run(&r2).is_ok(), "{:?}", r.same_run(&r2));
+    }
+}

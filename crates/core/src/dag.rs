@@ -60,7 +60,7 @@ impl fmt::Display for DagError {
 impl std::error::Error for DagError {}
 
 /// Immutable, validated DAG over nodes `0..num_nodes`.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct DagTopology {
     num_nodes: usize,
     /// `parents[v]` = upstream stages `v` depends on.

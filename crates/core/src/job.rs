@@ -13,7 +13,7 @@ use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Static description of one stage (DAG node).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StageSpec {
     /// Number of parallel tasks in the stage (≥ 1).
     pub num_tasks: u32,
@@ -60,7 +60,7 @@ impl StageSpec {
 /// inflation entirely (the Appendix H simplified setting). The paper's
 /// simulator samples empirical per-parallelism distributions; a kneed
 /// linear curve is the first-order shape of those measurements.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct InflationCurve {
     /// Slope of the inflation (0 = no inflation).
     pub gamma: f64,
@@ -91,7 +91,7 @@ impl InflationCurve {
 }
 
 /// Metadata describing where a job came from (for reporting only).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobMeta {
     /// TPC-H query number (1–22) or synthetic template id; 0 if n/a.
     pub query: u16,
@@ -100,7 +100,7 @@ pub struct JobMeta {
 }
 
 /// Static description of one job.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Dense job identifier within the episode.
     pub id: JobId,

@@ -96,11 +96,13 @@ impl FeatureConfig {
     }
 }
 
-/// Maximum number of job-set entries [`GraphCache`] retains.
+/// Default maximum number of job-set entries [`GraphCache`] retains.
 ///
 /// Arrivals and finishes toggle the active-job set between a handful of
 /// nearby configurations; a small LRU window captures those without
-/// letting the cache grow with episode length.
+/// letting the cache grow with episode length. Episodes with more
+/// concurrently-churning jobs than this (e.g. mix-shift drift episodes)
+/// thrash the window — use [`GraphCache::with_cap`] to widen it.
 pub const GRAPH_CACHE_CAP: usize = 8;
 
 /// Caches the static [`GraphStructure`] across the decisions of one
@@ -118,16 +120,25 @@ pub const GRAPH_CACHE_CAP: usize = 8;
 ///    observation can never match again; it is dropped on the next
 ///    lookup. (The simulator keeps retired specs' `Arc`s alive for the
 ///    episode, so a stale pointer can never alias a new job.)
-/// 2. **LRU cap** — at most [`GRAPH_CACHE_CAP`] entries survive,
-///    most-recently-used first.
+/// 2. **LRU cap** — at most `cap` entries survive (default
+///    [`GRAPH_CACHE_CAP`]), most-recently-used first.
 ///
 /// The cache must still be [`cleared`](GraphCache::clear) at episode
 /// boundaries (fresh episodes may reuse addresses).
-#[derive(Default)]
 pub struct GraphCache {
     /// Most-recently-used first.
     entries: Vec<(CacheKey, Arc<GraphStructure>)>,
     scratch_key: CacheKey,
+    /// Maximum retained entries. The cap bounds memory only — it can
+    /// never change what `structure_for` returns, only how often it
+    /// rebuilds.
+    cap: usize,
+}
+
+impl Default for GraphCache {
+    fn default() -> Self {
+        GraphCache::with_cap(GRAPH_CACHE_CAP)
+    }
 }
 
 /// One (spec `Arc` pointer, node count) identity per active job, in
@@ -135,12 +146,28 @@ pub struct GraphCache {
 type CacheKey = Vec<(usize, usize)>;
 
 impl GraphCache {
+    /// A cache retaining at most `cap` job-set entries (`cap` is clamped
+    /// to ≥ 1 — a zero-capacity cache could not return the entry it just
+    /// built).
+    pub fn with_cap(cap: usize) -> Self {
+        GraphCache {
+            entries: Vec::new(),
+            scratch_key: CacheKey::default(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The configured LRU capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Drops every cached structure (call between episodes).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 
-    /// Number of job-set entries currently cached (≤ [`GRAPH_CACHE_CAP`]).
+    /// Number of job-set entries currently cached (≤ [`GraphCache::cap`]).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -176,7 +203,7 @@ impl GraphCache {
         // retired (jobs arrive once), so the entry can never match again.
         self.entries
             .retain(|(k, _)| k.iter().all(|e| key.contains(e)));
-        self.entries.truncate(GRAPH_CACHE_CAP);
+        self.entries.truncate(self.cap);
 
         self.scratch_key = key;
         let front = self.entries.first().expect("entry just ensured");
@@ -362,5 +389,102 @@ mod tests {
             probe.peak_entries,
             result.mem.live_jobs_peak
         );
+    }
+
+    fn single_stage_spec(i: u32) -> Arc<decima_core::JobSpec> {
+        let mut b = JobBuilder::new(JobId(i));
+        b.stage(StageSpec::simple(2, 1.0));
+        Arc::new(b.build().unwrap())
+    }
+
+    /// Observation whose live set is exactly `specs` (only `jobs`
+    /// matters to the cache key and structure build).
+    fn live_obs(specs: &[Arc<decima_core::JobSpec>]) -> Observation {
+        use decima_sim::{JobObs, NodeObs};
+        Observation {
+            jobs: specs
+                .iter()
+                .map(|s| JobObs {
+                    id: s.id,
+                    spec: Arc::clone(s),
+                    alloc: 0,
+                    local_free: 0,
+                    nodes: s
+                        .stages
+                        .iter()
+                        .map(|st| NodeObs {
+                            waiting: st.num_tasks,
+                            running: 0,
+                            finished: 0,
+                            executors_on: 0,
+                            in_flight: 0,
+                            runnable: true,
+                            completed: false,
+                            avg_task_duration: 1.0,
+                            mem_demand: 0.0,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            ..Observation::default()
+        }
+    }
+
+    /// Eviction-churn regression for deep job waves (the mix-shift drift
+    /// pattern): the live set grows past the historical 8-entry cap and
+    /// then drains in arrival order, re-visiting each earlier prefix. A
+    /// cap-8 cache has truncated the early prefixes and rebuilds them on
+    /// the way down; the `PolicyConfig` default of 16 keeps the whole
+    /// wave hot. Either way the rebuilt structures are identical — the
+    /// cap changes rebuild frequency, never outputs.
+    #[test]
+    fn wider_cap_prevents_churn_on_deep_job_waves() {
+        const WAVE: usize = 12;
+        let specs: Vec<_> = (0..WAVE as u32).map(single_stage_spec).collect();
+
+        // Grow 1..=WAVE live jobs, then shrink back down, newest first.
+        let depths: Vec<usize> = (1..=WAVE).chain((1..WAVE).rev()).collect();
+
+        let run = |cap: usize| -> (usize, Vec<Arc<GraphStructure>>) {
+            let mut cache = GraphCache::with_cap(cap);
+            let mut grown: Vec<Option<Arc<GraphStructure>>> = vec![None; WAVE + 1];
+            let mut rebuilds = 0;
+            let mut returned = Vec::new();
+            for &k in &depths {
+                let s = cache.structure_for(&live_obs(&specs[..k]));
+                match &grown[k] {
+                    Some(first) if Arc::ptr_eq(first, &s) => {}
+                    Some(_) => rebuilds += 1, // same key, fresh structure
+                    None => grown[k] = Some(Arc::clone(&s)),
+                }
+                returned.push(s); // keep alive: no address reuse
+            }
+            (rebuilds, returned)
+        };
+
+        let (rebuilds_narrow, narrow) = run(8);
+        let (rebuilds_wide, wide) = run(16);
+
+        // The shrink phase re-visits WAVE-1 prefixes; the narrow cache
+        // truncated the oldest WAVE-8 of them during the grow phase.
+        assert_eq!(rebuilds_narrow, WAVE - 8, "cap-8 must thrash the wave");
+        assert_eq!(rebuilds_wide, 0, "cap-16 must keep the wave hot");
+
+        // Identical outputs decision-for-decision regardless of cap.
+        assert_eq!(narrow.len(), wide.len());
+        for (a, b) in narrow.iter().zip(&wide) {
+            assert_eq!(a.num_nodes, b.num_nodes);
+            assert_eq!(a.perm, b.perm);
+            assert_eq!(a.jobs.len(), b.jobs.len());
+        }
+    }
+
+    /// The policy-layer default cap is wired through `PolicyConfig` and
+    /// clamped at ≥ 1; the legacy constant still backs `Default`.
+    #[test]
+    fn cap_plumbing_and_clamp() {
+        assert_eq!(GraphCache::default().cap(), GRAPH_CACHE_CAP);
+        assert_eq!(GraphCache::with_cap(0).cap(), 1);
+        assert_eq!(GraphCache::with_cap(16).cap(), 16);
     }
 }

@@ -83,6 +83,7 @@ pub struct DecimaAgent {
 
 impl DecimaAgent {
     fn with_mode(policy: DecimaPolicy, store: ParamStore, mode: Mode, seed: u64) -> Self {
+        let cache_cap = policy.cfg.graph_cache_cap;
         DecimaAgent {
             policy,
             store,
@@ -93,7 +94,7 @@ impl DecimaAgent {
             observations: Vec::new(),
             decide_secs: Vec::new(),
             entropy_sum: 0.0,
-            cache: decima_gnn::GraphCache::default(),
+            cache: decima_gnn::GraphCache::with_cap(cache_cap),
             infer: None,
         }
     }

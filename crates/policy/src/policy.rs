@@ -55,6 +55,12 @@ pub struct PolicyConfig {
     pub num_classes: usize,
     /// Hidden widths of the score-function MLPs (paper: [32, 16]).
     pub hidden: Vec<usize>,
+    /// LRU capacity of the per-agent [`decima_gnn::GraphCache`]. Purely
+    /// a rebuild-frequency knob — it can never change policy outputs.
+    /// Sized above the historical cap of 8 because mix-shift drift
+    /// episodes cycle through more than 8 live job sets and thrash a
+    /// smaller window.
+    pub graph_cache_cap: usize,
 }
 
 impl PolicyConfig {
@@ -69,6 +75,7 @@ impl PolicyConfig {
             total_executors,
             num_classes: 1,
             hidden: vec![16, 8],
+            graph_cache_cap: 16,
         }
     }
 
@@ -83,6 +90,7 @@ impl PolicyConfig {
             total_executors,
             num_classes: 1,
             hidden: vec![32, 16],
+            graph_cache_cap: 16,
         }
     }
 

@@ -341,6 +341,7 @@ impl Trainer {
         let _ = writeln!(out, "policy.total_executors {}", p.total_executors);
         let _ = writeln!(out, "policy.num_classes {}", p.num_classes);
         let _ = writeln!(out, "policy.hidden {}", usizes(&p.hidden));
+        let _ = writeln!(out, "policy.graph_cache_cap {}", p.graph_cache_cap);
 
         let c = &self.cfg;
         let _ = writeln!(out, "cfg.num_rollouts {}", c.num_rollouts);
@@ -461,6 +462,16 @@ impl Trainer {
             total_executors: head.parse("policy.total_executors")?,
             num_classes: head.parse("policy.num_classes")?,
             hidden: head.parse_usizes("policy.hidden")?,
+            // Absent in checkpoints written before the cache cap became
+            // configurable; the default matches PolicyConfig::small/paper.
+            // Purely a rebuild-frequency knob, so the default can never
+            // change what a restored policy computes.
+            graph_cache_cap: match head.map.get("policy.graph_cache_cap") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| "checkpoint field 'policy.graph_cache_cap' is malformed")?,
+                None => 16,
+            },
         };
         let curriculum = match head.get("cfg.curriculum")? {
             "none" => None,

@@ -7,7 +7,7 @@
 
 use decima_core::{ClusterSpec, JobSpec};
 use decima_sim::SimConfig;
-use decima_workload::{AlibabaConfig, ArrivalProcess, WorkloadSource, WorkloadSpec};
+use decima_workload::{AlibabaConfig, ArrivalProcess, DriftSpec, WorkloadSource, WorkloadSpec};
 
 /// Salt XORed into the sequence seed to derive the simulator's own RNG
 /// seed, so workload sampling and simulator noise draw from decorrelated
@@ -30,6 +30,9 @@ pub struct SpecEnv {
     /// Template for the simulator configuration (the per-episode seed is
     /// derived from the sequence seed).
     pub sim: SimConfig,
+    /// Non-stationary drift regime; [`DriftSpec::off`] (the default)
+    /// reproduces the stationary build bit-for-bit.
+    pub drift: DriftSpec,
 }
 
 impl SpecEnv {
@@ -38,13 +41,25 @@ impl SpecEnv {
         SpecEnv {
             workload,
             sim: SimConfig::default(),
+            drift: DriftSpec::off(),
         }
+    }
+
+    /// Sets the drift regime (and, when enabled, the matching phase
+    /// boundaries on the simulator configuration so per-phase counters
+    /// come back on every result).
+    pub fn with_drift(mut self, drift: DriftSpec) -> Self {
+        self.drift = drift;
+        if drift.enabled() && self.sim.phase_boundaries.is_empty() {
+            self.sim.phase_boundaries = drift.phase_boundaries();
+        }
+        self
     }
 }
 
 impl EnvFactory for SpecEnv {
     fn build(&self, seq_seed: u64) -> (ClusterSpec, Vec<JobSpec>, SimConfig) {
-        let (cluster, jobs) = self.workload.build(seq_seed);
+        let (cluster, jobs) = self.workload.build_drifting(&self.drift, seq_seed);
         let mut sim = self.sim.clone();
         sim.seed = seq_seed ^ SIM_SEED_SALT;
         (cluster, jobs, sim)
@@ -116,6 +131,7 @@ impl EnvFactory for TpchEnv {
         SpecEnv {
             workload: self.workload_spec(),
             sim: self.sim.clone(),
+            drift: DriftSpec::off(),
         }
         .build(seq_seed)
     }
@@ -176,6 +192,7 @@ impl EnvFactory for AlibabaEnv {
         SpecEnv {
             workload: self.workload_spec(),
             sim: self.sim.clone(),
+            drift: DriftSpec::off(),
         }
         .build(seq_seed)
     }

@@ -161,6 +161,7 @@ mod tests {
                 wasted_actions: 0,
                 task_failures: 0,
                 dynamics: Default::default(),
+                drift: Default::default(),
                 outcome: Default::default(),
                 gantt: None,
                 mem: Default::default(),

@@ -337,6 +337,171 @@ impl Trainer {
         }
     }
 
+    /// Online adaptation under workload drift: `iters` fine-tuning
+    /// iterations against `env`, each taking one REINFORCE step from a
+    /// **rolling window** of the most recent `window` trajectories
+    /// instead of just the current batch. Fresh rollouts still drive the
+    /// window forward every iteration (and enter the differential-reward
+    /// moving average exactly once), but the gradient re-scores the whole
+    /// window, which smooths adaptation when the workload distribution is
+    /// moving under the policy (cf. continuous-transfer fine-tuning for
+    /// HPC scheduling, arXiv 2509.22701).
+    ///
+    /// Lineage contract (proved in `crates/rl/tests/checkpoint_resume.rs`):
+    ///
+    /// * `fine_tune_window(_, 0, w)` and `fine_tune_window(_, i, 0)` are
+    ///   exact no-ops — the trainer stays bit-identical to the frozen
+    ///   checkpoint it was loaded from.
+    /// * Every state the method mutates (RNG, `rate_avg`, `tau_mean`,
+    ///   parameters, Adam moments, `iter`, `history`) is captured by the
+    ///   checkpoint format, and the window itself is local to one call,
+    ///   so fine-tune → save → load → fine-tune is bit-exact with the
+    ///   uninterrupted two-call sequence.
+    pub fn fine_tune_window(
+        &mut self,
+        env: &dyn EnvFactory,
+        iters: usize,
+        window: usize,
+    ) -> Vec<IterStats> {
+        if iters == 0 || window == 0 {
+            return Vec::new();
+        }
+        let n = self.cfg.num_rollouts;
+        let mut win_trajs: Vec<Trajectory> = Vec::new();
+        let mut win_rewards: Vec<Vec<f64>> = Vec::new();
+        let mut out = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let beta = self.beta();
+            // Identical draw order to `train_iteration`, so the RNG
+            // lineage stays checkpoint-exact.
+            let tau = self.cfg.curriculum.map(|c| {
+                // decima-lint: allow(W001) — same invariant as train_iteration
+                let exp = Exp::new(1.0 / self.tau_mean).expect("positive mean");
+                let t: f64 = exp.sample(&mut self.rng).max(1.0);
+                self.tau_mean = (self.tau_mean + c.tau_step).min(c.tau_max);
+                t
+            });
+            let master_seq: u64 = self.rng.gen();
+            let seq_seeds: Vec<u64> = (0..n)
+                .map(|w| {
+                    if self.cfg.input_dependent_baseline {
+                        master_seq
+                    } else {
+                        master_seq.wrapping_add(w as u64 + 1)
+                    }
+                })
+                .collect();
+            let action_seeds: Vec<u64> = (0..n).map(|_| self.rng.gen()).collect();
+
+            let tasks: Vec<Task> = (0..n)
+                .map(|w| {
+                    let (cluster, jobs, mut sim_cfg) = env.build(seq_seeds[w]);
+                    if let Some(t) = tau {
+                        sim_cfg.time_limit = Some(sim_cfg.time_limit.map_or(t, |l| l.min(t)));
+                    }
+                    Task::Rollout {
+                        idx: w,
+                        seq_seed: seq_seeds[w],
+                        cluster,
+                        jobs,
+                        cfg: sim_cfg,
+                        policy: self.policy.clone(),
+                        store: self.store.clone(),
+                        act_seed: action_seeds[w],
+                    }
+                })
+                .collect();
+            let trajs: Vec<Trajectory> = self.pool().run_rollouts(tasks);
+
+            // Each fresh trajectory enters the moving average exactly
+            // once; window re-use below never touches `rate_avg` again.
+            let new_rewards = learner::scaled_rewards(&trajs, &self.cfg, &mut self.rate_avg);
+
+            let mean_reward = new_rewards
+                .iter()
+                .map(|rw| rw.iter().sum::<f64>())
+                .sum::<f64>()
+                / n as f64;
+            let jcts: Vec<f64> = trajs.iter().filter_map(|t| t.result.avg_jct()).collect();
+            let mean_avg_jct = if jcts.is_empty() {
+                f64::NAN
+            } else {
+                jcts.iter().sum::<f64>() / jcts.len() as f64
+            };
+            let mean_completed = trajs
+                .iter()
+                .map(|t| t.result.completed() as f64)
+                .sum::<f64>()
+                / n as f64;
+            let mean_actions = trajs.iter().map(|t| t.len() as f64).sum::<f64>() / n as f64;
+            let mean_entropy = {
+                let steps: f64 = trajs.iter().map(|t| t.len() as f64).sum();
+                let ent: f64 = trajs.iter().map(|t| t.entropy_sum).sum();
+                if steps > 0.0 {
+                    ent / steps
+                } else {
+                    0.0
+                }
+            };
+
+            // Slide the window: append the fresh batch, drop the oldest
+            // trajectories beyond `window`.
+            win_trajs.extend(trajs);
+            win_rewards.extend(new_rewards);
+            if win_trajs.len() > window {
+                let excess = win_trajs.len() - window;
+                win_trajs.drain(..excess);
+                win_rewards.drain(..excess);
+            }
+
+            // One REINFORCE step over the whole window. Baselines are
+            // recomputed across the window so same-seed trajectories
+            // from different iterations still share input-dependent
+            // baselines.
+            let advantages =
+                learner::advantages(&win_trajs, &win_rewards, self.cfg.normalize_advantages);
+            let policy = self.policy.clone();
+            let store = self.store.clone();
+            let tasks: Vec<Task> = win_trajs
+                .iter()
+                .zip(advantages)
+                .enumerate()
+                .map(|(idx, (t, adv))| Task::Gradient {
+                    idx,
+                    policy: policy.clone(),
+                    store: store.clone(),
+                    observations: t.observations.clone(),
+                    choices: t.choices.clone(),
+                    advantages: adv,
+                    beta,
+                })
+                .collect();
+            let grads = self.pool().run_gradients(tasks);
+            for g in &grads {
+                self.store.merge_grads(g);
+            }
+            self.store.scale_grads(1.0 / win_trajs.len() as f64);
+            let grad_norm = self.store.grad_norm();
+            self.opt.step(&mut self.store);
+
+            let stats = IterStats {
+                iter: self.iter,
+                mean_reward,
+                mean_avg_jct,
+                mean_completed,
+                mean_actions,
+                mean_entropy,
+                grad_norm,
+                tau,
+                beta,
+            };
+            self.history.push(stats);
+            self.iter += 1;
+            out.push(stats);
+        }
+        out
+    }
+
     /// Greedy evaluation on the given sequence seeds (no horizon cap).
     pub fn evaluate(&self, env: &dyn EnvFactory, seq_seeds: &[u64]) -> Vec<EpisodeResult> {
         let policy = &self.policy;

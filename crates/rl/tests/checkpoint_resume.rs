@@ -197,6 +197,97 @@ fn perturbed_workload_echo_round_trips() {
     assert_eq!(r.to_checkpoint(), text, "serialization stays stable");
 }
 
+/// The fine-tuning lineage contract: `fine_tune_window`'s rolling
+/// window is local to each call, so a checkpoint written at any **call
+/// boundary** resumes bit-exactly — `[ft(a); save; load; ft(b)]` is
+/// indistinguishable from `[ft(a); ft(b)]` in one process: same
+/// parameters, same `IterStats` history, same greedy evaluations.
+#[test]
+fn fine_tune_lineage_is_bit_exact_at_call_boundaries() {
+    let cfg = TrainConfig {
+        num_rollouts: 2,
+        seed: 17,
+        ..TrainConfig::default()
+    };
+    let env = TpchEnv::stream(3, 5, 20.0);
+    let mut base = fresh(&cfg);
+    for _ in 0..2 {
+        base.train_iteration(&env);
+    }
+    let base_text = base.to_checkpoint();
+
+    let total = 3;
+    for split in 1..=total {
+        let mut inproc = Trainer::from_checkpoint(&base_text).expect("base loads");
+        inproc.fine_tune_window(&env, split, 4);
+        inproc.fine_tune_window(&env, total - split, 4);
+
+        let mut first = Trainer::from_checkpoint(&base_text).expect("base loads");
+        first.fine_tune_window(&env, split, 4);
+        let mid_text = first.to_checkpoint();
+        drop(first);
+        let mut resumed = Trainer::from_checkpoint(&mid_text).expect("mid checkpoint loads");
+        assert_eq!(resumed.iter, 2 + split);
+        resumed.fine_tune_window(&env, total - split, 4);
+
+        assert_eq!(inproc.history.len(), resumed.history.len());
+        for (a, b) in inproc.history.iter().zip(&resumed.history) {
+            assert!(
+                stats_eq(a, b),
+                "IterStats diverged at split {split}:\n  {a:?}\n  {b:?}"
+            );
+        }
+        assert_same_params(&inproc, &resumed);
+
+        let ea = inproc.evaluate(&env, &[700, 701]);
+        let eb = resumed.evaluate(&env, &[700, 701]);
+        for (ra, rb) in ea.iter().zip(&eb) {
+            assert_eq!(ra.avg_jct(), rb.avg_jct());
+            assert_eq!(ra.actions.len(), rb.actions.len());
+        }
+    }
+}
+
+/// A zero-budget fine-tune (`iters == 0` or `window == 0`) is an exact
+/// no-op: the trainer stays bit-identical to the frozen checkpoint —
+/// parameters, history, RNG lineage, and the serialized text itself.
+#[test]
+fn zero_budget_fine_tune_is_the_frozen_checkpoint() {
+    let cfg = TrainConfig {
+        num_rollouts: 2,
+        seed: 29,
+        ..TrainConfig::default()
+    };
+    let env = TpchEnv::batch(3, 5);
+    let mut t = fresh(&cfg);
+    for _ in 0..2 {
+        t.train_iteration(&env);
+    }
+    let frozen_text = t.to_checkpoint();
+
+    for (iters, window) in [(0usize, 8usize), (3, 0), (0, 0)] {
+        let mut ft = Trainer::from_checkpoint(&frozen_text).expect("frozen loads");
+        let stats = ft.fine_tune_window(&env, iters, window);
+        assert!(stats.is_empty(), "zero budget must run no iterations");
+        assert_eq!(
+            ft.to_checkpoint(),
+            frozen_text,
+            "ft({iters}, {window}) must be byte-identical to the frozen checkpoint"
+        );
+    }
+
+    // And a real budget is not a no-op — the adaptation arm actually
+    // moves the parameters.
+    let mut ft = Trainer::from_checkpoint(&frozen_text).expect("frozen loads");
+    let stats = ft.fine_tune_window(&env, 1, 4);
+    assert_eq!(stats.len(), 1);
+    assert_ne!(
+        ft.to_checkpoint(),
+        frozen_text,
+        "a non-zero fine-tune must update the model"
+    );
+}
+
 /// Checkpoints written before the echo existed (no `echo.*` lines) load
 /// with `workload_echo = None` — the guard is opt-in, not a format break.
 #[test]

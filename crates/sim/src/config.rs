@@ -54,6 +54,11 @@ pub struct SimConfig {
     /// failures, stragglers (see [`crate::dynamics`]). Off by default;
     /// disabled dynamics is bit-exactly the pre-dynamics engine.
     pub dynamics: DynamicsSpec,
+    /// Drift phase boundaries (strictly increasing times in seconds).
+    /// Each becomes a `PhaseBoundary` event; `k` boundaries yield `k + 1`
+    /// phases of [`crate::DriftCounters`] accounting on the result.
+    /// Empty (the default) is bit-exactly the phase-free engine.
+    pub phase_boundaries: Vec<f64>,
 }
 
 impl Default for SimConfig {
@@ -70,6 +75,7 @@ impl Default for SimConfig {
             record_gantt: false,
             validate_observations: false,
             dynamics: DynamicsSpec::off(),
+            phase_boundaries: Vec::new(),
         }
     }
 }
@@ -123,6 +129,12 @@ impl SimConfig {
         self.dynamics = dynamics;
         self
     }
+
+    /// Sets the drift phase boundaries (must be strictly increasing).
+    pub fn with_phase_boundaries(mut self, boundaries: Vec<f64>) -> Self {
+        self.phase_boundaries = boundaries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +149,10 @@ mod tests {
         assert_eq!(c.noise, 0.0);
         assert!(c.time_limit.is_none());
         assert!(!c.dynamics.enabled(), "dynamics must default to off");
+        assert!(
+            c.phase_boundaries.is_empty(),
+            "phase accounting must default to off"
+        );
     }
 
     #[test]

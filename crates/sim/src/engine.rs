@@ -23,6 +23,7 @@
 //! all from a dedicated RNG so the base simulation stream is untouched.
 
 use crate::config::{Objective, SimConfig};
+use crate::drift::DriftCounters;
 use crate::dynamics::Perturbations;
 use crate::result::{ActionRecord, EpisodeOutcome, EpisodeResult, JobOutcome, MemCounters};
 use crate::sched::{Action, JobObs, LimitScope, NodeObs, Observation, Scheduler};
@@ -50,6 +51,10 @@ enum Ev {
     ChurnTick,
     /// An offline executor's outage ends.
     ExecOnline(ExecutorId),
+    /// A drift phase boundary passes: subsequent arrivals, completions,
+    /// and cost accrue to the next phase. Never scheduled unless
+    /// `SimConfig::phase_boundaries` is non-empty.
+    PhaseBoundary,
 }
 
 /// Heap entry ordered by `(time, seq)` for deterministic tie-breaking.
@@ -253,6 +258,11 @@ pub struct Simulator {
     /// [`crate::dynamics::DynamicsSpec`] is disabled, leaving every hot
     /// path untouched.
     dynamics: Option<Perturbations>,
+    /// Per-phase drift counters; empty (and every hook a no-op) when no
+    /// phase boundaries are configured.
+    drift: DriftCounters,
+    /// Phase the clock is currently in (0 until the first boundary).
+    cur_phase: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -331,6 +341,26 @@ impl Simulator {
                 seq += 1;
             }
         }
+        // Drift phase boundaries are plain pre-scheduled events: with
+        // none configured (the default) nothing is pushed and the event
+        // stream is bit-identical to the phase-free engine.
+        let drift = if cfg.phase_boundaries.is_empty() {
+            DriftCounters::default()
+        } else {
+            for w in cfg.phase_boundaries.windows(2) {
+                assert!(w[1] > w[0], "phase boundaries must strictly increase");
+            }
+            for &b in &cfg.phase_boundaries {
+                assert!(b >= 0.0, "phase boundaries must be non-negative");
+                queue.push(Reverse(QueuedEv {
+                    time: SimTime::from_secs(b),
+                    seq,
+                    ev: Ev::PhaseBoundary,
+                }));
+                seq += 1;
+            }
+            DriftCounters::with_boundaries(cfg.phase_boundaries.len())
+        };
         let mut sim = Simulator {
             cluster,
             rng: SmallRng::seed_from_u64(cfg.seed),
@@ -370,6 +400,8 @@ impl Simulator {
             tasks_started: 0,
             tasks_at_last_churn_tick: None,
             dynamics,
+            drift,
+            cur_phase: 0,
         };
         sim.mem.event_queue_hwm = sim.queue.len() as u64;
         sim
@@ -494,6 +526,9 @@ impl Simulator {
             gen: self.slots[slot as usize].gen,
         });
         self.jobs_in_system += 1;
+        if let Some(a) = self.drift.arrivals_by_phase.get_mut(self.cur_phase) {
+            *a += 1;
+        }
         // Keep the active list in job-id order (arrival order is
         // time order, which need not be id order).
         let pos = self.active_jobs.partition_point(|&a| a < ji);
@@ -802,6 +837,7 @@ impl Simulator {
             wasted_actions: self.wasted_actions,
             task_failures: self.task_failures,
             dynamics,
+            drift: self.drift,
             outcome: self.outcome,
             gantt: self.gantt,
             mem: self.mem,
@@ -824,6 +860,9 @@ impl Simulator {
                 }
             };
             self.cost_integral += rate * dt;
+            if let Some(c) = self.drift.cost_by_phase.get_mut(self.cur_phase) {
+                *c += rate * dt;
+            }
         }
         self.now = to;
     }
@@ -843,6 +882,13 @@ impl Simulator {
             Ev::ExecReady(e, ep) => ep == self.execs[e.index()].epoch && self.on_exec_ready(e),
             Ev::ChurnTick => self.on_churn_tick(),
             Ev::ExecOnline(e) => self.on_exec_online(e),
+            Ev::PhaseBoundary => {
+                // Pure accounting transition: no state a scheduler can
+                // observe changes, so no scheduling pass is owed.
+                self.cur_phase =
+                    (self.cur_phase + 1).min(self.drift.phases.saturating_sub(1) as usize);
+                false
+            }
         }
     }
 
@@ -1080,6 +1126,9 @@ impl Simulator {
         let ji = job_id.index();
         self.jobs_in_system -= 1;
         self.jobs_remaining -= 1;
+        if let Some(c) = self.drift.completions_by_phase.get_mut(self.cur_phase) {
+            *c += 1;
+        }
         if let Some(g) = &mut self.gantt {
             g.record_completion(job_id, self.now);
         }

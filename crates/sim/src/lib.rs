@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod drift;
 pub mod dynamics;
 pub mod engine;
 pub mod result;
 pub mod sched;
 
 pub use config::{Objective, SimConfig};
+pub use drift::DriftCounters;
 pub use dynamics::{DynamicsCounters, DynamicsSpec};
 pub use engine::{obs_equal, Simulator};
 pub use result::{ActionRecord, EpisodeOutcome, EpisodeResult, JobOutcome, MemCounters};

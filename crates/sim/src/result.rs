@@ -1,6 +1,7 @@
 //! Episode results: per-action reward records, per-job outcomes, and
 //! aggregate metrics.
 
+use crate::drift::DriftCounters;
 use crate::dynamics::DynamicsCounters;
 use decima_core::{Gantt, JobId, SimTime, Summary};
 use serde::{Deserialize, Serialize};
@@ -119,6 +120,9 @@ pub struct EpisodeResult {
     pub task_failures: u64,
     /// Cluster-dynamics counters (all zero when dynamics is off).
     pub dynamics: DynamicsCounters,
+    /// Per-phase drift counters (empty when no phase boundaries were
+    /// configured).
+    pub drift: DriftCounters,
     /// Why event processing stopped.
     pub outcome: EpisodeOutcome,
     /// Gantt chart, when recording was enabled.
@@ -259,6 +263,9 @@ impl EpisodeResult {
                 "dynamics: {:?} vs {:?}",
                 self.dynamics, other.dynamics
             ));
+        }
+        if self.drift != other.drift {
+            return Err(format!("drift: {:?} vs {:?}", self.drift, other.drift));
         }
         if self.outcome != other.outcome {
             return Err(format!(

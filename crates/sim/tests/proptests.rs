@@ -493,3 +493,134 @@ proptest! {
         prop_assert_eq!(a.total_penalty(), b.total_penalty());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Workload drift: phase accounting and the drift-off identity
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Phase boundaries are pure observation: injecting arbitrary
+    /// strictly-increasing boundaries never perturbs scheduling — every
+    /// cost-bearing result field is bit-identical to the boundary-free
+    /// run (only `end_time`/`num_events` may move, when a trailing
+    /// zero-rate boundary event pops after the last completion) — and
+    /// the per-phase counters partition the episode exactly: arrivals
+    /// sum to the materialized jobs, completions to the completed jobs,
+    /// and the per-phase cost integral to the total penalty.
+    #[test]
+    fn phase_boundaries_observe_without_perturbing(
+        seed in 0u64..2000, n_jobs in 1usize..4, noise in 0.0f64..0.3,
+        incs in proptest::collection::vec(0.5f64..30.0, 1..5),
+    ) {
+        let mut boundaries = Vec::with_capacity(incs.len());
+        let mut t = 0.0;
+        for d in &incs {
+            t += d;
+            boundaries.push(t);
+        }
+        let mk = |b: Vec<f64>| {
+            let cfg = SimConfig { noise, seed, phase_boundaries: b, ..SimConfig::default() };
+            Simulator::new(ClusterSpec::homogeneous(3), random_jobs(seed, n_jobs), cfg)
+                .run(Spread)
+        };
+        let with = mk(boundaries.clone());
+        let without = mk(Vec::new());
+        prop_assert_eq!(
+            with.avg_jct().map(f64::to_bits),
+            without.avg_jct().map(f64::to_bits)
+        );
+        prop_assert_eq!(with.total_penalty().to_bits(), without.total_penalty().to_bits());
+        prop_assert_eq!(with.completed(), without.completed());
+        prop_assert_eq!(with.actions.len(), without.actions.len());
+
+        prop_assert!(!without.drift.enabled());
+        prop_assert_eq!(with.drift.phases as usize, boundaries.len() + 1);
+        prop_assert_eq!(with.drift.total_arrivals() as usize, with.jobs.len());
+        prop_assert_eq!(with.drift.total_completions() as usize, with.completed());
+        let total = with.total_penalty();
+        prop_assert!(
+            (with.drift.total_cost() - total).abs() <= 1e-9 * total.abs().max(1.0),
+            "cost partition leaks: {} vs {}", with.drift.total_cost(), total
+        );
+    }
+
+    /// The drift-off identity at the workload layer:
+    /// `build_drifting(off)` is byte-for-byte `build`, and the episodes
+    /// they feed satisfy the full `same_run` oracle (drift counters
+    /// included).
+    #[test]
+    fn drift_off_build_is_the_stationary_build(seed in 0u64..500, n_jobs in 1usize..5) {
+        use decima_workload::{DriftSpec, WorkloadSpec};
+        let spec = WorkloadSpec::tpch_stream(n_jobs, 4, 20.0);
+        let (c_off, j_off) = spec.build_drifting(&DriftSpec::off(), seed);
+        let (c_plain, j_plain) = spec.build(seed);
+        prop_assert_eq!(&c_off, &c_plain);
+        prop_assert_eq!(&j_off, &j_plain);
+        let run = |cluster, jobs| {
+            let cfg = SimConfig { noise: 0.1, seed, ..SimConfig::default() };
+            Simulator::new(cluster, jobs, cfg).run(Spread)
+        };
+        let a = run(c_off, j_off);
+        let b = run(c_plain, j_plain);
+        prop_assert!(a.same_run(&b).is_ok(), "drift-off diverged: {:?}", a.same_run(&b));
+    }
+
+    /// Drifted episodes are bit-deterministic, counters included: the
+    /// same `DriftSpec` + seed reproduces the whole `same_run` surface.
+    #[test]
+    fn drifted_episodes_are_bit_deterministic(
+        seed in 0u64..300,
+        profile_idx in 0usize..decima_workload::DRIFT_PROFILE_NAMES.len(),
+    ) {
+        use decima_workload::{DriftSpec, WorkloadSpec};
+        let profile = decima_workload::DRIFT_PROFILE_NAMES[profile_idx];
+        let drift = DriftSpec::preset(profile).unwrap();
+        let spec = WorkloadSpec::tpch_stream(5, 4, 25.0);
+        let mk = || {
+            let (cluster, jobs) = spec.build_drifting(&drift, seed);
+            let cfg = SimConfig {
+                phase_boundaries: drift.phase_boundaries(),
+                seed,
+                ..SimConfig::default()
+            };
+            Simulator::new(cluster, jobs, cfg).run(Spread)
+        };
+        let (a, b) = (mk(), mk());
+        prop_assert!(a.same_run(&b).is_ok(), "drifted rerun diverged: {:?}", a.same_run(&b));
+        prop_assert!(a.drift.enabled());
+        prop_assert_eq!(a.drift.total_arrivals() as usize, a.jobs.len());
+    }
+
+    /// Task conservation across the mix-shift boundary: every job from
+    /// both families (pre-shift TPC-H, post-shift trace-like) runs to
+    /// completion under a work-conserving scheduler, the two phases
+    /// partition the arrivals exactly, and executed work covers the
+    /// static total of both families.
+    #[test]
+    fn mixshift_conserves_tasks_across_the_boundary(
+        seed in 0u64..200, shift in 50.0f64..300.0,
+    ) {
+        use decima_workload::{DriftProfile, DriftSpec, WorkloadSpec};
+        let drift = DriftSpec { profile: DriftProfile::MixShift { shift_at: shift } };
+        let spec = WorkloadSpec::tpch_stream(6, 4, 25.0);
+        let (cluster, jobs) = spec.build_drifting(&drift, seed);
+        let n = jobs.len();
+        let static_work: f64 = jobs.iter().map(|j| j.total_work()).sum();
+        let cfg = SimConfig {
+            phase_boundaries: drift.phase_boundaries(),
+            seed,
+            first_wave: false,
+            inflation: false,
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(cluster, jobs, cfg).run(Spread);
+        prop_assert_eq!(r.completed(), n, "mix-shift episode must finish every job");
+        prop_assert_eq!(r.drift.phases, 2);
+        prop_assert_eq!(r.drift.total_arrivals() as usize, n);
+        prop_assert_eq!(r.drift.total_completions() as usize, n);
+        let executed: f64 = r.jobs.iter().map(|j| j.executed_work).sum();
+        prop_assert!((executed - static_work).abs() < 1e-6 * static_work.max(1.0));
+    }
+}

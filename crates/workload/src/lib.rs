@@ -9,6 +9,8 @@
 //!   statistics the paper publishes about the proprietary trace (§7.3).
 //! * [`arrivals`] — batched and Poisson arrival processes plus
 //!   ready-made workload constructors.
+//! * [`drift`] — non-stationary regimes (ramps, diurnal cycles, mix
+//!   shifts, flash crowds) layered on the stationary generators.
 //!
 //! All generation is deterministic under a seed, which the RL trainer
 //! relies on for input-dependent baselines (§5.3 challenge #2).
@@ -17,6 +19,7 @@
 
 pub mod alibaba;
 pub mod arrivals;
+pub mod drift;
 pub mod spec;
 pub mod tpch;
 
@@ -25,6 +28,7 @@ pub use arrivals::{
     alibaba_stream, alibaba_stream_cfg, offered_load, renumber, tpch_batch, tpch_stream,
     tpch_stream_with_memory, ArrivalProcess,
 };
+pub use drift::{DriftProfile, DriftSpec, DRIFT_PROFILE_NAMES, DRIFT_SEED_SALT};
 pub use spec::{
     appendix_dag_job, WorkloadSource, WorkloadSpec, APPENDIX_DAG_EPS, APPENDIX_DAG_SLOTS,
 };
